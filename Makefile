@@ -1,0 +1,53 @@
+# Development targets for the CRR reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-full fuzz vet fmt experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every paper table/figure as a Go benchmark, at 0.1 scale.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Paper-scale benchmarks (minutes).
+bench-full:
+	CRR_BENCH_SCALE=1 $(GO) test -bench=. -benchmem -timeout 60m .
+
+# Core micro-benchmarks: discovery, compaction, prediction index.
+bench-core:
+	$(GO) test -bench=. -benchmem ./internal/core/
+
+fuzz:
+	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
+	$(GO) test ./internal/predicate/ -fuzz FuzzParseDNF -fuzztime 30s
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | (! grep .) || (echo "gofmt needed" && exit 1)
+
+fmt:
+	gofmt -w .
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md source).
+experiments:
+	$(GO) run ./cmd/crrbench -exp all | tee results_full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/birdmigration
+	$(GO) run ./examples/taxaudit
+	$(GO) run ./examples/imputation
+	$(GO) run ./examples/powermonitor
+
+clean:
+	$(GO) clean -testcache

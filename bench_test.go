@@ -1,0 +1,126 @@
+package crr_test
+
+// One benchmark per table and figure of the paper's evaluation (§VI), plus
+// the ablation benches DESIGN.md calls out. Each benchmark replays the full
+// experiment — data generation, method fits, scoring — at a reduced scale
+// (BenchScale) so `go test -bench=.` finishes in minutes; run
+// `go run ./cmd/crrbench -exp all` for the full-scale numbers recorded in
+// EXPERIMENTS.md.
+//
+// Reported custom metrics: crr_rmse (the CRR method's error at the largest
+// parameter point) and crr_rules (its rule count), so regressions in result
+// quality show up next to ns/op.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/crrlab/crr/internal/experiments"
+)
+
+// benchScale shrinks experiment sizes for benchmarking; override with the
+// CRR_BENCH_SCALE environment variable (e.g. CRR_BENCH_SCALE=1 for paper
+// scale).
+func benchScale() float64 {
+	if s := os.Getenv("CRR_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return 0.1
+}
+
+// runExperiment drives one registry entry as a benchmark body.
+func runExperiment(b *testing.B, id string, crrPrefix string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := benchScale()
+	var rows []experiments.Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = e.Run(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(rows) == 0 {
+		b.Fatalf("%s produced no rows", id)
+	}
+	// Surface the CRR method's quality at the last parameter point.
+	for i := len(rows) - 1; i >= 0; i-- {
+		if crrPrefix != "" && hasPrefix(rows[i].Method, crrPrefix) {
+			b.ReportMetric(rows[i].RMSE, "crr_rmse")
+			b.ReportMetric(float64(rows[i].Rules), "crr_rules")
+			break
+		}
+	}
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// BenchmarkFig2AirQuality regenerates Figure 2: training/evaluation
+// scalability against RegTree, AR, SampLR, MCLR, Forest, DHR, Recur on
+// AirQuality.
+func BenchmarkFig2AirQuality(b *testing.B) { runExperiment(b, "fig2", "CRR") }
+
+// BenchmarkFig3Electricity regenerates Figure 3 on the Electricity stand-in.
+func BenchmarkFig3Electricity(b *testing.B) { runExperiment(b, "fig3", "CRR") }
+
+// BenchmarkFig4Tax regenerates Figure 4 on the relational Tax stand-in.
+func BenchmarkFig4Tax(b *testing.B) { runExperiment(b, "fig4", "CRR") }
+
+// BenchmarkFig5InstanceScalability regenerates Figure 5: CRR vs RR with
+// F1/F2/F3 on BirdMap.
+func BenchmarkFig5InstanceScalability(b *testing.B) { runExperiment(b, "fig5", "CRR-F1") }
+
+// BenchmarkFig6PredicateScalability regenerates Figure 6: |ℙ| sweeps.
+func BenchmarkFig6PredicateScalability(b *testing.B) { runExperiment(b, "fig6", "CRR-F1") }
+
+// BenchmarkFig7ColumnScalability regenerates Figure 7: target-column sweeps.
+func BenchmarkFig7ColumnScalability(b *testing.B) { runExperiment(b, "fig7", "CRR") }
+
+// BenchmarkFig8BiasSensitivity regenerates Figure 8: the ρ_M study.
+func BenchmarkFig8BiasSensitivity(b *testing.B) { runExperiment(b, "fig8", "CRR") }
+
+// BenchmarkTable3PredicateGenerators regenerates Table III: expert vs binary
+// vs random predicate generation.
+func BenchmarkTable3PredicateGenerators(b *testing.B) { runExperiment(b, "tab3", "") }
+
+// BenchmarkTable4ConjunctionOrdering regenerates Table IV: decreasing vs
+// increasing vs random ind(C) order.
+func BenchmarkTable4ConjunctionOrdering(b *testing.B) { runExperiment(b, "tab4", "") }
+
+// BenchmarkFig9RuleCompaction regenerates Figure 9: rule counts of RegTree,
+// RegTree+Compaction and CRR searching for F1/F2/F3.
+func BenchmarkFig9RuleCompaction(b *testing.B) { runExperiment(b, "fig9", "CRRSearch") }
+
+// BenchmarkFig10Imputation regenerates Figure 10: imputation with and
+// without compaction.
+func BenchmarkFig10Imputation(b *testing.B) { runExperiment(b, "fig10", "CRRSearch") }
+
+// BenchmarkAblationSharing isolates model sharing (Algorithm 1 Lines 7–10)
+// on and off — the paper's core mechanism.
+func BenchmarkAblationSharing(b *testing.B) { runExperiment(b, "ablation-sharing", "") }
+
+// BenchmarkAblationDelta0 compares the δ0 midpoint shift (Proposition 6)
+// against a least-squares shift.
+func BenchmarkAblationDelta0(b *testing.B) { runExperiment(b, "ablation-delta0", "") }
+
+// BenchmarkAblationFuse measures eager shared-rule fusion on/off.
+func BenchmarkAblationFuse(b *testing.B) { runExperiment(b, "ablation-fuse", "") }
+
+// BenchmarkAblationPrune measures §VII post-pruning of over-refined rules.
+func BenchmarkAblationPrune(b *testing.B) { runExperiment(b, "ablation-prune", "") }
+
+// BenchmarkExtraBirdMap regenerates the tech-report Fig. 2-style comparison
+// on BirdMap.
+func BenchmarkExtraBirdMap(b *testing.B) { runExperiment(b, "extra-birdmap", "CRR") }
+
+// BenchmarkExtraAbalone regenerates the tech-report Fig. 4-style comparison
+// on Abalone.
+func BenchmarkExtraAbalone(b *testing.B) { runExperiment(b, "extra-abalone", "CRR") }

@@ -1,0 +1,73 @@
+// Command crrbench regenerates the tables and figures of the paper's
+// evaluation (§VI) on the synthetic dataset substitutes.
+//
+// Usage:
+//
+//	crrbench -exp fig2            # one experiment
+//	crrbench -exp all             # everything (EXPERIMENTS.md source data)
+//	crrbench -exp fig3 -scale 0.2 # shrink instance sizes for a quick look
+//	crrbench -list                # show experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/crrlab/crr/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale  = flag.Float64("scale", 1.0, "instance-size scale in (0, 1]")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Artifact)
+		}
+		return
+	}
+	if err := run(*exp, *scale, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "crrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64, format string) error {
+	if format != "table" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", format)
+	}
+	if exp == "all" {
+		for _, e := range experiments.Registry() {
+			if err := runOne(e, scale, format); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, err := experiments.Lookup(exp)
+	if err != nil {
+		return err
+	}
+	return runOne(e, scale, format)
+}
+
+func runOne(e experiments.Experiment, scale float64, format string) error {
+	rows, err := e.Run(scale)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	if format == "csv" {
+		return experiments.WriteRowsCSV(os.Stdout, rows)
+	}
+	if err := experiments.RenderRows(os.Stdout, fmt.Sprintf("[%s] %s", e.ID, e.Artifact), rows); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}

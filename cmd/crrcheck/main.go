@@ -1,0 +1,91 @@
+// Command crrcheck uses conditional regression rules as integrity
+// constraints: it checks a CSV against a saved rule set (crrdiscover -save)
+// and reports every violating tuple, optionally with a repair suggestion.
+//
+// Usage:
+//
+//	crrdiscover -input clean.csv -y Tax -x Salary -compact -save rules.json
+//	crrcheck    -input suspect.csv -rules rules.json -repair
+//
+// Exit status is 1 when violations are found, 2 on errors — usable as a
+// data-quality gate in pipelines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "CSV to check (required)")
+		rulesIn = flag.String("rules", "", "saved rule set JSON (required)")
+		repair  = flag.Bool("repair", false, "print a repaired value per violation")
+		explain = flag.Bool("explain", false, "print the full rule-by-rule explanation per violation")
+		limit   = flag.Int("limit", 20, "maximum violations to print (0 = all)")
+	)
+	flag.Parse()
+	violations, err := run(*input, *rulesIn, *repair, *limit, *explain)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crrcheck:", err)
+		os.Exit(2)
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(input, rulesIn string, repair bool, limit int, explain bool) (int, error) {
+	if input == "" || rulesIn == "" {
+		return 0, fmt.Errorf("-input and -rules are required (see -h)")
+	}
+	f, err := os.Open(input)
+	if err != nil {
+		return 0, err
+	}
+	rel, err := dataset.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return 0, err
+	}
+	rf, err := os.Open(rulesIn)
+	if err != nil {
+		return 0, err
+	}
+	rules, err := core.ReadRuleSet(rf)
+	rf.Close()
+	if err != nil {
+		return 0, err
+	}
+	if rel.Schema.Len() != rules.Schema.Len() {
+		return 0, fmt.Errorf("schema mismatch: data has %d columns, rules expect %d",
+			rel.Schema.Len(), rules.Schema.Len())
+	}
+
+	vs := core.Violations(rel, rules)
+	fmt.Printf("checked %d tuples against %d rules: %d violation(s)\n",
+		rel.Len(), rules.NumRules(), len(vs))
+	yName := rules.Schema.Attr(rules.YAttr).Name
+	for i, v := range vs {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... and %d more\n", len(vs)-limit)
+			break
+		}
+		fmt.Printf("row %d: %s=%.6g but rule %d predicts %.6g (excess %.4g beyond ρ)",
+			v.TupleIndex+1, yName, v.Observed, v.RuleIndex+1, v.Predicted, v.Excess)
+		if repair {
+			if val, ok := core.Repair(rel.Tuples[v.TupleIndex], rules); ok {
+				fmt.Printf("  → repair: %.6g", val)
+			}
+		}
+		fmt.Println()
+		if explain {
+			fmt.Print(core.Explain(rules, rel.Tuples[v.TupleIndex]).Format(rules))
+		}
+	}
+	return len(vs), nil
+}

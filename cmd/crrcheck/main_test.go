@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// fixture mines rules on a clean Tax CSV and returns (cleanCSV, rulesJSON).
+func fixture(t *testing.T) (string, string) {
+	t.Helper()
+	cfg := dataset.DefaultTaxConfig()
+	cfg.Rows = 600
+	rel := dataset.GenerateTax(cfg)
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "tax.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, rel); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	salary := rel.Schema.MustIndex("Salary")
+	state := rel.Schema.MustIndex("State")
+	status := rel.Schema.MustIndex("MaritalStatus")
+	tax := rel.Schema.MustIndex("Tax")
+	preds := predicate.Generate(rel, []int{state, status}, predicate.GeneratorConfig{})
+	res, err := core.Discover(rel, core.DiscoverConfig{
+		XAttrs: []int{salary}, YAttr: tax, RhoM: 60,
+		Preds: preds, Trainer: regress.LinearTrainer{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rulesPath := filepath.Join(dir, "rules.json")
+	rf, err := os.Create(rulesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteRuleSet(rf, res.Rules); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	return csvPath, rulesPath
+}
+
+func TestRunCheckCleanData(t *testing.T) {
+	csvPath, rulesPath := fixture(t)
+	n, err := run(csvPath, rulesPath, true, 10, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("clean data produced %d violations", n)
+	}
+}
+
+func TestRunCheckDoctoredData(t *testing.T) {
+	csvPath, rulesPath := fixture(t)
+	// Doctor one Tax cell far outside ρ.
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := dataset.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tax := rel.Schema.MustIndex("Tax")
+	bad := rel.Tuples[7].Clone()
+	bad[tax] = dataset.Num(bad[tax].Num + 5000)
+	rel.Tuples[7] = bad
+	doctored := filepath.Join(t.TempDir(), "doctored.csv")
+	out, err := os.Create(doctored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(out, rel); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+
+	n, err := run(doctored, rulesPath, true, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("doctored record not flagged")
+	}
+}
+
+func TestRunCheckValidation(t *testing.T) {
+	csvPath, rulesPath := fixture(t)
+	if _, err := run("", rulesPath, false, 0, false); err == nil {
+		t.Error("missing input accepted")
+	}
+	if _, err := run(csvPath, "", false, 0, false); err == nil {
+		t.Error("missing rules accepted")
+	}
+	if _, err := run(csvPath, "/nope.json", false, 0, false); err == nil {
+		t.Error("bad rules path accepted")
+	}
+}

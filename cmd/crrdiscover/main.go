@@ -1,0 +1,182 @@
+// Command crrdiscover mines conditional regression rules from a CSV file:
+// Algorithm 1 (CRR searching with model sharing) optionally followed by
+// Algorithm 2 (compaction with inference).
+//
+// Usage:
+//
+//	crrdiscover -input data.csv -y Tax -x Salary -cond State,MaritalStatus -rho 60 -compact
+//
+// The CSV needs a header row; column kinds are inferred (numeric when every
+// non-empty cell parses as a float). Empty cells are treated as missing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "", "input CSV path (required)")
+		yName    = flag.String("y", "", "target attribute name (required)")
+		xNames   = flag.String("x", "", "comma-separated regression attributes (required)")
+		condCols = flag.String("cond", "", "comma-separated condition attributes (default: x + categorical columns)")
+		rhoM     = flag.Float64("rho", 1.0, "maximum bias ρ_M")
+		predSize = flag.Int("preds", 0, "predicates per numeric attribute (0 = every domain value)")
+		family   = flag.String("family", "F1", "model family: F1 (linear), F2 (ridge), F3 (mlp)")
+		compact  = flag.Bool("compact", false, "run Algorithm 2 compaction after discovery")
+		tol      = flag.Float64("compact-tol", 0, "model tolerance for compaction (0 = exact)")
+		prune    = flag.Bool("prune", false, "merge statistically indistinguishable adjacent windows before compaction")
+		parallel = flag.Int("parallel", 1, "discovery worker count (1 = sequential)")
+		save     = flag.String("save", "", "write the final rule set as JSON to this path")
+		mergeWin = flag.Float64("merge-windows", 0, "collapse touching windows whose y=δ agree within this tolerance (widens ρ accordingly)")
+	)
+	flag.Parse()
+	if err := run(runConfig{
+		input: *input, yName: *yName, xNames: *xNames, condCols: *condCols,
+		rhoM: *rhoM, predSize: *predSize, family: *family,
+		compact: *compact, tol: *tol, prune: *prune, parallel: *parallel, save: *save,
+		mergeWindows: *mergeWin,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "crrdiscover:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	input, yName, xNames, condCols string
+	rhoM                           float64
+	predSize                       int
+	family                         string
+	compact                        bool
+	tol                            float64
+	prune                          bool
+	parallel                       int
+	save                           string
+	mergeWindows                   float64
+}
+
+func run(rc runConfig) error {
+	input, yName, xNames, condCols := rc.input, rc.yName, rc.xNames, rc.condCols
+	rhoM, predSize, family, compact, tol := rc.rhoM, rc.predSize, rc.family, rc.compact, rc.tol
+	if input == "" || yName == "" || xNames == "" {
+		return fmt.Errorf("-input, -y and -x are required (see -h)")
+	}
+	f, err := os.Open(input)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := dataset.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+
+	yattr, err := rel.Schema.Index(yName)
+	if err != nil {
+		return err
+	}
+	var xattrs []int
+	for _, name := range strings.Split(xNames, ",") {
+		i, err := rel.Schema.Index(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		xattrs = append(xattrs, i)
+	}
+	var cond []int
+	if condCols != "" {
+		for _, name := range strings.Split(condCols, ",") {
+			i, err := rel.Schema.Index(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cond = append(cond, i)
+		}
+	} else {
+		seen := map[int]bool{}
+		for _, a := range xattrs {
+			if a != yattr && !seen[a] {
+				seen[a] = true
+				cond = append(cond, a)
+			}
+		}
+		for i := 0; i < rel.Schema.Len(); i++ {
+			if i != yattr && !seen[i] && rel.Schema.Attr(i).Kind == dataset.Categorical {
+				seen[i] = true
+				cond = append(cond, i)
+			}
+		}
+	}
+
+	var trainer regress.Trainer
+	switch strings.ToUpper(family) {
+	case "F1":
+		trainer = regress.LinearTrainer{}
+	case "F2":
+		trainer = regress.LinearTrainer{Ridge: 1}
+	case "F3":
+		trainer = regress.NewMLPTrainer(1)
+	default:
+		return fmt.Errorf("unknown family %q (want F1, F2 or F3)", family)
+	}
+
+	preds := predicate.Generate(rel, cond, predicate.GeneratorConfig{Size: predSize})
+	dcfg := core.DiscoverConfig{
+		XAttrs:  xattrs,
+		YAttr:   yattr,
+		RhoM:    rhoM,
+		Preds:   preds,
+		Trainer: trainer,
+	}
+	res, err := core.DiscoverParallel(rel, dcfg, rc.parallel)
+	if err != nil {
+		return err
+	}
+	rules := res.Rules
+	if rc.prune {
+		pruned, pst, err := core.Prune(rel, rules, core.PruneOptions{Trainer: trainer})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pruned to %d rules (%d of %d adjacent pairs merged)\n",
+			pruned.NumRules(), pst.Merged, pst.Tested)
+		rules = pruned
+	}
+	fmt.Printf("discovered %d rules (%d models trained, %d shared, %d nodes)\n",
+		rules.NumRules(), res.Stats.ModelsTrained, res.Stats.ShareHits, res.Stats.NodesExpanded)
+	if compact {
+		compacted, stats := core.CompactOpts(rules, core.CompactOptions{ModelTol: tol})
+		fmt.Printf("compacted to %d rules (%d translations, %d fusions, %d implied)\n",
+			compacted.NumRules(), stats.Translations, stats.Fusions, stats.Implied)
+		rules = compacted
+	}
+	if rc.mergeWindows > 0 {
+		rules = core.MergeWindows(rules, rc.mergeWindows)
+		fmt.Printf("window merging (tol %g): %d rules remain\n", rc.mergeWindows, rules.NumRules())
+	}
+	fmt.Println(core.Summarize(rules))
+	fmt.Printf("coverage %.3f, training RMSE %.6g\n\n", rules.Coverage(rel), rules.RMSE(rel))
+	for i := range rules.Rules {
+		fmt.Printf("φ%d: %s\n", i+1, rules.Rules[i].Format(rel.Schema))
+	}
+	if rc.save != "" {
+		out, err := os.Create(rc.save)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := core.WriteRuleSet(out, rules); err != nil {
+			return err
+		}
+		fmt.Printf("\nsaved %d rules to %s\n", rules.NumRules(), rc.save)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// writeTaxCSV writes a small Tax CSV fixture and returns its path.
+func writeTaxCSV(t *testing.T, rows int) string {
+	t.Helper()
+	cfg := dataset.DefaultTaxConfig()
+	cfg.Rows = rows
+	rel := dataset.GenerateTax(cfg)
+	path := filepath.Join(t.TempDir(), "tax.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, rel); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDiscoverEndToEnd(t *testing.T) {
+	input := writeTaxCSV(t, 800)
+	save := filepath.Join(t.TempDir(), "rules.json")
+	err := run(runConfig{
+		input: input, yName: "Tax", xNames: "Salary", condCols: "State,MaritalStatus",
+		rhoM: 60, family: "F1", compact: true, tol: 0.002, parallel: 2, save: save,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// The saved rule set must load back.
+	if fi, err := os.Stat(save); err != nil || fi.Size() == 0 {
+		t.Fatalf("saved rules missing: %v", err)
+	}
+}
+
+func TestRunDiscoverPrune(t *testing.T) {
+	input := writeTaxCSV(t, 600)
+	err := run(runConfig{
+		input: input, yName: "Tax", xNames: "Salary",
+		rhoM: 60, family: "F2", prune: true, parallel: 1,
+	})
+	if err != nil {
+		t.Fatalf("run with prune: %v", err)
+	}
+}
+
+func TestRunDiscoverValidation(t *testing.T) {
+	input := writeTaxCSV(t, 100)
+	cases := []runConfig{
+		{},                           // missing everything
+		{input: input, yName: "Tax"}, // missing -x
+		{input: input, yName: "Nope", xNames: "Salary", family: "F1", rhoM: 1},                  // unknown y
+		{input: input, yName: "Tax", xNames: "Nope", family: "F1", rhoM: 1},                     // unknown x
+		{input: input, yName: "Tax", xNames: "Salary", family: "F9", rhoM: 1},                   // unknown family
+		{input: input, yName: "Tax", xNames: "Salary", condCols: "Nope", family: "F1", rhoM: 1}, // unknown cond
+		{input: "/does/not/exist.csv", yName: "Tax", xNames: "Salary", family: "F1", rhoM: 1},
+	}
+	for i, rc := range cases {
+		rc.parallel = 1
+		if err := run(rc); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunDiscoverDefaultCondAttrs(t *testing.T) {
+	input := writeTaxCSV(t, 400)
+	// No -cond: categorical columns must be picked up automatically.
+	err := run(runConfig{
+		input: input, yName: "Tax", xNames: "Salary", rhoM: 60, family: "F1", parallel: 1,
+	})
+	if err != nil {
+		t.Fatalf("run without -cond: %v", err)
+	}
+}

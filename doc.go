@@ -1,0 +1,15 @@
+// Package crr reproduces "Conditional Regression Rules" (Kang, Song, Wang;
+// ICDE 2022): conditional regression rules φ : (f, ρ, ℂ) pairing a regression
+// model with a max-bias bound and a DNF condition, five sound inference rules
+// (Reflexivity, Induction, Fusion, Generalization, Translation), a discovery
+// algorithm with model sharing (Algorithm 1), and a compaction algorithm
+// driven by the inference rules (Algorithm 2).
+//
+// The implementation lives under internal/: see internal/core for the CRR
+// machinery, internal/predicate for the condition language, internal/regress
+// for the model families, internal/baseline for the paper's comparison
+// methods, and internal/experiments for every table and figure of the
+// evaluation. The examples/ directory holds runnable entry points, and
+// bench_test.go in this directory regenerates each paper artifact as a Go
+// benchmark.
+package crr

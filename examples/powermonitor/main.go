@@ -1,0 +1,115 @@
+// Power monitor: CRRs as a streaming data-quality monitor on the
+// Electricity stand-in. A derived minute-of-day attribute makes the daily
+// appliance regimes recur into the same condition windows, so rules
+// discovered on a warm-up window keep covering every later day: arriving
+// days are checked for violations (meter faults) and absorbed by incremental
+// maintenance without retraining.
+//
+//	go run ./examples/powermonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+func main() {
+	cfg := dataset.DefaultElectricityConfig()
+	cfg.Rows = 7 * 1440 // one week of minutes
+	raw := dataset.GenerateElectricity(cfg)
+
+	// Feature engineering: minute-of-day phase, the recurrence axis.
+	rawTime := raw.Schema.MustIndex("Time")
+	week, err := dataset.DeriveNumeric(raw, "MinuteOfDay", func(t dataset.Tuple) (float64, bool) {
+		if t[rawTime].Null {
+			return 0, false
+		}
+		return math.Mod(t[rawTime].Num, 1440), true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := week.Schema
+	mod := schema.MustIndex("MinuteOfDay")
+	gap := schema.MustIndex("GlobalActivePower")
+
+	// Warm-up: discover rules on the first two days, conditioned on phase.
+	warm := dataset.NewRelation(schema)
+	for _, t := range week.Tuples {
+		if t[0].Num < 2*1440 {
+			warm.Tuples = append(warm.Tuples, t)
+		}
+	}
+	preds := predicate.Generate(warm, []int{mod}, predicate.GeneratorConfig{})
+	dcfg := core.DiscoverConfig{
+		XAttrs:     []int{mod},
+		YAttr:      gap,
+		RhoM:       0.5,
+		Preds:      preds,
+		Trainer:    regress.LinearTrainer{},
+		FuseShared: true, // regimes sharing a model merge into one DNF rule
+	}
+	res, err := core.Discover(warm, dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules := res.Rules
+	fmt.Printf("warm-up: %d rule(s), %d distinct regime model(s), %d share hits\n\n",
+		rules.NumRules(), rules.NumModels(), res.Stats.ShareHits)
+
+	// Stream the remaining days.
+	stream := dataset.NewRelation(schema)
+	stream.Tuples = append(stream.Tuples, warm.Tuples...)
+	for day := 2; day < 7; day++ {
+		start := stream.Len()
+		injected := 0
+		for _, t := range week.Tuples {
+			m := t[0].Num
+			if m < float64(day)*1440 || m >= float64(day+1)*1440 {
+				continue
+			}
+			// Inject a stuck-meter fault on day 5, 12:00–12:30.
+			if day == 5 && t[mod].Num >= 720 && t[mod].Num < 750 {
+				t = t.Clone()
+				t[gap] = dataset.Num(9.99)
+				injected++
+			}
+			stream.Tuples = append(stream.Tuples, t)
+		}
+
+		// 1) Constraint check: flag the day's violations before ingesting.
+		arrived := &dataset.Relation{Schema: schema, Tuples: stream.Tuples[start:]}
+		violations := core.Violations(arrived, rules)
+
+		// 2) Quarantine the violating tuples — ingesting a meter fault would
+		//    mint a rule that legitimizes it — then maintain on the rest.
+		quarantined := map[int]bool{}
+		for _, v := range violations {
+			quarantined[start+v.TupleIndex] = true
+		}
+		var newIdx []int
+		for i := start; i < stream.Len(); i++ {
+			if !quarantined[i] {
+				newIdx = append(newIdx, i)
+			}
+		}
+		updated, st, err := core.Maintain(stream, rules, newIdx, dcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rules = updated
+		fmt.Printf("day %d: %4d tuples  %3d violations (injected faults: %2d)  "+
+			"%4d satisfied / %d widened / %d rediscovered / %d conflicts\n",
+			day, len(newIdx), len(violations), injected,
+			st.Satisfied, st.Widened, st.Rediscovered, st.Conflicts)
+	}
+
+	fmt.Printf("\nfinal: %d rule(s), %d model(s) for a full week — the warm-up regimes "+
+		"served every recurring day\n", rules.NumRules(), rules.NumModels())
+}

@@ -1,0 +1,3 @@
+module github.com/crrlab/crr
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package baseline implements the comparison methods of the paper's
+// evaluation (§VI-A4): RegTree (regression tree [5], [12]), Forest
+// (regression forest [21]), AR (auto-regression [37]), DHR (dynamic harmonic
+// regression [22]), Recur (recurrence-time regression [23]), and the
+// sampling-based conditional learners SampLR [19] and MCLR [20].
+//
+// SampLR and MCLR are conditional *logistic* regression methods in the
+// literature; since this evaluation has a numeric regression target they are
+// implemented here as sampling-based conditional *linear* learners with the
+// same cost profile (many models trained over sampled parts, no sharing) —
+// the property the paper's figures measure. DESIGN.md records the
+// substitution.
+package baseline
+
+import (
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// Method is the uniform interface the evaluation harness drives: fit on a
+// relation, predict per tuple, report the number of regression rules/models
+// the method materialized (the #Rules axis of Figures 2–4).
+type Method interface {
+	// Name returns the method's display name as used in the paper's figures.
+	Name() string
+	// Fit trains the method to predict yattr from xattrs over rel.
+	Fit(rel *dataset.Relation, xattrs []int, yattr int) error
+	// Predict returns the prediction for t; ok is false when the method has
+	// no applicable model (callers fall back to the training mean).
+	Predict(t dataset.Tuple) (float64, bool)
+	// NumRules reports how many regression rules/models the fit produced.
+	NumRules() int
+}
+
+// meanOf returns the mean of the non-null numeric column idx over the tuples
+// at idxs.
+func meanOf(rel *dataset.Relation, idxs []int, idx int) float64 {
+	var s float64
+	n := 0
+	for _, i := range idxs {
+		if !rel.Tuples[i][idx].Null {
+			s += rel.Tuples[i][idx].Num
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// nonNullRows returns the indices of tuples with non-null xattrs and yattr.
+func nonNullRows(rel *dataset.Relation, xattrs []int, yattr int) []int {
+	var out []int
+	for i, t := range rel.Tuples {
+		if t[yattr].Null {
+			continue
+		}
+		ok := true
+		for _, a := range xattrs {
+			if t[a].Null {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// featureRow extracts the xattrs values of t; ok is false on any null.
+func featureRow(t dataset.Tuple, xattrs []int) ([]float64, bool) {
+	row := make([]float64, len(xattrs))
+	for i, a := range xattrs {
+		if t[a].Null {
+			return nil, false
+		}
+		row[i] = t[a].Num
+	}
+	return row, true
+}

@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+func TestEBLRFitsStep(t *testing.T) {
+	rel := stepData(400, 21)
+	m := &EBLR{Rounds: 15}
+	if err := m.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.Name() != "EBLR" {
+		t.Errorf("Name = %s", m.Name())
+	}
+	if r := rmseOf(m, rel, 1, 0); r > 2 {
+		t.Errorf("EBLR RMSE = %v on a step function", r)
+	}
+	if m.NumRules() == 0 || m.NumRules()%2 != 0 {
+		t.Errorf("NumRules = %d, want a positive even count (two models per stage)", m.NumRules())
+	}
+}
+
+func TestEBLRBoostingImproves(t *testing.T) {
+	rel := stepData(400, 22)
+	short := &EBLR{Rounds: 1}
+	if err := short.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	long := &EBLR{Rounds: 20}
+	if err := long.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rmseOf(long, rel, 1, 0) >= rmseOf(short, rel, 1, 0) {
+		t.Error("more boosting rounds did not reduce training RMSE")
+	}
+}
+
+func TestEBLRRuleCountGrowsWithRounds(t *testing.T) {
+	rel := stepData(300, 23)
+	a := &EBLR{Rounds: 5}
+	if err := a.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	b := &EBLR{Rounds: 25}
+	if err := b.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRules() <= a.NumRules() {
+		t.Errorf("rules did not grow with rounds: %d vs %d — no sharing is the point", b.NumRules(), a.NumRules())
+	}
+}
+
+func TestEBLREmptyAndNull(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	m := &EBLR{}
+	if err := m.Fit(dataset.NewRelation(s), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRules() != 0 {
+		t.Error("stages fit on empty data")
+	}
+	rel := stepData(100, 24)
+	if err := m.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Predict(dataset.Tuple{dataset.Null(), dataset.Num(0)}); ok {
+		t.Error("prediction on a null feature")
+	}
+}
+
+func TestEBLRConstantTarget(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	rel := dataset.NewRelation(s)
+	for i := 0; i < 50; i++ {
+		rel.MustAppend(dataset.Tuple{dataset.Num(float64(i)), dataset.Num(7)})
+	}
+	m := &EBLR{Rounds: 10}
+	if err := m.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// No residual structure: boosting should stop immediately.
+	if m.NumRules() > 2 {
+		t.Errorf("constant target produced %d leaf models", m.NumRules())
+	}
+	if p, ok := m.Predict(rel.Tuples[0]); !ok || p < 6.9 || p > 7.1 {
+		t.Errorf("Predict = %v, %v", p, ok)
+	}
+}

@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// Forest is the conditional regression forest baseline [21]: an additive
+// model averaging the predictions of B regression trees, each trained on a
+// bootstrap sample of the training set. As the paper notes, each tree learns
+// its own partition models, "leading to redundant regression models" — the
+// forest's NumRules is the total leaf count over all trees.
+type Forest struct {
+	// Trees is the ensemble size B; 0 means 10.
+	Trees int
+	// MaxDepth bounds each member; 0 means 8.
+	MaxDepth int
+	// MinSamples per leaf; 0 means 8.
+	MinSamples int
+	// Trainer for leaf models; nil means OLS.
+	Trainer regress.Trainer
+	// Seed drives bootstrapping.
+	Seed int64
+
+	members []*RegTree
+	mean    float64
+}
+
+// Name implements Method.
+func (f *Forest) Name() string { return "Forest" }
+
+// NumRules implements Method.
+func (f *Forest) NumRules() int {
+	n := 0
+	for _, m := range f.members {
+		n += m.NumRules()
+	}
+	return n
+}
+
+// Fit implements Method.
+func (f *Forest) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
+	if f.Trees <= 0 {
+		f.Trees = 10
+	}
+	if f.MaxDepth <= 0 {
+		f.MaxDepth = 8
+	}
+	if f.MinSamples <= 0 {
+		f.MinSamples = 8
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	rows := nonNullRows(rel, xattrs, yattr)
+	f.mean = meanOf(rel, rows, yattr)
+	f.members = f.members[:0]
+	if len(rows) == 0 {
+		return nil
+	}
+	for b := 0; b < f.Trees; b++ {
+		sample := dataset.NewRelation(rel.Schema)
+		for i := 0; i < len(rows); i++ {
+			sample.Tuples = append(sample.Tuples, rel.Tuples[rows[rng.Intn(len(rows))]])
+		}
+		tree := &RegTree{
+			MaxDepth:   f.MaxDepth,
+			MinSamples: f.MinSamples,
+			Trainer:    f.Trainer,
+		}
+		if err := tree.Fit(sample, xattrs, yattr); err != nil {
+			return err
+		}
+		f.members = append(f.members, tree)
+	}
+	return nil
+}
+
+// Predict implements Method: the bagged mean over members that produce a
+// prediction.
+func (f *Forest) Predict(t dataset.Tuple) (float64, bool) {
+	if len(f.members) == 0 {
+		return 0, false
+	}
+	var sum float64
+	n := 0
+	for _, m := range f.members {
+		if p, ok := m.Predict(t); ok {
+			sum += p
+			n++
+		}
+	}
+	if n == 0 {
+		return f.mean, true
+	}
+	return sum / float64(n), true
+}

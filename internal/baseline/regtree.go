@@ -1,0 +1,343 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// RegTree is a CART-style regression tree [9], [12] with a trainable model
+// in each leaf (the paper's RegTree baseline [5] instantiated with F1/F2/F3
+// leaf models). Numeric attributes split binarily at the best
+// variance-reducing threshold; categorical attributes split multiway (one
+// child per value), which keeps every root-to-leaf path expressible as a
+// conjunction of ℙ-style predicates — the property ToRuleSet relies on.
+type RegTree struct {
+	// MaxDepth bounds the tree height; 0 means 12.
+	MaxDepth int
+	// MinSamples is the smallest node still split; 0 means 8.
+	MinSamples int
+	// RhoM, when positive, stops splitting once the leaf model's maximum
+	// absolute error is within ρ_M — mirroring CRR's acceptance criterion so
+	// tree and CRR discovery are comparable at equal bias.
+	RhoM float64
+	// Trainer fits leaf models; nil means OLS (F1).
+	Trainer regress.Trainer
+	// Candidates bounds the number of numeric thresholds scored per
+	// attribute per node; 0 means 32.
+	Candidates int
+	// SplitAttrs are the attributes the tree may split on; empty means the
+	// X attributes. Setting it lets the tree condition on attributes (e.g.
+	// categorical ones) that are not regression features, matching the
+	// condition attributes CRR discovery uses.
+	SplitAttrs []int
+
+	root   *treeNode
+	xattrs []int
+	yattr  int
+	schema *dataset.Schema
+	mean   float64
+	leaves int
+}
+
+type treeNode struct {
+	// Internal nodes: either a numeric split (attr, threshold) with
+	// left ≤ c < right, or a categorical fan keyed by value.
+	attr      int
+	threshold float64
+	numeric   bool
+	left      *treeNode
+	right     *treeNode
+	fan       map[string]*treeNode
+
+	// Leaves: a trained model over the node's part.
+	model regress.Model
+	path  predicate.Conjunction
+	leaf  bool
+}
+
+// ErrNotFitted is returned by Predict before Fit.
+var ErrNotFitted = errors.New("baseline: method not fitted")
+
+// exhaustiveSplitLimit is the node size up to which every distinct value is
+// scored as a split threshold; larger nodes use quantile-sampled candidates.
+const exhaustiveSplitLimit = 512
+
+// Name implements Method.
+func (t *RegTree) Name() string { return "RegTree" }
+
+// NumRules implements Method: one rule per leaf.
+func (t *RegTree) NumRules() int { return t.leaves }
+
+// Fit implements Method.
+func (t *RegTree) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
+	if t.Trainer == nil {
+		t.Trainer = regress.LinearTrainer{}
+	}
+	if t.MaxDepth <= 0 {
+		t.MaxDepth = 12
+	}
+	if t.MinSamples <= 0 {
+		t.MinSamples = 8
+	}
+	if t.Candidates <= 0 {
+		t.Candidates = 32
+	}
+	t.xattrs = append([]int(nil), xattrs...)
+	if len(t.SplitAttrs) == 0 {
+		t.SplitAttrs = t.xattrs
+	}
+	t.yattr = yattr
+	t.schema = rel.Schema
+	rows := nonNullRows(rel, xattrs, yattr)
+	t.mean = meanOf(rel, rows, yattr)
+	t.leaves = 0
+	if len(rows) == 0 {
+		t.root = nil
+		return nil
+	}
+	root, err := t.build(rel, rows, 0, predicate.NewConjunction())
+	if err != nil {
+		return err
+	}
+	t.root = root
+	return nil
+}
+
+func (t *RegTree) build(rel *dataset.Relation, rows []int, depth int, path predicate.Conjunction) (*treeNode, error) {
+	makeLeaf := func() (*treeNode, error) {
+		x, y, _ := core.FeatureRows(rel, rows, t.xattrs, t.yattr)
+		model, err := t.Trainer.Train(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: leaf fit: %w", err)
+		}
+		t.leaves++
+		return &treeNode{leaf: true, model: model, path: path}, nil
+	}
+	if depth >= t.MaxDepth || len(rows) <= t.MinSamples {
+		return makeLeaf()
+	}
+	if t.RhoM > 0 {
+		x, y, _ := core.FeatureRows(rel, rows, t.xattrs, t.yattr)
+		model, err := t.Trainer.Train(x, y)
+		if err != nil {
+			return nil, err
+		}
+		if regress.MaxAbsError(model, x, y) <= t.RhoM {
+			t.leaves++
+			return &treeNode{leaf: true, model: model, path: path}, nil
+		}
+	}
+	attr, threshold, numeric, ok := t.bestSplit(rel, rows)
+	if !ok {
+		return makeLeaf()
+	}
+	node := &treeNode{attr: attr, threshold: threshold, numeric: numeric}
+	if numeric {
+		var left, right []int
+		for _, i := range rows {
+			if rel.Tuples[i][attr].Num <= threshold {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		var err error
+		node.left, err = t.build(rel, left, depth+1, path.And(predicate.NumPred(attr, predicate.Le, threshold)))
+		if err != nil {
+			return nil, err
+		}
+		node.right, err = t.build(rel, right, depth+1, path.And(predicate.NumPred(attr, predicate.Gt, threshold)))
+		if err != nil {
+			return nil, err
+		}
+		return node, nil
+	}
+	node.fan = make(map[string]*treeNode)
+	byValue := make(map[string][]int)
+	for _, i := range rows {
+		byValue[rel.Tuples[i][attr].Str] = append(byValue[rel.Tuples[i][attr].Str], i)
+	}
+	values := make([]string, 0, len(byValue))
+	for v := range byValue {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	for _, v := range values {
+		child, err := t.build(rel, byValue[v], depth+1, path.And(predicate.StrPred(attr, v)))
+		if err != nil {
+			return nil, err
+		}
+		node.fan[v] = child
+	}
+	return node, nil
+}
+
+// bestSplit scores candidate splits by SSE reduction.
+func (t *RegTree) bestSplit(rel *dataset.Relation, rows []int) (attr int, threshold float64, numeric, ok bool) {
+	total := sseRows(rel, rows, t.yattr)
+	bestGain := 1e-12
+	for _, a := range t.SplitAttrs {
+		if rel.Schema.Attr(a).Kind == dataset.Numeric {
+			values := make([]float64, 0, len(rows))
+			for _, i := range rows {
+				values = append(values, rel.Tuples[i][a].Num)
+			}
+			sort.Float64s(values)
+			// Exhaustive candidate thresholds for small nodes so regime
+			// boundaries are hit exactly; quantile-sampled cuts for large
+			// nodes (recursion refines them once the node shrinks).
+			step := 1
+			if len(values) > exhaustiveSplitLimit {
+				step = len(values) / t.Candidates
+			}
+			var prev float64
+			first := true
+			for k := step; k < len(values); k += step {
+				c := values[k-1]
+				if c == values[len(values)-1] || (!first && c == prev) {
+					continue
+				}
+				first, prev = false, c
+				var left, right []int
+				for _, i := range rows {
+					if rel.Tuples[i][a].Num <= c {
+						left = append(left, i)
+					} else {
+						right = append(right, i)
+					}
+				}
+				if len(left) == 0 || len(right) == 0 {
+					continue
+				}
+				gain := total - sseRows(rel, left, t.yattr) - sseRows(rel, right, t.yattr)
+				if gain > bestGain {
+					bestGain, attr, threshold, numeric, ok = gain, a, c, true, true
+				}
+			}
+			continue
+		}
+		byValue := make(map[string][]int)
+		for _, i := range rows {
+			byValue[rel.Tuples[i][a].Str] = append(byValue[rel.Tuples[i][a].Str], i)
+		}
+		if len(byValue) < 2 {
+			continue
+		}
+		var childSSE float64
+		for _, part := range byValue {
+			childSSE += sseRows(rel, part, t.yattr)
+		}
+		if gain := total - childSSE; gain > bestGain {
+			bestGain, attr, numeric, ok = gain, a, false, true
+		}
+	}
+	return attr, threshold, numeric, ok
+}
+
+func sseRows(rel *dataset.Relation, rows []int, yattr int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range rows {
+		sum += rel.Tuples[i][yattr].Num
+	}
+	mean := sum / float64(len(rows))
+	var s float64
+	for _, i := range rows {
+		d := rel.Tuples[i][yattr].Num - mean
+		s += d * d
+	}
+	return s
+}
+
+// Predict implements Method.
+func (t *RegTree) Predict(tp dataset.Tuple) (float64, bool) {
+	node := t.root
+	for node != nil && !node.leaf {
+		if node.numeric {
+			if tp[node.attr].Null {
+				return 0, false
+			}
+			if tp[node.attr].Num <= node.threshold {
+				node = node.left
+			} else {
+				node = node.right
+			}
+			continue
+		}
+		if tp[node.attr].Null {
+			return 0, false
+		}
+		child, ok := node.fan[tp[node.attr].Str]
+		if !ok {
+			return t.mean, true // unseen category: fall back to the mean
+		}
+		node = child
+	}
+	if node == nil {
+		return 0, false
+	}
+	row, ok := featureRow(tp, t.xattrs)
+	if !ok {
+		return 0, false
+	}
+	return node.model.Predict(row), true
+}
+
+// ToRuleSet converts each leaf into a CRR whose condition is the leaf's
+// root-to-leaf conjunction and whose ρ is the leaf model's maximum error on
+// its part — "each node in a regression tree represents a CRR with the
+// condition on conjunction" (§VI-E). The resulting set is the input to
+// Algorithm 2 in the Fig. 9/10 experiments.
+func (t *RegTree) ToRuleSet(rel *dataset.Relation) *core.RuleSet {
+	rs := &core.RuleSet{
+		Schema:   t.schema,
+		XAttrs:   append([]int(nil), t.xattrs...),
+		YAttr:    t.yattr,
+		Fallback: t.mean,
+	}
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			// ρ from the leaf's own part.
+			idxs := make([]int, 0)
+			for i, tp := range rel.Tuples {
+				if n.path.Sat(tp) {
+					idxs = append(idxs, i)
+				}
+			}
+			x, y, _ := core.FeatureRows(rel, idxs, t.xattrs, t.yattr)
+			rho := regress.MaxAbsError(n.model, x, y)
+			rs.Rules = append(rs.Rules, core.CRR{
+				Model:  n.model,
+				Rho:    rho,
+				Cond:   predicate.NewDNF(n.path),
+				XAttrs: rs.XAttrs,
+				YAttr:  t.yattr,
+			})
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+		keys := make([]string, 0, len(n.fan))
+		for k := range n.fan {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			walk(n.fan[k])
+		}
+	}
+	walk(t.root)
+	return rs
+}

@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// stepData: y = 10 for x < 50, y = 90 for x ≥ 50, small bounded noise.
+func stepData(n int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	r := dataset.NewRelation(s)
+	for i := 0; i < n; i++ {
+		x := 100 * float64(i) / float64(n)
+		y := 10.0
+		if x >= 50 {
+			y = 90
+		}
+		y += 0.2 * (2*rng.Float64() - 1)
+		r.MustAppend(dataset.Tuple{dataset.Num(x), dataset.Num(y)})
+	}
+	return r
+}
+
+func catData(n int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Tag", Kind: dataset.Categorical},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	r := dataset.NewRelation(s)
+	base := map[string]float64{"a": 5, "b": 50, "c": 95}
+	tags := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		tag := tags[i%3]
+		r.MustAppend(dataset.Tuple{
+			dataset.Num(rng.Float64() * 10),
+			dataset.Str(tag),
+			dataset.Num(base[tag] + 0.1*(2*rng.Float64()-1)),
+		})
+	}
+	return r
+}
+
+func rmseOf(m Method, rel *dataset.Relation, yattr int, fallback float64) float64 {
+	var s float64
+	n := 0
+	for _, t := range rel.Tuples {
+		if t[yattr].Null {
+			continue
+		}
+		p, ok := m.Predict(t)
+		if !ok {
+			p = fallback
+		}
+		d := t[yattr].Num - p
+		s += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+func TestRegTreeFitsStep(t *testing.T) {
+	rel := stepData(400, 1)
+	tree := &RegTree{MaxDepth: 6, MinSamples: 8}
+	if err := tree.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if r := rmseOf(tree, rel, 1, 0); r > 0.5 {
+		t.Errorf("RegTree RMSE = %v on a step function", r)
+	}
+	if tree.NumRules() < 2 {
+		t.Errorf("leaves = %d, want ≥ 2", tree.NumRules())
+	}
+	if tree.Name() != "RegTree" {
+		t.Errorf("Name = %s", tree.Name())
+	}
+}
+
+func TestRegTreeRhoMStopsEarly(t *testing.T) {
+	rel := stepData(400, 2)
+	deep := &RegTree{MaxDepth: 10, MinSamples: 4}
+	if err := deep.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	tight := &RegTree{MaxDepth: 10, MinSamples: 4, RhoM: 0.5}
+	if err := tight.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tight.NumRules() > deep.NumRules() {
+		t.Errorf("ρ_M stop grew the tree: %d vs %d leaves", tight.NumRules(), deep.NumRules())
+	}
+	// With a step function and ρ_M = 0.5, two leaves suffice.
+	if tight.NumRules() != 2 {
+		t.Errorf("ρ_M-stopped leaves = %d, want 2", tight.NumRules())
+	}
+}
+
+func TestRegTreeCategoricalFan(t *testing.T) {
+	rel := catData(300, 3)
+	tree := &RegTree{MaxDepth: 4, MinSamples: 8}
+	if err := tree.Fit(rel, []int{0, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if r := rmseOf(tree, rel, 2, 0); r > 0.5 {
+		t.Errorf("categorical RMSE = %v", r)
+	}
+	// Unseen category falls back to the mean rather than failing.
+	p, ok := tree.Predict(dataset.Tuple{dataset.Num(1), dataset.Str("zz"), dataset.Num(0)})
+	if !ok {
+		t.Fatal("unseen category not handled")
+	}
+	if p < 5 || p > 95 {
+		t.Errorf("unseen-category fallback = %v, want within data range", p)
+	}
+}
+
+func TestRegTreePredictNull(t *testing.T) {
+	rel := stepData(100, 4)
+	tree := &RegTree{}
+	if err := tree.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tree.Predict(dataset.Tuple{dataset.Null(), dataset.Num(0)}); ok {
+		t.Error("Predict succeeded on a null feature")
+	}
+}
+
+func TestRegTreeEmptyRelation(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	tree := &RegTree{}
+	if err := tree.Fit(dataset.NewRelation(s), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumRules() != 0 {
+		t.Error("leaves on empty relation")
+	}
+	if _, ok := tree.Predict(dataset.Tuple{dataset.Num(1), dataset.Num(0)}); ok {
+		t.Error("prediction from empty tree")
+	}
+}
+
+func TestRegTreeToRuleSet(t *testing.T) {
+	rel := stepData(400, 5)
+	tree := &RegTree{MaxDepth: 6, MinSamples: 8, RhoM: 0.5}
+	if err := tree.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	rs := tree.ToRuleSet(rel)
+	if rs.NumRules() != tree.NumRules() {
+		t.Fatalf("rule set has %d rules, tree has %d leaves", rs.NumRules(), tree.NumRules())
+	}
+	if cov := rs.Coverage(rel); cov != 1 {
+		t.Errorf("leaf conjunctions cover %v of the data, want 1", cov)
+	}
+	if !rs.Holds(rel) {
+		t.Error("leaf rules violated on training data (ρ from own part must hold)")
+	}
+	// Tree predictions and rule-set predictions agree tuple-by-tuple.
+	for _, tp := range rel.Tuples {
+		pt, _ := tree.Predict(tp)
+		pr, _ := rs.Predict(tp)
+		if math.Abs(pt-pr) > 1e-9 {
+			t.Fatalf("tree/ruleset divergence: %v vs %v", pt, pr)
+		}
+	}
+}
+
+func TestRegTreeMLPLeaves(t *testing.T) {
+	rel := stepData(200, 6)
+	tree := &RegTree{MaxDepth: 3, MinSamples: 16, Trainer: regress.MLPTrainer{Hidden: 4, Epochs: 60, LR: 0.05, Seed: 1}}
+	if err := tree.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r := rmseOf(tree, rel, 1, 0); r > 10 {
+		t.Errorf("MLP-leaf tree RMSE = %v", r)
+	}
+}
+
+func TestForestAveragesAndCountsRules(t *testing.T) {
+	rel := stepData(300, 7)
+	f := &Forest{Trees: 5, MaxDepth: 4, Seed: 1}
+	if err := f.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "Forest" {
+		t.Errorf("Name = %s", f.Name())
+	}
+	if r := rmseOf(f, rel, 1, 0); r > 5 {
+		t.Errorf("forest RMSE = %v", r)
+	}
+	single := &RegTree{MaxDepth: 4}
+	if err := single.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRules() <= single.NumRules() {
+		t.Errorf("forest rules (%d) not larger than one tree (%d) — redundancy is the point",
+			f.NumRules(), single.NumRules())
+	}
+}
+
+func TestForestEmpty(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	f := &Forest{Trees: 3}
+	if err := f.Fit(dataset.NewRelation(s), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Predict(dataset.Tuple{dataset.Num(1), dataset.Num(0)}); ok {
+		t.Error("prediction from empty forest")
+	}
+}

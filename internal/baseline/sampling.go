@@ -1,0 +1,206 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// SampLR is the sampling-based conditional learner standing in for
+// conditional logistic regression with sparse-data sampling [19]. It
+// partitions the training data into k strata by the first X attribute and
+// trains one linear model per stratum on a bootstrap of that stratum. The
+// stratum count grows with the data size, so training cost grows
+// super-linearly and the model count grows with |D| — the cost profile the
+// paper reports (its results are "omitted in larger data sizes" for this
+// reason). There is no sharing across strata.
+type SampLR struct {
+	// StratumSize is the target tuples per stratum; 0 means 64.
+	StratumSize int
+	// Resamples is the bootstrap factor per stratum; 0 means 4.
+	Resamples int
+	// Seed drives sampling.
+	Seed int64
+
+	bounds []float64 // stratum upper bounds on the first X attribute
+	models []regress.Model
+	xattrs []int
+	mean   float64
+}
+
+// Name implements Method.
+func (s *SampLR) Name() string { return "SampLR" }
+
+// NumRules implements Method.
+func (s *SampLR) NumRules() int { return len(s.models) }
+
+// Fit implements Method.
+func (s *SampLR) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
+	if len(xattrs) == 0 {
+		return errNoTimeAttr
+	}
+	if s.StratumSize <= 0 {
+		s.StratumSize = 64
+	}
+	if s.Resamples <= 0 {
+		s.Resamples = 4
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	s.xattrs = append([]int(nil), xattrs...)
+	rows := nonNullRows(rel, xattrs, yattr)
+	s.mean = meanOf(rel, rows, yattr)
+	s.bounds, s.models = nil, nil
+	if len(rows) == 0 {
+		return nil
+	}
+	// Strata: contiguous value ranges of the first X attribute.
+	key := xattrs[0]
+	sorted := append([]int(nil), rows...)
+	sortByAttr(rel, sorted, key)
+	k := (len(sorted) + s.StratumSize - 1) / s.StratumSize
+	if k < 1 {
+		k = 1
+	}
+	per := (len(sorted) + k - 1) / k
+	trainer := regress.LinearTrainer{}
+	for start := 0; start < len(sorted); start += per {
+		end := start + per
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		stratum := sorted[start:end]
+		// Bootstrap-train Resamples times and keep the average weights —
+		// the Monte-Carlo style cost without its variance.
+		var agg *regress.Linear
+		for rep := 0; rep < s.Resamples; rep++ {
+			sample := make([]int, len(stratum))
+			for i := range sample {
+				sample[i] = stratum[rng.Intn(len(stratum))]
+			}
+			x, y, _ := core.FeatureRows(rel, sample, xattrs, yattr)
+			m, err := trainer.Train(x, y)
+			if err != nil {
+				return err
+			}
+			lin := m.(*regress.Linear)
+			if agg == nil {
+				agg = regress.NewLinear(0, make([]float64, lin.Dim())...)
+			}
+			for i := range agg.W {
+				agg.W[i] += lin.W[i] / float64(s.Resamples)
+			}
+		}
+		s.models = append(s.models, agg)
+		s.bounds = append(s.bounds, rel.Tuples[stratum[len(stratum)-1]][key].Num)
+	}
+	return nil
+}
+
+// Predict implements Method.
+func (s *SampLR) Predict(t dataset.Tuple) (float64, bool) {
+	if len(s.models) == 0 {
+		return 0, false
+	}
+	row, ok := featureRow(t, s.xattrs)
+	if !ok {
+		return 0, false
+	}
+	v := t[s.xattrs[0]].Num
+	for i, b := range s.bounds {
+		if v <= b || i == len(s.bounds)-1 {
+			return s.models[i].Predict(row), true
+		}
+	}
+	return s.mean, true
+}
+
+// MCLR is the Monte-Carlo conditional learner standing in for efficient
+// Monte-Carlo conditional logistic regression [20]: it draws many random
+// subsamples of the training data, fits a linear model on each, and predicts
+// with the ensemble average. The number of Monte-Carlo models grows with the
+// data size and none are shared — again the paper's cost profile.
+type MCLR struct {
+	// SampleSize per draw; 0 means 128.
+	SampleSize int
+	// DrawsPerKilo scales the number of draws with the data size:
+	// draws = max(8, DrawsPerKilo·|D|/1000); 0 means 16.
+	DrawsPerKilo int
+	// Seed drives sampling.
+	Seed int64
+
+	models []regress.Model
+	xattrs []int
+	mean   float64
+}
+
+// Name implements Method.
+func (m *MCLR) Name() string { return "MCLR" }
+
+// NumRules implements Method.
+func (m *MCLR) NumRules() int { return len(m.models) }
+
+// Fit implements Method.
+func (m *MCLR) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
+	if m.SampleSize <= 0 {
+		m.SampleSize = 128
+	}
+	if m.DrawsPerKilo <= 0 {
+		m.DrawsPerKilo = 16
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.xattrs = append([]int(nil), xattrs...)
+	rows := nonNullRows(rel, xattrs, yattr)
+	m.mean = meanOf(rel, rows, yattr)
+	m.models = nil
+	if len(rows) == 0 {
+		return nil
+	}
+	draws := m.DrawsPerKilo * len(rows) / 1000
+	if draws < 8 {
+		draws = 8
+	}
+	trainer := regress.LinearTrainer{Ridge: 1e-6}
+	for d := 0; d < draws; d++ {
+		n := m.SampleSize
+		if n > len(rows) {
+			n = len(rows)
+		}
+		sample := make([]int, n)
+		for i := range sample {
+			sample[i] = rows[rng.Intn(len(rows))]
+		}
+		x, y, _ := core.FeatureRows(rel, sample, xattrs, yattr)
+		model, err := trainer.Train(x, y)
+		if err != nil {
+			return err
+		}
+		m.models = append(m.models, model)
+	}
+	return nil
+}
+
+// Predict implements Method: the Monte-Carlo ensemble mean.
+func (m *MCLR) Predict(t dataset.Tuple) (float64, bool) {
+	if len(m.models) == 0 {
+		return 0, false
+	}
+	row, ok := featureRow(t, m.xattrs)
+	if !ok {
+		return 0, false
+	}
+	var sum float64
+	for _, model := range m.models {
+		sum += model.Predict(row)
+	}
+	return sum / float64(len(m.models)), true
+}
+
+// sortByAttr sorts tuple indices ascending by the numeric attribute.
+func sortByAttr(rel *dataset.Relation, idxs []int, attr int) {
+	sort.Slice(idxs, func(i, j int) bool {
+		return rel.Tuples[idxs[i]][attr].Num < rel.Tuples[idxs[j]][attr].Num
+	})
+}

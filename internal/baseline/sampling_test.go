@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// linData: y = 3x + 2 with bounded noise.
+func linData(n int, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	r := dataset.NewRelation(s)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 100
+		r.MustAppend(dataset.Tuple{dataset.Num(x), dataset.Num(3*x + 2 + 0.3*(2*rng.Float64()-1))})
+	}
+	return r
+}
+
+func TestSampLRFits(t *testing.T) {
+	rel := linData(800, 1)
+	m := &SampLR{StratumSize: 100, Seed: 2}
+	if err := m.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.Name() != "SampLR" {
+		t.Errorf("Name = %s", m.Name())
+	}
+	if m.NumRules() < 8 {
+		t.Errorf("strata = %d, want ≥ 8 for 800 rows at stratum size 100", m.NumRules())
+	}
+	if r := rmseOf(m, rel, 1, 0); r > 2 {
+		t.Errorf("SampLR RMSE = %v", r)
+	}
+}
+
+func TestSampLRModelCountGrowsWithData(t *testing.T) {
+	small := &SampLR{StratumSize: 100, Seed: 3}
+	if err := small.Fit(linData(400, 4), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	big := &SampLR{StratumSize: 100, Seed: 3}
+	if err := big.Fit(linData(1600, 4), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if big.NumRules() <= small.NumRules() {
+		t.Errorf("model count did not grow with data: %d vs %d", big.NumRules(), small.NumRules())
+	}
+}
+
+func TestSampLREmpty(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	m := &SampLR{}
+	if err := m.Fit(dataset.NewRelation(s), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Predict(dataset.Tuple{dataset.Num(1), dataset.Num(0)}); ok {
+		t.Error("prediction from empty SampLR")
+	}
+}
+
+func TestMCLRFits(t *testing.T) {
+	rel := linData(800, 5)
+	m := &MCLR{SampleSize: 100, DrawsPerKilo: 16, Seed: 6}
+	if err := m.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.Name() != "MCLR" {
+		t.Errorf("Name = %s", m.Name())
+	}
+	if m.NumRules() < 8 {
+		t.Errorf("draws = %d, want ≥ 8", m.NumRules())
+	}
+	if r := rmseOf(m, rel, 1, 0); r > 2 {
+		t.Errorf("MCLR RMSE = %v", r)
+	}
+}
+
+func TestMCLRDrawsScaleWithData(t *testing.T) {
+	small := &MCLR{Seed: 7}
+	if err := small.Fit(linData(500, 8), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	big := &MCLR{Seed: 7}
+	if err := big.Fit(linData(4000, 8), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if big.NumRules() <= small.NumRules() {
+		t.Errorf("MC draws did not grow: %d vs %d", big.NumRules(), small.NumRules())
+	}
+}
+
+func TestMCLRPredictNull(t *testing.T) {
+	rel := linData(200, 9)
+	m := &MCLR{Seed: 10}
+	if err := m.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Predict(dataset.Tuple{dataset.Null(), dataset.Num(0)}); ok {
+		t.Error("prediction on null feature")
+	}
+}
+
+func TestSampLRDeterministic(t *testing.T) {
+	rel := linData(600, 11)
+	a := &SampLR{Seed: 12}
+	b := &SampLR{Seed: 12}
+	if err := a.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range rel.Tuples[:20] {
+		pa, _ := a.Predict(tp)
+		pb, _ := b.Predict(tp)
+		if pa != pb {
+			t.Fatal("SampLR not deterministic for fixed seed")
+		}
+	}
+}

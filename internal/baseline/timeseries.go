@@ -1,0 +1,333 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/mat"
+)
+
+// AR is the auto-regression baseline [37]: y_t = c + Σ_{k=1..p} a_k·y_{t−k},
+// fit by least squares on the training series ordered by the time attribute
+// (the first X attribute). Prediction for a tuple uses the p training values
+// preceding the tuple's time stamp — one-step-ahead evaluation, the standard
+// protocol for AR baselines on held-out suffixes.
+type AR struct {
+	// Order is p; 0 means 4.
+	Order int
+
+	coef     []float64 // intercept followed by lag weights
+	times    []float64 // sorted training time stamps
+	values   []float64 // training y in time order
+	timeAttr int
+	mean     float64
+}
+
+// Name implements Method.
+func (a *AR) Name() string { return "AR" }
+
+// NumRules implements Method: one global model.
+func (a *AR) NumRules() int {
+	if a.coef == nil {
+		return 0
+	}
+	return 1
+}
+
+var errNoTimeAttr = errors.New("baseline: time-series method needs at least one X attribute (the time stamp)")
+
+// Fit implements Method.
+func (a *AR) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
+	if len(xattrs) == 0 {
+		return errNoTimeAttr
+	}
+	if a.Order <= 0 {
+		a.Order = 4
+	}
+	a.timeAttr = xattrs[0]
+	a.times, a.values = seriesOf(rel, a.timeAttr, yattr)
+	a.mean = meanSlice(a.values)
+	p := a.Order
+	if len(a.values) <= p+1 {
+		a.coef = nil
+		return nil
+	}
+	rows := len(a.values) - p
+	design := mat.NewDense(rows, p+1)
+	target := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		design.Set(i, 0, 1)
+		for k := 1; k <= p; k++ {
+			design.Set(i, k, a.values[i+p-k])
+		}
+		target[i] = a.values[i+p]
+	}
+	w, err := mat.LeastSquares(design, target, 1e-8)
+	if err != nil {
+		return err
+	}
+	a.coef = w
+	return nil
+}
+
+// Predict implements Method.
+func (a *AR) Predict(t dataset.Tuple) (float64, bool) {
+	if a.coef == nil || t[a.timeAttr].Null {
+		return 0, false
+	}
+	// Index of the first training stamp ≥ the tuple's time.
+	pos := sort.SearchFloat64s(a.times, t[a.timeAttr].Num)
+	p := a.Order
+	if pos < p {
+		return a.mean, true
+	}
+	if pos > len(a.values) {
+		pos = len(a.values)
+	}
+	pred := a.coef[0]
+	for k := 1; k <= p; k++ {
+		pred += a.coef[k] * a.values[pos-k]
+	}
+	return pred, true
+}
+
+// DHR is the dynamic harmonic regression baseline [22]: y(t) fit by cosine
+// and sine terms at a set of Fourier periods plus a linear trend, over the
+// whole dataset. It captures global periodicity but cannot share models
+// across conditions (the paper's contrast in §II-C).
+type DHR struct {
+	// Periods are the Fourier periods; empty means {24, 168, 365}.
+	Periods []float64
+
+	coef     []float64
+	timeAttr int
+}
+
+// Name implements Method.
+func (d *DHR) Name() string { return "DHR" }
+
+// NumRules implements Method.
+func (d *DHR) NumRules() int {
+	if d.coef == nil {
+		return 0
+	}
+	return 1
+}
+
+// Fit implements Method.
+func (d *DHR) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
+	if len(xattrs) == 0 {
+		return errNoTimeAttr
+	}
+	if len(d.Periods) == 0 {
+		d.Periods = []float64{24, 168, 365}
+	}
+	d.timeAttr = xattrs[0]
+	times, values := seriesOf(rel, d.timeAttr, yattr)
+	if len(values) == 0 {
+		d.coef = nil
+		return nil
+	}
+	cols := 2 + 2*len(d.Periods)
+	design := mat.NewDense(len(values), cols)
+	for i, t := range times {
+		design.Set(i, 0, 1)
+		design.Set(i, 1, t)
+		for k, p := range d.Periods {
+			design.Set(i, 2+2*k, math.Cos(2*math.Pi*t/p))
+			design.Set(i, 3+2*k, math.Sin(2*math.Pi*t/p))
+		}
+	}
+	w, err := mat.LeastSquares(design, values, 1e-8)
+	if err != nil {
+		return err
+	}
+	d.coef = w
+	return nil
+}
+
+// Predict implements Method.
+func (d *DHR) Predict(tp dataset.Tuple) (float64, bool) {
+	if d.coef == nil || tp[d.timeAttr].Null {
+		return 0, false
+	}
+	t := tp[d.timeAttr].Num
+	pred := d.coef[0] + d.coef[1]*t
+	for k, p := range d.Periods {
+		pred += d.coef[2+2*k]*math.Cos(2*math.Pi*t/p) + d.coef[3+2*k]*math.Sin(2*math.Pi*t/p)
+	}
+	return pred, true
+}
+
+// Recur is the recurrence-time regression baseline [23]: it estimates the
+// dominant recurrence period of the series by autocorrelation, partitions
+// the period into phase bins, and learns one linear model of y over t per
+// bin. Each period's data re-fits the same phase bins, but the method has no
+// notion of sharing a model across bins or conditions.
+type Recur struct {
+	// Bins is the number of phase bins; 0 means 8.
+	Bins int
+	// MaxLag bounds the autocorrelation search; 0 means len(series)/2.
+	MaxLag int
+
+	period     float64
+	models     [][2]float64 // per-bin (intercept, slope) over phase
+	timeAttr   int
+	timeOrigin float64
+	mean       float64
+}
+
+// Name implements Method.
+func (r *Recur) Name() string { return "Recur" }
+
+// NumRules implements Method.
+func (r *Recur) NumRules() int { return len(r.models) }
+
+// Fit implements Method.
+func (r *Recur) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
+	if len(xattrs) == 0 {
+		return errNoTimeAttr
+	}
+	if r.Bins <= 0 {
+		r.Bins = 8
+	}
+	r.timeAttr = xattrs[0]
+	times, values := seriesOf(rel, r.timeAttr, yattr)
+	r.mean = meanSlice(values)
+	r.models = nil
+	if len(values) < 8 {
+		return nil
+	}
+	r.period = dominantPeriod(values, r.MaxLag)
+	if r.period <= 0 {
+		r.period = float64(len(values))
+	}
+	// Scale the index-based period to the time axis.
+	span := times[len(times)-1] - times[0]
+	if span <= 0 {
+		span = float64(len(times))
+	}
+	r.period *= span / float64(len(times))
+
+	binOf := func(t float64) int {
+		phase := math.Mod(t-times[0], r.period)
+		if phase < 0 {
+			phase += r.period
+		}
+		b := int(phase / r.period * float64(r.Bins))
+		if b >= r.Bins {
+			b = r.Bins - 1
+		}
+		return b
+	}
+	type acc struct{ sx, sy, sxx, sxy, n float64 }
+	accs := make([]acc, r.Bins)
+	for i, t := range times {
+		b := binOf(t)
+		phase := math.Mod(t-times[0], r.period)
+		a := &accs[b]
+		a.sx += phase
+		a.sy += values[i]
+		a.sxx += phase * phase
+		a.sxy += phase * values[i]
+		a.n++
+	}
+	r.models = make([][2]float64, r.Bins)
+	for b, a := range accs {
+		if a.n == 0 {
+			r.models[b] = [2]float64{r.mean, 0}
+			continue
+		}
+		det := a.n*a.sxx - a.sx*a.sx
+		if math.Abs(det) < 1e-12 {
+			r.models[b] = [2]float64{a.sy / a.n, 0}
+			continue
+		}
+		slope := (a.n*a.sxy - a.sx*a.sy) / det
+		intercept := (a.sy - slope*a.sx) / a.n
+		r.models[b] = [2]float64{intercept, slope}
+	}
+	r.timeOrigin = times[0]
+	return nil
+}
+
+// Predict implements Method.
+func (r *Recur) Predict(tp dataset.Tuple) (float64, bool) {
+	if len(r.models) == 0 || tp[r.timeAttr].Null {
+		return 0, false
+	}
+	t := tp[r.timeAttr].Num
+	phase := math.Mod(t-r.timeOrigin, r.period)
+	if phase < 0 {
+		phase += r.period
+	}
+	b := int(phase / r.period * float64(r.Bins))
+	if b >= r.Bins {
+		b = r.Bins - 1
+	}
+	m := r.models[b]
+	return m[0] + m[1]*phase, true
+}
+
+// dominantPeriod finds the lag (≥ 2) with the highest autocorrelation.
+func dominantPeriod(values []float64, maxLag int) float64 {
+	n := len(values)
+	if maxLag <= 0 || maxLag > n/2 {
+		maxLag = n / 2
+	}
+	mean := meanSlice(values)
+	var denom float64
+	for _, v := range values {
+		d := v - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return 0
+	}
+	bestLag, bestCorr := 0, 0.0
+	for lag := 2; lag <= maxLag; lag++ {
+		var num float64
+		for i := lag; i < n; i++ {
+			num += (values[i] - mean) * (values[i-lag] - mean)
+		}
+		// Length-normalized estimator: without the n/(n−lag) correction the
+		// summand count shrinks with the lag and short lags always win.
+		corr := (num / float64(n-lag)) / (denom / float64(n))
+		if corr > bestCorr {
+			bestCorr, bestLag = corr, lag
+		}
+	}
+	return float64(bestLag)
+}
+
+// seriesOf extracts the (time, y) series sorted by time, skipping nulls.
+func seriesOf(rel *dataset.Relation, timeAttr, yattr int) (times, values []float64) {
+	type pt struct{ t, y float64 }
+	var pts []pt
+	for _, tp := range rel.Tuples {
+		if tp[timeAttr].Null || tp[yattr].Null {
+			continue
+		}
+		pts = append(pts, pt{tp[timeAttr].Num, tp[yattr].Num})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].t < pts[j].t })
+	times = make([]float64, len(pts))
+	values = make([]float64, len(pts))
+	for i, p := range pts {
+		times[i], values[i] = p.t, p.y
+	}
+	return times, values
+}
+
+func meanSlice(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// sineSeries builds (t, y) with y = A·sin(2πt/period) + trend·t + bounded
+// noise.
+func sineSeries(n int, period, amp, trend float64, seed int64) *dataset.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "Time", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	r := dataset.NewRelation(s)
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		y := amp*math.Sin(2*math.Pi*t/period) + trend*t + 0.05*(2*rng.Float64()-1)
+		r.MustAppend(dataset.Tuple{dataset.Num(t), dataset.Num(y)})
+	}
+	return r
+}
+
+func TestARFitsAutoregressiveSeries(t *testing.T) {
+	rel := sineSeries(600, 50, 3, 0, 1)
+	ar := &AR{Order: 4}
+	if err := ar.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if ar.Name() != "AR" || ar.NumRules() != 1 {
+		t.Errorf("Name/NumRules = %s/%d", ar.Name(), ar.NumRules())
+	}
+	// One-step-ahead predictions on the training range are accurate for a
+	// smooth sinusoid.
+	if r := rmseOf(ar, rel, 1, 0); r > 0.5 {
+		t.Errorf("AR RMSE = %v", r)
+	}
+}
+
+func TestARShortSeries(t *testing.T) {
+	rel := sineSeries(3, 50, 1, 0, 2)
+	ar := &AR{Order: 4}
+	if err := ar.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ar.NumRules() != 0 {
+		t.Error("model fitted on a series shorter than its order")
+	}
+	if _, ok := ar.Predict(rel.Tuples[0]); ok {
+		t.Error("prediction from unfitted AR")
+	}
+}
+
+func TestARNeedsTimeAttr(t *testing.T) {
+	rel := sineSeries(10, 5, 1, 0, 3)
+	if err := (&AR{}).Fit(rel, nil, 1); !errors.Is(err, errNoTimeAttr) {
+		t.Errorf("err = %v, want errNoTimeAttr", err)
+	}
+}
+
+func TestDHRFitsPeriodicSeries(t *testing.T) {
+	rel := sineSeries(600, 24, 5, 0.01, 4)
+	d := &DHR{Periods: []float64{24}}
+	if err := d.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if d.Name() != "DHR" || d.NumRules() != 1 {
+		t.Errorf("Name/NumRules = %s/%d", d.Name(), d.NumRules())
+	}
+	if r := rmseOf(d, rel, 1, 0); r > 0.2 {
+		t.Errorf("DHR RMSE = %v on an exact-period sinusoid", r)
+	}
+}
+
+func TestDHRDefaultPeriods(t *testing.T) {
+	rel := sineSeries(300, 24, 2, 0, 5)
+	d := &DHR{}
+	if err := d.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Periods) != 3 {
+		t.Errorf("default periods = %v", d.Periods)
+	}
+}
+
+func TestDHREmpty(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "Time", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	d := &DHR{}
+	if err := d.Fit(dataset.NewRelation(s), []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRules() != 0 {
+		t.Error("rules from empty series")
+	}
+}
+
+func TestRecurFindsPeriodAndFits(t *testing.T) {
+	rel := sineSeries(400, 40, 5, 0, 6)
+	r := &Recur{Bins: 16}
+	if err := r.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if r.Name() != "Recur" {
+		t.Errorf("Name = %s", r.Name())
+	}
+	if r.NumRules() != 16 {
+		t.Errorf("NumRules = %d, want 16 phase bins", r.NumRules())
+	}
+	// The recovered period should be near 40 (index step = 1 time unit).
+	if r.period < 30 || r.period > 50 {
+		t.Errorf("recovered period = %v, want ≈ 40", r.period)
+	}
+	if got := rmseOf(r, rel, 1, 0); got > 1.5 {
+		t.Errorf("Recur RMSE = %v", got)
+	}
+}
+
+func TestRecurShortSeries(t *testing.T) {
+	rel := sineSeries(4, 5, 1, 0, 7)
+	r := &Recur{}
+	if err := r.Fit(rel, []int{0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRules() != 0 {
+		t.Error("bins on a too-short series")
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	n := 200
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Sin(2 * math.Pi * float64(i) / 25)
+	}
+	p := dominantPeriod(vals, 0)
+	if p < 20 || p > 30 {
+		t.Errorf("dominantPeriod = %v, want ≈ 25", p)
+	}
+	if dominantPeriod([]float64{1, 1, 1, 1}, 0) != 0 {
+		t.Error("constant series should have no period")
+	}
+}
+
+func TestSeriesOfSkipsNulls(t *testing.T) {
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "Time", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+	)
+	rel := dataset.NewRelation(s)
+	rel.MustAppend(dataset.Tuple{dataset.Num(2), dataset.Num(20)})
+	rel.MustAppend(dataset.Tuple{dataset.Num(1), dataset.Num(10)})
+	rel.MustAppend(dataset.Tuple{dataset.Null(), dataset.Num(99)})
+	rel.MustAppend(dataset.Tuple{dataset.Num(3), dataset.Null()})
+	times, values := seriesOf(rel, 0, 1)
+	if len(times) != 2 || times[0] != 1 || values[0] != 10 || times[1] != 2 {
+		t.Errorf("seriesOf = %v, %v", times, values)
+	}
+}

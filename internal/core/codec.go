@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// This file persists discovered rule sets as JSON so rules mined once (the
+// expensive step) can be reused for prediction, imputation and constraint
+// checking without re-learning.
+
+// ruleSetJSON is the on-disk form of a RuleSet.
+type ruleSetJSON struct {
+	Version  int        `json:"version"`
+	Schema   []attrJSON `json:"schema"`
+	XAttrs   []int      `json:"x_attrs"`
+	YAttr    int        `json:"y_attr"`
+	Fallback float64    `json:"fallback"`
+	Rules    []ruleJSON `json:"rules"`
+}
+
+type attrJSON struct {
+	Name        string `json:"name"`
+	Categorical bool   `json:"categorical,omitempty"`
+}
+
+type ruleJSON struct {
+	Model json.RawMessage `json:"model"`
+	Rho   float64         `json:"rho"`
+	Cond  []conjJSON      `json:"cond"`
+}
+
+type conjJSON struct {
+	Preds  []predJSON      `json:"preds,omitempty"`
+	XShift map[int]float64 `json:"x_shift,omitempty"`
+	YShift float64         `json:"y_shift,omitempty"`
+}
+
+type predJSON struct {
+	Attr int     `json:"attr"`
+	Op   int     `json:"op"`
+	Num  float64 `json:"num,omitempty"`
+	Str  string  `json:"str,omitempty"`
+	Cat  bool    `json:"cat,omitempty"`
+}
+
+// codecVersion is bumped on incompatible format changes.
+const codecVersion = 1
+
+// WriteRuleSet serializes the rule set as indented JSON.
+func WriteRuleSet(w io.Writer, s *RuleSet) error {
+	out := ruleSetJSON{
+		Version:  codecVersion,
+		XAttrs:   s.XAttrs,
+		YAttr:    s.YAttr,
+		Fallback: s.Fallback,
+	}
+	if s.Schema != nil {
+		for i := 0; i < s.Schema.Len(); i++ {
+			a := s.Schema.Attr(i)
+			out.Schema = append(out.Schema, attrJSON{
+				Name:        a.Name,
+				Categorical: a.Kind == dataset.Categorical,
+			})
+		}
+	}
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		model, err := regress.EncodeModel(r.Model)
+		if err != nil {
+			return fmt.Errorf("core: rule %d: %w", i, err)
+		}
+		rj := ruleJSON{Model: model, Rho: r.Rho}
+		for _, c := range r.Cond.Conjs {
+			cj := conjJSON{YShift: c.Builtin.YShift}
+			if len(c.Builtin.XShift) > 0 {
+				cj.XShift = c.Builtin.XShift
+			}
+			for _, p := range c.Preds {
+				cj.Preds = append(cj.Preds, predJSON{
+					Attr: p.Attr, Op: int(p.Op), Num: p.Num, Str: p.Str, Cat: p.Categorical,
+				})
+			}
+			rj.Cond = append(rj.Cond, cj)
+		}
+		out.Rules = append(out.Rules, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadRuleSet deserializes a rule set written by WriteRuleSet. The returned
+// set is ready to Predict; XAttrs/YAttr/conditions are validated against the
+// embedded schema.
+func ReadRuleSet(r io.Reader) (*RuleSet, error) {
+	var in ruleSetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode rule set: %w", err)
+	}
+	if in.Version != codecVersion {
+		return nil, fmt.Errorf("core: rule set version %d, want %d", in.Version, codecVersion)
+	}
+	attrs := make([]dataset.Attribute, len(in.Schema))
+	for i, a := range in.Schema {
+		kind := dataset.Numeric
+		if a.Categorical {
+			kind = dataset.Categorical
+		}
+		attrs[i] = dataset.Attribute{Name: a.Name, Kind: kind}
+	}
+	schema, err := dataset.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	checkAttr := func(a int) error {
+		if a < 0 || a >= schema.Len() {
+			return fmt.Errorf("core: attribute index %d outside schema of %d columns", a, schema.Len())
+		}
+		return nil
+	}
+	for _, a := range in.XAttrs {
+		if err := checkAttr(a); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkAttr(in.YAttr); err != nil {
+		return nil, err
+	}
+	out := &RuleSet{
+		Schema:   schema,
+		XAttrs:   in.XAttrs,
+		YAttr:    in.YAttr,
+		Fallback: in.Fallback,
+	}
+	for ri, rj := range in.Rules {
+		model, err := regress.DecodeModel(rj.Model)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %d: %w", ri, err)
+		}
+		if model.Dim() != len(in.XAttrs) {
+			return nil, fmt.Errorf("core: rule %d model width %d, want %d", ri, model.Dim(), len(in.XAttrs))
+		}
+		rule := CRR{Model: model, Rho: rj.Rho, XAttrs: out.XAttrs, YAttr: out.YAttr}
+		for _, cj := range rj.Cond {
+			conj := predicate.NewConjunction()
+			for _, pj := range cj.Preds {
+				if err := checkAttr(pj.Attr); err != nil {
+					return nil, err
+				}
+				conj.Preds = append(conj.Preds, predicate.Predicate{
+					Attr: pj.Attr, Op: predicate.Op(pj.Op), Num: pj.Num, Str: pj.Str, Categorical: pj.Cat,
+				})
+			}
+			b := predicate.ZeroBuiltin().WithYShift(cj.YShift)
+			for attr, d := range cj.XShift {
+				if err := checkAttr(attr); err != nil {
+					return nil, err
+				}
+				b = b.WithXShift(attr, d)
+			}
+			conj.Builtin = b
+			rule.Cond.Conjs = append(rule.Cond.Conjs, conj)
+		}
+		out.Rules = append(out.Rules, rule)
+	}
+	return out, nil
+}

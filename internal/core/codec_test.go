@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+func TestRuleSetCodecRoundTrip(t *testing.T) {
+	rel := piecewiseRelation(400, 0.2, 3)
+	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, _ := Compact(res.Rules)
+
+	var buf bytes.Buffer
+	if err := WriteRuleSet(&buf, rules); err != nil {
+		t.Fatalf("WriteRuleSet: %v", err)
+	}
+	back, err := ReadRuleSet(&buf)
+	if err != nil {
+		t.Fatalf("ReadRuleSet: %v", err)
+	}
+	if back.NumRules() != rules.NumRules() {
+		t.Fatalf("rules %d, want %d", back.NumRules(), rules.NumRules())
+	}
+	if back.YAttr != rules.YAttr || back.Fallback != rules.Fallback {
+		t.Error("metadata changed in round trip")
+	}
+	if back.Schema.Len() != rules.Schema.Len() {
+		t.Fatal("schema width changed")
+	}
+	// Predictions identical tuple-by-tuple, including builtin application.
+	for _, tp := range rel.Tuples {
+		p1, ok1 := rules.Predict(tp)
+		p2, ok2 := back.Predict(tp)
+		if ok1 != ok2 || absDiff(p1, p2) > 1e-12 {
+			t.Fatalf("round trip changed prediction: %v/%v vs %v/%v", p1, ok1, p2, ok2)
+		}
+	}
+}
+
+func TestRuleSetCodecWithBuiltinsAndCategorical(t *testing.T) {
+	conj := predicate.NewConjunction(
+		predicate.NumPred(0, predicate.Ge, 5),
+		predicate.StrPred(2, "Maria"),
+	)
+	conj.Builtin = conj.Builtin.WithXShift(0, 365).WithYShift(-2)
+	rs := &RuleSet{
+		Schema:   lineSchema(),
+		XAttrs:   []int{0},
+		YAttr:    1,
+		Fallback: 9,
+		Rules: []CRR{{
+			Model: regress.NewLinear(1, 2), Rho: 0.25,
+			Cond:   predicate.NewDNF(conj),
+			XAttrs: []int{0}, YAttr: 1,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRuleSet(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRuleSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := back.Rules[0].Cond.Conjs[0]
+	if c.Builtin.Shift(0) != 365 || c.Builtin.YShift != -2 {
+		t.Errorf("builtin lost: %v", c.Builtin)
+	}
+	if len(c.Preds) != 2 || !c.Preds[1].Categorical || c.Preds[1].Str != "Maria" {
+		t.Errorf("predicates lost: %v", c.Preds)
+	}
+	// The shifted application survives: f(x+365)−2 at x=10 is 1+2·375−2.
+	pred, ok := back.Predict(lineTuple(10, 0, "Maria"))
+	if !ok || pred != 1+2*375-2 {
+		t.Errorf("Predict = %v, %v", pred, ok)
+	}
+}
+
+func TestReadRuleSetRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"version":99}`,
+		`{"version":1,"schema":[{"name":"A"}],"x_attrs":[5],"y_attr":0}`,
+		`{"version":1,"schema":[{"name":"A"}],"x_attrs":[0],"y_attr":7}`,
+		`{"version":1,"schema":[{"name":"A"},{"name":"B"}],"x_attrs":[0],"y_attr":1,
+		  "rules":[{"model":{"family":"linear","linear":{"weights":[1,2,3]}},"rho":1,"cond":[]}]}`, // width 2 model for 1 xattr
+	}
+	for i, c := range cases {
+		if _, err := ReadRuleSet(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRuleSetCodecEmpty(t *testing.T) {
+	rs := &RuleSet{Schema: lineSchema(), XAttrs: []int{0}, YAttr: 1, Fallback: 3}
+	var buf bytes.Buffer
+	if err := WriteRuleSet(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRuleSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRules() != 0 || back.Fallback != 3 {
+		t.Error("empty rule set round trip failed")
+	}
+}
+
+// Property: WriteRuleSet → ReadRuleSet is prediction-preserving for random
+// rule sets with mixed window shapes and builtins.
+func TestRuleSetCodecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomRuleSet(rng)
+		var buf bytes.Buffer
+		if err := WriteRuleSet(&buf, rs); err != nil {
+			return false
+		}
+		back, err := ReadRuleSet(&buf)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 100; trial++ {
+			tp := lineTuple(float64(rng.Intn(30)-15)+rng.Float64(), 0,
+				[]string{"a", "b"}[rng.Intn(2)])
+			p1, ok1 := rs.Predict(tp)
+			p2, ok2 := back.Predict(tp)
+			if ok1 != ok2 || p1 != p2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"container/list"
+	"math"
+
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// CompactStats reports the inference applications Algorithm 2 performed.
+type CompactStats struct {
+	// Translations counts rules rewritten onto another rule's model through
+	// the Translation inference (Lines 3–11).
+	Translations int
+	// Fusions counts Fusion applications (Lines 12–16); each merges two
+	// rules into one.
+	Fusions int
+	// Implied counts rules dropped because another rule implies them by
+	// Induction/Generalization (Problem 1, condition 2).
+	Implied int
+}
+
+// CompactOptions tunes Algorithm 2.
+type CompactOptions struct {
+	// ModelTol is the parameter tolerance for deciding that two models are
+	// translations of each other (slopes equal within tol) or identical
+	// (all weights within tol). The default modelTol keeps compaction an
+	// exact inference; experiments on noisy fits pass a tolerance matched
+	// to the data's slope-estimation error, trading a bounded semantic
+	// drift for the rule-count reduction the paper reports.
+	ModelTol float64
+}
+
+// Compact implements Algorithm 2 (CRR compaction with inference). It first
+// unifies regression models across rules using Translation — every rule
+// whose model is a (Δ, δ)-translation of an earlier rule's model is
+// rewritten onto that model, composing built-in predicates per
+// Proposition 9 — then merges rules sharing a model with Generalization +
+// Fusion, and finally drops rules implied by surviving rules. The result is
+// semantically equivalent to the input Σ (each rewritten/merged rule is
+// derived by a sound inference) and never larger.
+func Compact(rules *RuleSet) (*RuleSet, CompactStats) {
+	return CompactOpts(rules, CompactOptions{ModelTol: modelTol})
+}
+
+// CompactOpts is Compact with explicit options.
+func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
+	tol := opts.ModelTol
+	if tol <= 0 {
+		tol = modelTol
+	}
+	var stats CompactStats
+	out := &RuleSet{
+		Schema:   rules.Schema,
+		XAttrs:   append([]int(nil), rules.XAttrs...),
+		YAttr:    rules.YAttr,
+		Fallback: rules.Fallback,
+	}
+	// Work on copies so the input set is untouched.
+	work := make([]CRR, len(rules.Rules))
+	for i, r := range rules.Rules {
+		work[i] = r
+		work[i].Cond = r.Cond.Clone()
+	}
+
+	// Lines 3–11: rule translation. The queue holds candidate pivots; when a
+	// pivot translates φ', φ' is removed from the queue — all rules of its
+	// model-equivalence class are already unified through the pivot (§V-B1).
+	// Note φ' itself is rewritten in place rather than deleted: Line 11's
+	// removal is realized by the Fusion phase folding it into the pivot's
+	// rule.
+	queue := list.New()
+	for i := range work {
+		queue.PushBack(i)
+	}
+	inQueue := make([]bool, len(work))
+	for i := range inQueue {
+		inQueue[i] = true
+	}
+	for queue.Len() > 0 {
+		front := queue.Front()
+		queue.Remove(front)
+		pi := front.Value.(int)
+		inQueue[pi] = false
+		pivot := &work[pi]
+		for qi := range work {
+			if qi == pi {
+				continue
+			}
+			other := &work[qi]
+			if !sameSignature(pivot, other) || pivot.Model.Equal(other.Model, tol) {
+				continue
+			}
+			tr, ok := solveTranslationTol(pivot.Model, other.Model, tol)
+			if !ok {
+				continue
+			}
+			// Rewrite φ' onto the pivot's model: compose the shift into every
+			// conjunction's builtin (Proposition 9), keep ρ' and ℂ'.
+			// Under a loose ModelTol the two models differ slightly in
+			// slope, so the pure-intercept δ would be evaluated at x = 0 and
+			// drift across the condition's actual range; anchoring δ at each
+			// conjunction's interval midpoint keeps the substitution error
+			// bounded by |Δslope|·(interval width)/2.
+			cond := other.Cond.Clone()
+			for ci := range cond.Conjs {
+				shift := anchoredShift(pivot, other, tr, cond.Conjs[ci])
+				cond.Conjs[ci].Builtin = cond.Conjs[ci].Builtin.Add(shift)
+			}
+			work[qi] = CRR{
+				Model:  pivot.Model,
+				Rho:    other.Rho,
+				Cond:   cond,
+				XAttrs: other.XAttrs,
+				YAttr:  other.YAttr,
+			}
+			stats.Translations++
+			// φ' need not pivot again: its class is unified already.
+			if inQueue[qi] {
+				removeFromList(queue, qi)
+				inQueue[qi] = false
+			}
+		}
+	}
+
+	// Lines 12–16: rule fusion. All rules of one equivalence class now carry
+	// the same model, so grouping by Model.Equal and folding with
+	// Generalization + Fusion merges each class into a single rule.
+	var fused []CRR
+	for i := range work {
+		merged := false
+		for j := range fused {
+			if sameSignature(&fused[j], &work[i]) && fused[j].Model.Equal(work[i].Model, tol) {
+				// Generalization (ρ = max) then Fusion (ℂ = ℂ ∨ ℂ'),
+				// Algorithm 2 Lines 13–14, honoring the configured model
+				// tolerance.
+				rho := fused[j].Rho
+				if work[i].Rho > rho {
+					rho = work[i].Rho
+				}
+				fused[j] = CRR{
+					Model:  fused[j].Model,
+					Rho:    rho,
+					Cond:   fused[j].Cond.Or(work[i].Cond),
+					XAttrs: fused[j].XAttrs,
+					YAttr:  fused[j].YAttr,
+				}
+				stats.Fusions++
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			fused = append(fused, work[i])
+		}
+	}
+	// Simplify each fused condition once (simplifying on every merge would
+	// make fusion cubic in the rule count), then collapse chains of touching
+	// windows that share a builtin — fusion of per-part rules produces long
+	// [a,b) ∨ [b,c) sequences per model.
+	for i := range fused {
+		fused[i].Cond = fused[i].Cond.Simplify().MergeAdjacent()
+	}
+
+	// Problem 1 condition 2: drop rules implied by another surviving rule.
+	keep := make([]bool, len(fused))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range fused {
+		if !keep[i] {
+			continue
+		}
+		for j := range fused {
+			if i == j || !keep[j] {
+				continue
+			}
+			if Implies(&fused[i], &fused[j]) {
+				keep[j] = false
+				stats.Implied++
+			}
+		}
+	}
+	for i := range fused {
+		if keep[i] {
+			out.Rules = append(out.Rules, fused[i])
+		}
+	}
+	return out, stats
+}
+
+// anchoredShift computes the y = δ builtin for rewriting other onto pivot's
+// model, evaluated at an anchor point inside the conjunction's region: the
+// midpoint of its interval on each X attribute when bounded, or the exact
+// Translation solution when no anchor is available. At the anchor,
+// δ = f_other(x*) − f_pivot(x*), so the two rules agree exactly there and
+// differ elsewhere only by the (tolerated) slope gap times the distance.
+func anchoredShift(pivot, other *CRR, tr regress.Translation, conj predicate.Conjunction) predicate.Builtin {
+	x := make([]float64, len(pivot.XAttrs))
+	anchored := false
+	for i, attr := range pivot.XAttrs {
+		lo, hi, ok := conj.NumericBounds(attr)
+		switch {
+		case ok && !math.IsInf(lo, -1) && !math.IsInf(hi, 1):
+			x[i] = (lo + hi) / 2
+			anchored = true
+		case ok && !math.IsInf(lo, -1):
+			x[i] = lo
+			anchored = true
+		case ok && !math.IsInf(hi, 1):
+			x[i] = hi
+			anchored = true
+		}
+	}
+	if !anchored {
+		return translationBuiltin(tr, pivot.XAttrs)
+	}
+	return predicate.ZeroBuiltin().WithYShift(other.Model.Predict(x) - pivot.Model.Predict(x))
+}
+
+func removeFromList(l *list.List, v int) {
+	for e := l.Front(); e != nil; e = e.Next() {
+		if e.Value.(int) == v {
+			l.Remove(e)
+			return
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package core implements conditional regression rules (CRRs): the rule form
+// φ : (f, ρ, ℂ) of Definition 1, the five inference rules of §IV
+// (Reflexivity, Induction, Fusion, Generalization, Translation), the
+// discovery algorithm with model sharing (Algorithm 1, §V-A) and the
+// compaction algorithm (Algorithm 2, §V-B) of
+//
+//	Kang, Song, Wang. "Conditional Regression Rules". ICDE 2022.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// CRR is a conditional regression rule φ : (f, ρ, ℂ). The regression
+// function f maps the values of attributes XAttrs to a prediction of YAttr;
+// ρ bounds |t.Y − (f(t.X + x) + y)| on tuples satisfying ℂ, where the
+// built-in shifts x, y are read from the conjunction of ℂ the tuple matches
+// (§III-B).
+type CRR struct {
+	Model  regress.Model
+	Rho    float64
+	Cond   predicate.DNF
+	XAttrs []int
+	YAttr  int
+}
+
+// Covers reports whether tuple t satisfies the rule's condition ℂ.
+func (r *CRR) Covers(t dataset.Tuple) bool { return r.Cond.Sat(t) }
+
+// Predict evaluates f(t.X + x) + y for tuple t using the built-in predicates
+// of the first conjunction of ℂ that t satisfies. ok is false when t does
+// not satisfy ℂ or has a null X cell.
+func (r *CRR) Predict(t dataset.Tuple) (pred float64, ok bool) {
+	conj, ok := r.Cond.MatchConjunction(t)
+	if !ok {
+		return 0, false
+	}
+	x := make([]float64, len(r.XAttrs))
+	for i, attr := range r.XAttrs {
+		if t[attr].Null {
+			return 0, false
+		}
+		x[i] = t[attr].Num + conj.Builtin.Shift(attr)
+	}
+	return r.Model.Predict(x) + conj.Builtin.YShift, true
+}
+
+// Sat implements the CRR semantics t ⊨ φ: vacuously true when t ⊭ ℂ,
+// otherwise |t.Y − (f(t.X + x) + y)| ≤ ρ. Tuples with a null Y or X cell
+// under a matching condition count as violations only when the prediction is
+// checkable; a null Y cannot be checked and is treated as satisfying
+// (missing data is what CRRs are later used to impute).
+func (r *CRR) Sat(t dataset.Tuple) bool {
+	pred, ok := r.Predict(t)
+	if !ok {
+		return true
+	}
+	if t[r.YAttr].Null {
+		return true
+	}
+	return math.Abs(t[r.YAttr].Num-pred) <= r.Rho+satSlack
+}
+
+// satSlack absorbs float rounding in the ≤ ρ comparison; ρ itself is
+// computed from the same float pipeline, so exact ties are common.
+const satSlack = 1e-9
+
+// Trivial implements the Reflexivity check (Proposition 1): a rule whose
+// target also appears among its inputs is trivially satisfiable and must be
+// excluded from discovery output.
+func (r *CRR) Trivial() bool {
+	for _, a := range r.XAttrs {
+		if a == r.YAttr {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the rule without schema names.
+func (r *CRR) String() string {
+	return fmt.Sprintf("(%s, ρ=%.4g, %s)", r.Model.Family(), r.Rho, r.Cond.String())
+}
+
+// Format renders the rule with attribute names.
+func (r *CRR) Format(schema *dataset.Schema) string {
+	return fmt.Sprintf("f:%s→%s [%s], ρ=%.4g, ℂ=%s",
+		attrNames(schema, r.XAttrs), schema.Attr(r.YAttr).Name,
+		r.Model.Family(), r.Rho, r.Cond.Format(schema))
+}
+
+func attrNames(schema *dataset.Schema, idxs []int) string {
+	s := ""
+	for i, idx := range idxs {
+		if i > 0 {
+			s += ","
+		}
+		s += schema.Attr(idx).Name
+	}
+	return s
+}
+
+// RuleSet is a discovered set Σ of CRRs over one (X, Y) attribute choice,
+// with a constant fallback for tuples no rule covers.
+//
+// Predict lazily builds an interval index over the conjunctions' bounds on
+// the first X attribute; concurrent Predict calls are safe, but mutating
+// Rules requires calling Invalidate before the next Predict.
+type RuleSet struct {
+	Schema   *dataset.Schema
+	XAttrs   []int
+	YAttr    int
+	Rules    []CRR
+	Fallback float64 // prediction for uncovered tuples (training mean of Y)
+
+	idx   atomic.Pointer[ruleIndex]
+	idxMu sync.Mutex
+}
+
+// Invalidate discards the lazily built prediction index; call it after
+// mutating Rules.
+func (s *RuleSet) Invalidate() { s.idx.Store(nil) }
+
+// index returns the prediction index, building it once under a mutex so
+// concurrent Predict calls are safe.
+func (s *RuleSet) index() *ruleIndex {
+	if idx := s.idx.Load(); idx != nil {
+		return idx
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if idx := s.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := buildRuleIndex(s)
+	s.idx.Store(idx)
+	return idx
+}
+
+// Predict returns the prediction of the first covering rule, falling back to
+// the training mean when no rule covers t. covered reports which case
+// applied. First-rule/first-conjunction semantics match a linear scan.
+func (s *RuleSet) Predict(t dataset.Tuple) (pred float64, covered bool) {
+	e, ok := s.index().lookup(s, t)
+	if !ok {
+		return s.Fallback, false
+	}
+	rule := &s.Rules[e.rule]
+	conj := rule.Cond.Conjs[e.conj]
+	x := make([]float64, len(rule.XAttrs))
+	for i, attr := range rule.XAttrs {
+		x[i] = t[attr].Num + conj.Builtin.Shift(attr)
+	}
+	return rule.Model.Predict(x) + conj.Builtin.YShift, true
+}
+
+// indexEntry addresses one conjunction of one rule.
+type indexEntry struct {
+	rule, conj int
+}
+
+// ruleIndex is a uniform-grid interval index over the conjunction bounds on
+// one numeric attribute. Conjunctions without numeric bounds on that
+// attribute live in overflow and are checked for every lookup. For the
+// disjoint condition windows discovery produces, lookups touch O(1)
+// candidates instead of scanning every disjunct.
+type ruleIndex struct {
+	attr     int
+	lo, hi   float64
+	width    float64
+	buckets  [][]indexEntry
+	overflow []indexEntry
+}
+
+func buildRuleIndex(s *RuleSet) *ruleIndex {
+	idx := &ruleIndex{attr: -1}
+	if len(s.XAttrs) > 0 {
+		idx.attr = s.XAttrs[0]
+	}
+	type span struct {
+		e      indexEntry
+		lo, hi float64
+	}
+	var spans []span
+	for ri := range s.Rules {
+		for ci, conj := range s.Rules[ri].Cond.Conjs {
+			e := indexEntry{ri, ci}
+			if idx.attr < 0 {
+				idx.overflow = append(idx.overflow, e)
+				continue
+			}
+			lo, hi, ok := conj.NumericBounds(idx.attr)
+			if !ok || (math.IsInf(lo, -1) && math.IsInf(hi, 1)) {
+				idx.overflow = append(idx.overflow, e)
+				continue
+			}
+			spans = append(spans, span{e, lo, hi})
+		}
+	}
+	if len(spans) == 0 {
+		return idx
+	}
+	idx.lo, idx.hi = math.Inf(1), math.Inf(-1)
+	for _, sp := range spans {
+		if !math.IsInf(sp.lo, -1) && sp.lo < idx.lo {
+			idx.lo = sp.lo
+		}
+		if !math.IsInf(sp.hi, 1) && sp.hi > idx.hi {
+			idx.hi = sp.hi
+		}
+	}
+	if math.IsInf(idx.lo, 1) || math.IsInf(idx.hi, -1) || idx.lo >= idx.hi {
+		// Degenerate grid: every span becomes overflow.
+		for _, sp := range spans {
+			idx.overflow = append(idx.overflow, sp.e)
+		}
+		sortEntries(idx.overflow)
+		return idx
+	}
+	n := len(spans)
+	if n < 16 {
+		n = 16
+	}
+	idx.buckets = make([][]indexEntry, n)
+	idx.width = (idx.hi - idx.lo) / float64(n)
+	for _, sp := range spans {
+		b0 := idx.bucketOf(sp.lo)
+		b1 := idx.bucketOf(sp.hi)
+		for b := b0; b <= b1; b++ {
+			idx.buckets[b] = append(idx.buckets[b], sp.e)
+		}
+	}
+	for b := range idx.buckets {
+		sortEntries(idx.buckets[b])
+	}
+	sortEntries(idx.overflow)
+	return idx
+}
+
+func sortEntries(es []indexEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].rule != es[j].rule {
+			return es[i].rule < es[j].rule
+		}
+		return es[i].conj < es[j].conj
+	})
+}
+
+func (idx *ruleIndex) bucketOf(v float64) int {
+	if math.IsInf(v, -1) || v < idx.lo {
+		return 0
+	}
+	if math.IsInf(v, 1) || v >= idx.hi {
+		return len(idx.buckets) - 1
+	}
+	b := int((v - idx.lo) / idx.width)
+	if b >= len(idx.buckets) {
+		b = len(idx.buckets) - 1
+	}
+	return b
+}
+
+// lookup returns the first-match entry for t, merging the candidate bucket
+// with the overflow list in (rule, conj) order so semantics equal a full
+// linear scan.
+func (idx *ruleIndex) lookup(s *RuleSet, t dataset.Tuple) (indexEntry, bool) {
+	var bucket []indexEntry
+	if len(idx.buckets) > 0 && idx.attr >= 0 && !t[idx.attr].Null {
+		bucket = idx.buckets[idx.bucketOf(t[idx.attr].Num)]
+	}
+	over := idx.overflow
+	match := func(e indexEntry) bool {
+		rule := &s.Rules[e.rule]
+		conj := rule.Cond.Conjs[e.conj]
+		if !conj.Sat(t) {
+			return false
+		}
+		for _, attr := range rule.XAttrs {
+			if t[attr].Null {
+				return false
+			}
+		}
+		return true
+	}
+	i, j := 0, 0
+	for i < len(bucket) || j < len(over) {
+		var e indexEntry
+		if j >= len(over) || (i < len(bucket) && lessEntry(bucket[i], over[j])) {
+			e = bucket[i]
+			i++
+		} else {
+			e = over[j]
+			j++
+		}
+		if match(e) {
+			return e, true
+		}
+	}
+	return indexEntry{}, false
+}
+
+func lessEntry(a, b indexEntry) bool {
+	if a.rule != b.rule {
+		return a.rule < b.rule
+	}
+	return a.conj < b.conj
+}
+
+// Coverage returns the fraction of tuples in rel covered by some rule.
+func (s *RuleSet) Coverage(rel *dataset.Relation) float64 {
+	if rel.Len() == 0 {
+		return 1
+	}
+	n := 0
+	for _, t := range rel.Tuples {
+		if _, ok := s.Predict(t); ok {
+			n++
+		}
+	}
+	return float64(n) / float64(rel.Len())
+}
+
+// RMSE evaluates the rule set's root-mean-square error on rel, skipping
+// tuples with a null target.
+func (s *RuleSet) RMSE(rel *dataset.Relation) float64 {
+	var sum float64
+	n := 0
+	for _, t := range rel.Tuples {
+		if t[s.YAttr].Null {
+			continue
+		}
+		p, _ := s.Predict(t)
+		d := t[s.YAttr].Num - p
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// NumRules returns |Σ|.
+func (s *RuleSet) NumRules() int { return len(s.Rules) }
+
+// NumModels returns the number of distinct regression models among the
+// rules, where distinct means not Equal within modelTol. This is the
+// quantity model sharing minimizes.
+func (s *RuleSet) NumModels() int {
+	var models []regress.Model
+outer:
+	for i := range s.Rules {
+		for _, m := range models {
+			if s.Rules[i].Model.Equal(m, modelTol) {
+				continue outer
+			}
+		}
+		models = append(models, s.Rules[i].Model)
+	}
+	return len(models)
+}
+
+// modelTol is the parameter tolerance under which two models count as the
+// same regression function for sharing and fusion purposes.
+const modelTol = 1e-6
+
+// Holds reports whether every tuple of rel satisfies every rule of the set
+// (the data-satisfaction invariant Σ must keep after discovery and
+// compaction).
+func (s *RuleSet) Holds(rel *dataset.Relation) bool {
+	for _, t := range rel.Tuples {
+		for i := range s.Rules {
+			if !s.Rules[i].Sat(t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FeatureRows extracts the X design matrix and Y target for the given tuple
+// indices of rel, skipping tuples with a null X or Y cell. The returned
+// kept slice holds the relation indices actually used.
+func FeatureRows(rel *dataset.Relation, idxs []int, xattrs []int, yattr int) (x [][]float64, y []float64, kept []int) {
+	for _, ti := range idxs {
+		t := rel.Tuples[ti]
+		if t[yattr].Null {
+			continue
+		}
+		row := make([]float64, len(xattrs))
+		null := false
+		for i, a := range xattrs {
+			if t[a].Null {
+				null = true
+				break
+			}
+			row[i] = t[a].Num
+		}
+		if null {
+			continue
+		}
+		x = append(x, row)
+		y = append(y, t[yattr].Num)
+		kept = append(kept, ti)
+	}
+	return x, y, kept
+}

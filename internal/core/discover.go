@@ -1,0 +1,679 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// QueueOrder selects how Algorithm 1's priority queue orders conjunctions by
+// their sharing index ind(C) (§V-A3, Table IV).
+type QueueOrder int
+
+const (
+	// Decrease pops the conjunction most likely to share an existing model
+	// first — the paper's choice (Proposition 8).
+	Decrease QueueOrder = iota
+	// Increase pops the least likely first (Table IV's adversarial order).
+	Increase
+	// RandomOrder pops uniformly at random.
+	RandomOrder
+)
+
+// String implements fmt.Stringer.
+func (o QueueOrder) String() string {
+	switch o {
+	case Decrease:
+		return "decrease"
+	case Increase:
+		return "increase"
+	case RandomOrder:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// DiscoverConfig parameterizes Algorithm 1.
+type DiscoverConfig struct {
+	// XAttrs and YAttr define the regression signature f : X → Y. YAttr must
+	// be numeric and must not appear in XAttrs (Reflexivity, Proposition 1).
+	XAttrs []int
+	YAttr  int
+	// RhoM is the maximum bias ρ_M.
+	RhoM float64
+	// Preds is the predicate space ℙ; it must not mention YAttr
+	// (Definition 1).
+	Preds []predicate.Predicate
+	// Trainer fits new models when no existing model can be shared.
+	Trainer regress.Trainer
+	// Order is the ind(C) queue ordering; Decrease is the paper's default.
+	Order QueueOrder
+	// Seed drives RandomOrder.
+	Seed int64
+	// DisableSharing turns off Lines 7–10 (the ablation of §VI-B1); every
+	// data part then trains its own model, like a plain regression tree.
+	DisableSharing bool
+	// FuseShared applies Fusion eagerly during search: a share hit extends
+	// the existing rule of that model with the new conjunction (ℂ ∨ C∧(y=δ),
+	// ρ = max) instead of emitting a separate rule. This is how "CRR
+	// searching" in the paper's Fig. 9 returns fewer rules than a compacted
+	// regression tree; Translation across distinct models still requires
+	// Algorithm 2.
+	FuseShared bool
+	// MinSupport is the smallest part size still split further; parts at or
+	// below it accept their model regardless of error, ensuring coverage
+	// (§V-A2's VC-dimension floor). 0 means len(XAttrs)+2.
+	MinSupport int
+	// MaxNodes caps queue expansions as a runaway guard; 0 means
+	// 64·|D| + 4096.
+	MaxNodes int
+	// SeedModels pre-populates the shared model set F, so discovery over new
+	// data can reuse models learned earlier (incremental maintenance).
+	SeedModels []regress.Model
+	// Prop8Splits enables Proposition 8's split sizing: instead of only the
+	// single best cut, a node splits on the top ⌈(1−ind(C))·|D_C|⌉ cut pairs
+	// (bounded by the applicable cuts), so that at least one resulting
+	// conjunction is shareable by an existing model. The extra overlapping
+	// children cost queue work; the default single best cut matches the
+	// binary searching of the paper's complexity analysis (§V-A4).
+	Prop8Splits bool
+}
+
+// DiscoverStats reports the work Algorithm 1 performed.
+type DiscoverStats struct {
+	ModelsTrained int // Line 13 executions
+	ShareHits     int // rules emitted through Lines 7–10
+	NodesExpanded int // queue pops with a non-empty part
+	ForcedRules   int // rules accepted at the MinSupport floor
+}
+
+// DiscoverResult carries the discovered Σ and its statistics.
+type DiscoverResult struct {
+	Rules *RuleSet
+	Stats DiscoverStats
+}
+
+// prop8MaxGroups caps the split fan-out under Prop8Splits; overlapping
+// children multiply queue work, and past a few groups the sharing guarantee
+// is already overwhelmingly likely.
+const prop8MaxGroups = 3
+
+var (
+	errTrivial   = errors.New("core: Y ∈ X would only yield trivial rules (Reflexivity)")
+	errPredOnY   = errors.New("core: predicate space mentions the target attribute")
+	errNonNumY   = errors.New("core: regression target must be numeric")
+	errNoTrainer = errors.New("core: DiscoverConfig.Trainer is nil")
+)
+
+// Discover implements Algorithm 1 (CRR searching with model sharing): a
+// top-down refinement over conjunctions that first tries to share an
+// existing model via the δ0 test of Proposition 6, trains a new model only
+// when sharing fails, and splits the condition on the best variance-reducing
+// predicate group from ℙ otherwise. Conjunctions are processed in the
+// configured ind(C) order.
+func Discover(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
+	if cfg.Trainer == nil {
+		return nil, errNoTrainer
+	}
+	if rel.Schema.Attr(cfg.YAttr).Kind != dataset.Numeric {
+		return nil, errNonNumY
+	}
+	for _, a := range cfg.XAttrs {
+		if a == cfg.YAttr {
+			return nil, errTrivial
+		}
+	}
+	for _, p := range cfg.Preds {
+		if p.Attr == cfg.YAttr {
+			return nil, errPredOnY
+		}
+	}
+	minSupport := cfg.MinSupport
+	if minSupport <= 0 {
+		minSupport = len(cfg.XAttrs) + 2
+	}
+	maxNodes := cfg.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 64*rel.Len() + 4096
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// D restricted to tuples with non-null X and Y; null rows cannot be fit
+	// or checked and are the imputation targets, not the training data.
+	all := make([]int, 0, rel.Len())
+	for i, t := range rel.Tuples {
+		if t[cfg.YAttr].Null {
+			continue
+		}
+		ok := true
+		for _, a := range cfg.XAttrs {
+			if t[a].Null {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			all = append(all, i)
+		}
+	}
+
+	out := &DiscoverResult{Rules: &RuleSet{
+		Schema: rel.Schema,
+		XAttrs: append([]int(nil), cfg.XAttrs...),
+		YAttr:  cfg.YAttr,
+	}}
+	if len(all) == 0 {
+		return out, nil
+	}
+	// Fallback constant: training mean of Y.
+	var ysum float64
+	for _, i := range all {
+		ysum += rel.Tuples[i][cfg.YAttr].Num
+	}
+	out.Rules.Fallback = ysum / float64(len(all))
+
+	shared := append([]regress.Model(nil), cfg.SeedModels...) // the model set F (Line 2)
+	ruleOf := make(map[regress.Model]int)
+	si := newSplitIndex(cfg.Preds)
+	q := &condQueue{}
+	heap.Init(q)
+	heap.Push(q, &condItem{conj: predicate.NewConjunction(), idxs: all})
+	visited := map[string]bool{conjKey(predicate.NewConjunction()): true}
+
+	emit := func(model regress.Model, rho float64, conj predicate.Conjunction) {
+		// Refinement accumulates one predicate per split; normalizing
+		// collapses them to minimal per-attribute bounds.
+		conj = conj.Normalize()
+		if cfg.FuseShared {
+			if ri, ok := ruleOf[model]; ok {
+				r := &out.Rules.Rules[ri]
+				r.Cond.Conjs = append(r.Cond.Conjs, conj)
+				if rho > r.Rho {
+					r.Rho = rho // Generalization before Fusion
+				}
+				return
+			}
+			ruleOf[model] = len(out.Rules.Rules)
+		}
+		out.Rules.Rules = append(out.Rules.Rules, CRR{
+			Model:  model,
+			Rho:    rho,
+			Cond:   predicate.NewDNF(conj),
+			XAttrs: out.Rules.XAttrs,
+			YAttr:  cfg.YAttr,
+		})
+	}
+
+	for q.Len() > 0 && out.Stats.NodesExpanded < maxNodes {
+		item := heap.Pop(q).(*condItem)
+		if len(item.idxs) == 0 {
+			continue
+		}
+		out.Stats.NodesExpanded++
+		x, y, _ := FeatureRows(rel, item.idxs, cfg.XAttrs, cfg.YAttr)
+
+		// Lines 7–10: model sharing via the δ0 test.
+		if !cfg.DisableSharing {
+			if model, res, ok := findShare(shared, x, y, cfg.RhoM); ok {
+				conj := item.conj.Clone()
+				conj.Builtin = conj.Builtin.WithYShift(res.Delta0)
+				emit(model, res.MaxErr, conj)
+				out.Stats.ShareHits++
+				continue
+			}
+		}
+
+		// Line 12: the sharing index of this part.
+		ind := shareIndex(shared, x, y, cfg.RhoM)
+
+		// Line 13: train a new model.
+		model, err := cfg.Trainer.Train(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("core: training on %d tuples: %w", len(x), err)
+		}
+		out.Stats.ModelsTrained++
+		maxErr := regress.MaxAbsError(model, x, y)
+
+		accept := maxErr <= cfg.RhoM
+		forced := false
+		var children []childPart
+		if !accept {
+			if len(item.idxs) <= minSupport {
+				accept, forced = true, true
+			} else {
+				// Line 19: the number of split predicates. The default is
+				// the single best cut; Prop8Splits takes the top
+				// ⌈(1−ind(C))·|D_C|⌉ groups (Proposition 8), capped to keep
+				// the overlap bounded. With ind(C) = 0 nothing is close to
+				// shareable and the proposition is vacuous, so the single
+				// best cut is used.
+				k := 1
+				if cfg.Prop8Splits && ind > 0 {
+					k = int((1-ind)*float64(len(item.idxs))) + 1
+					if k > prop8MaxGroups {
+						k = prop8MaxGroups
+					}
+				}
+				for _, group := range topSplits(rel, item.idxs, si, cfg.YAttr, k) {
+					children = append(children, group...)
+				}
+				if len(children) == 0 {
+					// No applicable predicate can split this part: accept to
+					// guarantee coverage (§V-A2).
+					accept, forced = true, true
+				}
+			}
+		}
+		if accept {
+			emit(model, maxErr, item.conj)
+			shared = append(shared, model)
+			if forced {
+				out.Stats.ForcedRules++
+			}
+			continue
+		}
+
+		// Lines 19–22: refine the condition; children carry the parent's
+		// ind(C) as queue priority (Line 22).
+		for _, ch := range children {
+			conj := item.conj.And(ch.pred)
+			key := conjKey(conj)
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			prio := ind
+			switch cfg.Order {
+			case Increase:
+				prio = -ind
+			case RandomOrder:
+				prio = rng.Float64()
+			}
+			heap.Push(q, &condItem{conj: conj, idxs: ch.idxs, prio: prio, seq: q.nextSeq()})
+		}
+	}
+	// If the MaxNodes guard tripped, force-accept a model for every part
+	// still queued — Problem 1 requires Σ to cover D, so abandoned parts are
+	// not an option.
+	for q.Len() > 0 {
+		item := heap.Pop(q).(*condItem)
+		if len(item.idxs) == 0 {
+			continue
+		}
+		x, y, _ := FeatureRows(rel, item.idxs, cfg.XAttrs, cfg.YAttr)
+		model, err := cfg.Trainer.Train(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("core: training on %d tuples: %w", len(x), err)
+		}
+		out.Stats.ModelsTrained++
+		out.Stats.ForcedRules++
+		emit(model, regress.MaxAbsError(model, x, y), item.conj)
+	}
+	return out, nil
+}
+
+// DiscoverTargets runs Discover once per target column, sharing the config.
+// It returns a rule set per target (the column-scalability workload of the
+// paper's Figure 7). cfg.YAttr is overridden per target; targets appearing
+// in cfg.XAttrs are rejected by the per-run Reflexivity check.
+func DiscoverTargets(rel *dataset.Relation, targets []int, cfg DiscoverConfig) (map[int]*RuleSet, error) {
+	out := make(map[int]*RuleSet, len(targets))
+	for _, y := range targets {
+		c := cfg
+		c.YAttr = y
+		res, err := Discover(rel, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: target %d: %w", y, err)
+		}
+		out[y] = res.Rules
+	}
+	return out, nil
+}
+
+// findShare scans the model set F for a shareable model (Line 7). Models are
+// tried newest-first: recently learned local models are the most likely to
+// recur in neighboring parts.
+func findShare(shared []regress.Model, x [][]float64, y []float64, rhoM float64) (regress.Model, regress.ShareResult, bool) {
+	for i := len(shared) - 1; i >= 0; i-- {
+		if res := regress.ShareTest(shared[i], x, y, rhoM); res.OK {
+			return shared[i], res, true
+		}
+	}
+	return nil, regress.ShareResult{}, false
+}
+
+// shareIndex computes ind(C) = max_f |{t : |t.Y−(f(t.X)+δ0)| ≤ ρ_M}| / |D_C|
+// (Line 12).
+func shareIndex(shared []regress.Model, x [][]float64, y []float64, rhoM float64) float64 {
+	var best float64
+	for _, f := range shared {
+		if fr := regress.ShareTest(f, x, y, rhoM).FitFraction; fr > best {
+			best = fr
+		}
+	}
+	return best
+}
+
+// childPart is one refinement C ∧ p with the tuple indices it selects.
+type childPart struct {
+	pred predicate.Predicate
+	idxs []int
+}
+
+// splitIndex precomputes, once per discovery, the usable split structure of
+// the predicate space ℙ: per-attribute sorted numeric cuts (usable when both
+// the > and ≤ predicates exist, so children partition D_C) and per-attribute
+// categorical equality fans.
+type splitIndex struct {
+	numAttrs  []int             // numeric attributes with usable cuts, sorted
+	cuts      map[int][]float64 // attr → sorted usable cut constants
+	catOrder  []int             // categorical attributes, sorted
+	catPreds  map[int][]predicate.Predicate
+	catValues map[int]map[string]bool
+}
+
+func newSplitIndex(preds []predicate.Predicate) *splitIndex {
+	si := &splitIndex{
+		cuts:      make(map[int][]float64),
+		catPreds:  make(map[int][]predicate.Predicate),
+		catValues: make(map[int]map[string]bool),
+	}
+	gt := make(map[int]map[float64]bool)
+	le := make(map[int]map[float64]bool)
+	for _, p := range preds {
+		if p.Categorical {
+			if si.catValues[p.Attr] == nil {
+				si.catValues[p.Attr] = make(map[string]bool)
+			}
+			if !si.catValues[p.Attr][p.Str] {
+				si.catValues[p.Attr][p.Str] = true
+				si.catPreds[p.Attr] = append(si.catPreds[p.Attr], p)
+			}
+			continue
+		}
+		switch p.Op {
+		case predicate.Gt:
+			if gt[p.Attr] == nil {
+				gt[p.Attr] = make(map[float64]bool)
+			}
+			gt[p.Attr][p.Num] = true
+		case predicate.Le:
+			if le[p.Attr] == nil {
+				le[p.Attr] = make(map[float64]bool)
+			}
+			le[p.Attr][p.Num] = true
+		}
+	}
+	for a, les := range le {
+		var cuts []float64
+		for c := range les {
+			if gt[a][c] {
+				cuts = append(cuts, c)
+			}
+		}
+		if len(cuts) > 0 {
+			sort.Float64s(cuts)
+			si.cuts[a] = cuts
+			si.numAttrs = append(si.numAttrs, a)
+		}
+	}
+	sort.Ints(si.numAttrs)
+	for a := range si.catPreds {
+		si.catOrder = append(si.catOrder, a)
+	}
+	sort.Ints(si.catOrder)
+	return si
+}
+
+// bestSplit chooses the split predicates (Line 19) with the regression-tree
+// strategy of [9]: group ℙ into complementary partitions — numeric {>c, ≤c}
+// pairs and per-attribute categorical equality fans — score each group by
+// its weighted-variance (SSE) reduction on Y, and return the children of the
+// best-scoring group. Returning complementary children keeps the union of
+// queue entries covering D_C, which Problem 1 requires.
+//
+// Numeric scoring is O(n log n + |cuts in range|) per attribute via sorted
+// prefix sums over a split index precomputed once per discovery, so the
+// paper's default predicate space (a cut at every domain value) stays
+// affordable.
+func bestSplit(rel *dataset.Relation, idxs []int, si *splitIndex, yattr int) []childPart {
+	groups := topSplits(rel, idxs, si, yattr, 1)
+	if len(groups) == 0 {
+		return nil
+	}
+	return groups[0]
+}
+
+// splitCandidate is one scored split group: either a numeric cut pair or a
+// categorical fan.
+type splitCandidate struct {
+	gain    float64
+	numeric bool
+	attr    int
+	cut     float64
+}
+
+// topSplits scores every applicable split group and materializes the
+// children of the k best (Proposition 8's multi-split when k > 1).
+func topSplits(rel *dataset.Relation, idxs []int, si *splitIndex, yattr, k int) [][]childPart {
+	total := sse(rel, idxs, yattr)
+	var cands []splitCandidate
+
+	for _, a := range si.numAttrs {
+		cuts := si.cuts[a]
+		// Sort the part once by the attribute value; prefix sums of y, y².
+		vals := make([]float64, len(idxs))
+		ys := make([]float64, len(idxs))
+		order := make([]int, len(idxs))
+		for i, ti := range idxs {
+			order[i] = i
+			vals[i] = rel.Tuples[ti][a].Num
+			ys[i] = rel.Tuples[ti][yattr].Num
+		}
+		sort.Slice(order, func(i, j int) bool { return vals[order[i]] < vals[order[j]] })
+		sortedVals := make([]float64, len(order))
+		s1 := make([]float64, len(order)+1)
+		s2 := make([]float64, len(order)+1)
+		for i, oi := range order {
+			sortedVals[i] = vals[oi]
+			s1[i+1] = s1[i] + ys[oi]
+			s2[i+1] = s2[i] + ys[oi]*ys[oi]
+		}
+		n := len(order)
+		sseRange := func(lo, hi int) float64 { // rows [lo,hi)
+			cnt := float64(hi - lo)
+			if cnt == 0 {
+				return 0
+			}
+			sum := s1[hi] - s1[lo]
+			return (s2[hi] - s2[lo]) - sum*sum/cnt
+		}
+		// Only cuts strictly inside the part's value range can split it;
+		// pruning to that window keeps per-node cost proportional to the
+		// part, not to the global predicate space.
+		loCut := sort.SearchFloat64s(cuts, sortedVals[0])
+		hiCut := sort.SearchFloat64s(cuts, sortedVals[n-1])
+		for _, c := range cuts[loCut:hiCut] {
+			pos := sort.SearchFloat64s(sortedVals, c)
+			// pos = first index with value > c after adjusting for equals.
+			for pos < n && sortedVals[pos] <= c {
+				pos++
+			}
+			if pos == 0 || pos == n {
+				continue
+			}
+			gain := total - sseRange(0, pos) - sseRange(pos, n)
+			if gain > 0 {
+				cands = append(cands, splitCandidate{gain: gain, numeric: true, attr: a, cut: c})
+			}
+		}
+	}
+
+	// Categorical fans.
+	for _, a := range si.catOrder {
+		byValue := make(map[string][]int)
+		for _, ti := range idxs {
+			byValue[rel.Tuples[ti][a].Str] = append(byValue[rel.Tuples[ti][a].Str], ti)
+		}
+		if len(byValue) < 2 {
+			continue
+		}
+		// The equality fan must cover every value present in D_C.
+		present := si.catValues[a]
+		covered := true
+		var childSSE float64
+		for v, part := range byValue {
+			if !present[v] {
+				covered = false
+				break
+			}
+			childSSE += sse(rel, part, yattr)
+		}
+		if !covered {
+			continue
+		}
+		if gain := total - childSSE; gain > 0 {
+			cands = append(cands, splitCandidate{gain: gain, attr: a})
+		}
+	}
+
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		if cands[i].attr != cands[j].attr {
+			return cands[i].attr < cands[j].attr
+		}
+		return cands[i].cut < cands[j].cut
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([][]childPart, 0, k)
+	for _, cand := range cands[:k] {
+		if cand.numeric {
+			le := predicate.NumPred(cand.attr, predicate.Le, cand.cut)
+			gt := predicate.NumPred(cand.attr, predicate.Gt, cand.cut)
+			out = append(out, []childPart{
+				{le, filterIdxs(rel, idxs, le)},
+				{gt, filterIdxs(rel, idxs, gt)},
+			})
+			continue
+		}
+		var parts []childPart
+		for _, p := range si.catPreds[cand.attr] {
+			if sel := filterIdxs(rel, idxs, p); len(sel) > 0 {
+				parts = append(parts, childPart{p, sel})
+			}
+		}
+		out = append(out, parts)
+	}
+	return out
+}
+
+func filterIdxs(rel *dataset.Relation, idxs []int, p predicate.Predicate) []int {
+	var out []int
+	for _, i := range idxs {
+		if p.Sat(rel.Tuples[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sse returns Σ (y − ȳ)² over the selected tuples' target values.
+func sse(rel *dataset.Relation, idxs []int, yattr int) float64 {
+	if len(idxs) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, i := range idxs {
+		if !rel.Tuples[i][yattr].Null {
+			sum += rel.Tuples[i][yattr].Num
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	mean := sum / float64(n)
+	var s float64
+	for _, i := range idxs {
+		if !rel.Tuples[i][yattr].Null {
+			d := rel.Tuples[i][yattr].Num - mean
+			s += d * d
+		}
+	}
+	return s
+}
+
+// conjKey canonicalizes a conjunction for the visited set: the sorted
+// multiset of its predicates, rendered without fmt (this sits on the hot
+// path of every queue push).
+func conjKey(c predicate.Conjunction) string {
+	parts := make([]string, len(c.Preds))
+	for i, p := range c.Preds {
+		var b []byte
+		b = strconv.AppendInt(b, int64(p.Attr), 10)
+		b = strconv.AppendInt(b, int64(p.Op), 10)
+		if p.Categorical {
+			b = append(b, p.Str...)
+		} else {
+			b = strconv.AppendFloat(b, p.Num, 'g', -1, 64)
+		}
+		parts[i] = string(b)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&")
+}
+
+// condItem is a queue entry (C, priority).
+type condItem struct {
+	conj predicate.Conjunction
+	idxs []int
+	prio float64
+	seq  int
+}
+
+// condQueue is a max-heap on prio with FIFO tie-breaking.
+type condQueue struct {
+	items []*condItem
+	seq   int
+}
+
+func (q *condQueue) nextSeq() int { q.seq++; return q.seq }
+
+func (q *condQueue) Len() int { return len(q.items) }
+
+func (q *condQueue) Less(i, j int) bool {
+	if q.items[i].prio != q.items[j].prio {
+		return q.items[i].prio > q.items[j].prio
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *condQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *condQueue) Push(x any) { q.items = append(q.items, x.(*condItem)) }
+
+func (q *condQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+)
+
+// Explanation reports how a rule set treats one tuple: every covering rule
+// with the conjunction that matched, the builtins it applied, the prediction
+// and the margin to ρ. It is the debugging surface behind crrcheck and rule
+// inspection.
+type Explanation struct {
+	// Covered reports whether any rule's condition matched.
+	Covered bool
+	// Prediction is the rule set's prediction (first covering rule) or the
+	// fallback when uncovered.
+	Prediction float64
+	// Matches lists every covering rule in rule order; Matches[0] is the one
+	// Predict used.
+	Matches []MatchInfo
+}
+
+// MatchInfo is one covering rule's view of the tuple.
+type MatchInfo struct {
+	RuleIndex int
+	ConjIndex int
+	// Builtin holds the applied shifts (x = Δ, y = δ).
+	Builtin predicate.Builtin
+	// Prediction is f(t.X + Δ) + δ for this rule.
+	Prediction float64
+	// Deviation is |t.Y − Prediction|; NaN when the target is null.
+	Deviation float64
+	// Satisfied reports Deviation ≤ ρ (true when the target is null).
+	Satisfied bool
+}
+
+// Explain evaluates every rule of s against t.
+func Explain(s *RuleSet, t dataset.Tuple) Explanation {
+	out := Explanation{Prediction: s.Fallback}
+	for ri := range s.Rules {
+		r := &s.Rules[ri]
+		conj, ok := r.Cond.MatchConjunction(t)
+		if !ok {
+			continue
+		}
+		pred, ok := r.Predict(t)
+		if !ok {
+			continue // null X cell
+		}
+		m := MatchInfo{
+			RuleIndex:  ri,
+			ConjIndex:  conjIndexOf(r, t),
+			Builtin:    conj.Builtin,
+			Prediction: pred,
+			Deviation:  math.NaN(),
+			Satisfied:  true,
+		}
+		if !t[s.YAttr].Null {
+			m.Deviation = math.Abs(t[s.YAttr].Num - pred)
+			m.Satisfied = m.Deviation <= r.Rho+satSlack
+		}
+		if !out.Covered {
+			out.Covered = true
+			out.Prediction = pred
+		}
+		out.Matches = append(out.Matches, m)
+	}
+	return out
+}
+
+func conjIndexOf(r *CRR, t dataset.Tuple) int {
+	for ci, c := range r.Cond.Conjs {
+		if c.Sat(t) {
+			return ci
+		}
+	}
+	return -1
+}
+
+// Format renders the explanation for human consumption.
+func (e Explanation) Format(s *RuleSet) string {
+	var b strings.Builder
+	if !e.Covered {
+		fmt.Fprintf(&b, "uncovered; fallback prediction %.6g\n", e.Prediction)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "prediction %.6g via rule %d\n", e.Prediction, e.Matches[0].RuleIndex+1)
+	for _, m := range e.Matches {
+		rule := &s.Rules[m.RuleIndex]
+		status := "satisfied"
+		if !m.Satisfied {
+			status = fmt.Sprintf("VIOLATED (deviation %.4g > ρ %.4g)", m.Deviation, rule.Rho)
+		}
+		shift := m.Builtin.String()
+		if shift == "" {
+			shift = "x=0,y=0"
+		}
+		fmt.Fprintf(&b, "  rule %d conj %d [%s]: f→%.6g, %s\n",
+			m.RuleIndex+1, m.ConjIndex+1, shift, m.Prediction, status)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// This file implements the five CRR inference rules of §IV as constructive
+// operations. Each proposition is exercised by a soundness property test in
+// inference_test.go: whenever the rule derives φ₃ from φ₁, φ₂, every tuple
+// satisfying the premises satisfies the conclusion.
+
+// ErrIncompatible is returned when an inference rule's side conditions do
+// not hold for the given rules.
+var ErrIncompatible = errors.New("core: inference rule not applicable")
+
+// sameSignature reports whether two rules regress the same target from the
+// same attribute list — the implicit requirement of every binary inference.
+func sameSignature(a, b *CRR) bool {
+	if a.YAttr != b.YAttr || len(a.XAttrs) != len(b.XAttrs) {
+		return false
+	}
+	for i := range a.XAttrs {
+		if a.XAttrs[i] != b.XAttrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports whether φ₁ implies φ₂ by Induction (Proposition 2) and/or
+// Generalization (Proposition 4): same regression function, ρ₂ ≥ ρ₁, and
+// ℂ₂ ⊢ ℂ₁ (Definition 2). Rules implied by another rule in Σ are redundant
+// (Problem 1, condition 2).
+func Implies(phi1, phi2 *CRR) bool {
+	if !sameSignature(phi1, phi2) {
+		return false
+	}
+	if !phi1.Model.Equal(phi2.Model, modelTol) {
+		return false
+	}
+	if phi2.Rho < phi1.Rho {
+		return false
+	}
+	if !phi2.Cond.Implies(phi1.Cond) {
+		return false
+	}
+	// The built-in predicates must carry over: each conjunction of ℂ₂ must
+	// use the builtins of some conjunction of ℂ₁ it refines, otherwise the
+	// shifted application differs. We require the refined conjunction to
+	// keep identical builtins.
+	for _, c2 := range phi2.Cond.Conjs {
+		ok := false
+		for _, c1 := range phi1.Cond.Conjs {
+			if c2.Implies(c1) && c2.Builtin.Equal(c1.Builtin) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Induce applies Induction (Proposition 2) constructively: given φ₁ and a
+// refinement ℂ₂ ⊢ ℂ₁, it returns φ₂ : (f, ρ, ℂ₂). ErrIncompatible is
+// returned when ℂ₂ does not refine ℂ₁.
+func Induce(phi1 *CRR, cond2 predicate.DNF) (CRR, error) {
+	if !cond2.Implies(phi1.Cond) {
+		return CRR{}, fmt.Errorf("%w: condition is not a refinement", ErrIncompatible)
+	}
+	return CRR{
+		Model:  phi1.Model,
+		Rho:    phi1.Rho,
+		Cond:   cond2.Clone(),
+		XAttrs: append([]int(nil), phi1.XAttrs...),
+		YAttr:  phi1.YAttr,
+	}, nil
+}
+
+// Generalize applies Generalization (Proposition 4): widen the bias to
+// rho2 ≥ ρ₁. ErrIncompatible is returned when rho2 < ρ₁ (that direction is
+// unsound).
+func Generalize(phi *CRR, rho2 float64) (CRR, error) {
+	if rho2 < phi.Rho {
+		return CRR{}, fmt.Errorf("%w: cannot tighten ρ from %g to %g", ErrIncompatible, phi.Rho, rho2)
+	}
+	out := *phi
+	out.Rho = rho2
+	out.Cond = phi.Cond.Clone()
+	out.XAttrs = append([]int(nil), phi.XAttrs...)
+	return out, nil
+}
+
+// Fuse applies Fusion (Proposition 3), preceded by Generalization to align
+// the biases as Algorithm 2 Lines 13–14 prescribe: both rules must share the
+// regression function; the result carries ρ = max(ρ₁, ρ₂) and ℂ = ℂ₁ ∨ ℂ₂.
+func Fuse(phi1, phi2 *CRR) (CRR, error) {
+	if !sameSignature(phi1, phi2) {
+		return CRR{}, fmt.Errorf("%w: different signatures", ErrIncompatible)
+	}
+	if !phi1.Model.Equal(phi2.Model, modelTol) {
+		return CRR{}, fmt.Errorf("%w: Fusion needs a shared regression function", ErrIncompatible)
+	}
+	rho := phi1.Rho
+	if phi2.Rho > rho {
+		rho = phi2.Rho
+	}
+	return CRR{
+		Model:  phi1.Model,
+		Rho:    rho,
+		Cond:   phi1.Cond.Or(phi2.Cond).Simplify(),
+		XAttrs: append([]int(nil), phi1.XAttrs...),
+		YAttr:  phi1.YAttr,
+	}, nil
+}
+
+// Translate applies Translation (Proposition 5): when
+// f₂(X) = f₁(X+Δ)+δ it returns φ₃ : (f₃, ρ, ℂ₃) with f₃ = f₁ and
+// ℂ₃ = (ℂ₁ ∧ x=0 ∧ y=0) ∨ (ℂ₂ ∧ x=Δ ∧ y=δ). Per Proposition 9, the shift is
+// *composed* with any builtin already present on ℂ₂'s conjunctions. The
+// biases must agree as in the proposition's statement; apply Generalize
+// first when they differ.
+func Translate(phi1, phi2 *CRR) (CRR, error) {
+	if !sameSignature(phi1, phi2) {
+		return CRR{}, fmt.Errorf("%w: different signatures", ErrIncompatible)
+	}
+	if phi1.Rho != phi2.Rho {
+		return CRR{}, fmt.Errorf("%w: Translation needs equal ρ (got %g, %g); Generalize first", ErrIncompatible, phi1.Rho, phi2.Rho)
+	}
+	tr, ok := solveTranslation(phi1.Model, phi2.Model)
+	if !ok {
+		return CRR{}, fmt.Errorf("%w: models are not translations of each other", ErrIncompatible)
+	}
+	shift := translationBuiltin(tr, phi1.XAttrs)
+	cond := phi1.Cond.Clone()
+	for _, c := range phi2.Cond.Conjs {
+		cc := c.Clone()
+		cc.Builtin = cc.Builtin.Add(shift)
+		cond.Conjs = append(cond.Conjs, cc)
+	}
+	return CRR{
+		Model:  phi1.Model,
+		Rho:    phi1.Rho,
+		Cond:   cond,
+		XAttrs: append([]int(nil), phi1.XAttrs...),
+		YAttr:  phi1.YAttr,
+	}, nil
+}
+
+// solveTranslation finds Δ, δ with to(X) = from(X+Δ)+δ when the model family
+// supports it (Translatable, i.e. the linear families; F3 does not, matching
+// §VI-A3).
+func solveTranslation(from, to regress.Model) (regress.Translation, bool) {
+	return solveTranslationTol(from, to, modelTol)
+}
+
+// solveTranslationTol is solveTranslation with an explicit parameter
+// tolerance (CompactOptions.ModelTol).
+func solveTranslationTol(from, to regress.Model, tol float64) (regress.Translation, bool) {
+	t, ok := from.(regress.Translatable)
+	if !ok {
+		return regress.Translation{}, false
+	}
+	return t.SolveTranslation(to, tol)
+}
+
+// translationBuiltin converts a feature-indexed Translation into an
+// attribute-indexed builtin.
+func translationBuiltin(tr regress.Translation, xattrs []int) predicate.Builtin {
+	b := predicate.ZeroBuiltin().WithYShift(tr.DeltaY)
+	for i, d := range tr.DeltaX {
+		if d != 0 && i < len(xattrs) {
+			b = b.WithXShift(xattrs[i], d)
+		}
+	}
+	return b
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+func condLT(c float64) predicate.DNF {
+	return predicate.NewDNF(predicate.NewConjunction(predicate.NumPred(0, predicate.Lt, c)))
+}
+
+func condRange(lo, hi float64) predicate.DNF {
+	return predicate.NewDNF(predicate.NewConjunction(
+		predicate.NumPred(0, predicate.Ge, lo), predicate.NumPred(0, predicate.Lt, hi)))
+}
+
+func TestImpliesInduction(t *testing.T) {
+	f := regress.NewLinear(0, 2)
+	phi1 := ruleOn(f, 1, condLT(10))
+	phi2 := ruleOn(f, 1, condRange(2, 5)) // refinement: [2,5) ⊢ (<10)
+	if !Implies(&phi1, &phi2) {
+		t.Error("Induction implication not detected")
+	}
+	if Implies(&phi2, &phi1) {
+		t.Error("reverse implication wrongly detected")
+	}
+}
+
+func TestImpliesGeneralization(t *testing.T) {
+	f := regress.NewLinear(0, 2)
+	phi1 := ruleOn(f, 1, condLT(10))
+	phi2 := ruleOn(f, 2, condLT(10)) // wider ρ
+	if !Implies(&phi1, &phi2) {
+		t.Error("Generalization implication not detected")
+	}
+	if Implies(&phi2, &phi1) {
+		t.Error("tightening ρ wrongly allowed")
+	}
+}
+
+func TestImpliesRequiresSameModelAndBuiltins(t *testing.T) {
+	phi1 := ruleOn(regress.NewLinear(0, 2), 1, condLT(10))
+	phi2 := ruleOn(regress.NewLinear(0, 3), 1, condRange(2, 5))
+	if Implies(&phi1, &phi2) {
+		t.Error("implication across different models")
+	}
+	// Same region but a different builtin changes the shifted application.
+	shifted := condRange(2, 5)
+	shifted.Conjs[0].Builtin = shifted.Conjs[0].Builtin.WithYShift(3)
+	phi3 := ruleOn(regress.NewLinear(0, 2), 1, shifted)
+	if Implies(&phi1, &phi3) {
+		t.Error("implication ignored builtin mismatch")
+	}
+	// Different signature.
+	phi4 := ruleOn(regress.NewLinear(0, 2), 1, condRange(2, 5))
+	phi4.YAttr = 0
+	phi4.XAttrs = []int{1}
+	if Implies(&phi1, &phi4) {
+		t.Error("implication across signatures")
+	}
+}
+
+func TestInduce(t *testing.T) {
+	f := regress.NewLinear(0, 2)
+	phi1 := ruleOn(f, 1, condLT(10))
+	phi2, err := Induce(&phi1, condRange(2, 5))
+	if err != nil {
+		t.Fatalf("Induce: %v", err)
+	}
+	if !Implies(&phi1, &phi2) {
+		t.Error("Induce output not implied by its premise")
+	}
+	if _, err := Induce(&phi1, condLT(20)); !errors.Is(err, ErrIncompatible) {
+		t.Error("Induce accepted a non-refinement")
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	phi := ruleOn(regress.NewLinear(0, 2), 1, condLT(10))
+	wide, err := Generalize(&phi, 3)
+	if err != nil || wide.Rho != 3 {
+		t.Fatalf("Generalize = %+v, %v", wide, err)
+	}
+	if _, err := Generalize(&phi, 0.5); !errors.Is(err, ErrIncompatible) {
+		t.Error("Generalize tightened ρ")
+	}
+}
+
+func TestFuse(t *testing.T) {
+	f := regress.NewLinear(0, 2)
+	phi1 := ruleOn(f, 1, condRange(0, 5))
+	phi2 := ruleOn(f, 2, condRange(10, 15))
+	phi3, err := Fuse(&phi1, &phi2)
+	if err != nil {
+		t.Fatalf("Fuse: %v", err)
+	}
+	if phi3.Rho != 2 {
+		t.Errorf("fused ρ = %v, want max = 2", phi3.Rho)
+	}
+	if len(phi3.Cond.Conjs) != 2 {
+		t.Errorf("fused condition has %d disjuncts, want 2", len(phi3.Cond.Conjs))
+	}
+	// Fusion requires the same regression function.
+	phi4 := ruleOn(regress.NewLinear(1, 2), 1, condRange(0, 5))
+	if _, err := Fuse(&phi1, &phi4); !errors.Is(err, ErrIncompatible) {
+		t.Error("Fuse accepted different models")
+	}
+}
+
+// Property (Proposition 3 + 4 soundness): any tuple satisfying both premises
+// satisfies the fused rule.
+func TestFuseSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := regress.NewLinear(rng.NormFloat64(), rng.NormFloat64())
+		lo1 := float64(rng.Intn(10) - 5)
+		lo2 := float64(rng.Intn(10) - 5)
+		phi1 := ruleOn(model, rng.Float64()*2, condRange(lo1, lo1+3))
+		phi2 := ruleOn(model, rng.Float64()*2, condRange(lo2, lo2+3))
+		phi3, err := Fuse(&phi1, &phi2)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 60; trial++ {
+			x := rng.Float64()*20 - 10
+			y := model.Predict([]float64{x}) + rng.NormFloat64()*2
+			tpl := lineTuple(x, y, "a")
+			if phi1.Sat(tpl) && phi2.Sat(tpl) && !phi3.Sat(tpl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslatePaperExample(t *testing.T) {
+	// φ₄: f₄(Salary) = 0.04·Salary over C₄; φ₅: f₅ = f₄ − 230 over C₅.
+	// Translation yields a rule on f₄ whose C₅-disjunct carries y = −230.
+	f4 := regress.NewLinear(0, 0.04)
+	f5 := regress.NewLinear(-230, 0.04)
+	phi4 := ruleOn(f4, 1, condRange(0, 100))
+	phi5 := ruleOn(f5, 1, condRange(200, 300))
+	phi3, err := Translate(&phi4, &phi5)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	if len(phi3.Cond.Conjs) != 2 {
+		t.Fatalf("translated condition has %d disjuncts", len(phi3.Cond.Conjs))
+	}
+	if got := phi3.Cond.Conjs[1].Builtin.YShift; got != -230 {
+		t.Errorf("δ = %v, want −230", got)
+	}
+	if !phi3.Model.Equal(f4, 0) {
+		t.Error("translated rule must reuse f₁'s model")
+	}
+	// Prediction in the second region equals f₅'s prediction.
+	pred, ok := phi3.Predict(lineTuple(250, 0, "a"))
+	if !ok || math.Abs(pred-f5.Predict([]float64{250})) > 1e-9 {
+		t.Errorf("translated prediction = %v, want %v", pred, f5.Predict([]float64{250}))
+	}
+}
+
+func TestTranslateRequiresEqualRho(t *testing.T) {
+	f4 := regress.NewLinear(0, 0.04)
+	f5 := regress.NewLinear(-230, 0.04)
+	phi4 := ruleOn(f4, 1, condRange(0, 100))
+	phi5 := ruleOn(f5, 2, condRange(200, 300))
+	if _, err := Translate(&phi4, &phi5); !errors.Is(err, ErrIncompatible) {
+		t.Error("Translate accepted unequal ρ")
+	}
+	// Generalize first, then translate — the Algorithm 2 recipe.
+	phi4w, err := Generalize(&phi4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate(&phi4w, &phi5); err != nil {
+		t.Errorf("Translate after Generalize: %v", err)
+	}
+}
+
+func TestTranslateRejectsUnrelatedModels(t *testing.T) {
+	phi1 := ruleOn(regress.NewLinear(0, 1), 1, condRange(0, 5))
+	phi2 := ruleOn(regress.NewLinear(0, 2), 1, condRange(5, 9))
+	if _, err := Translate(&phi1, &phi2); !errors.Is(err, ErrIncompatible) {
+		t.Error("Translate accepted different slopes")
+	}
+}
+
+// Property (Proposition 5 soundness): any tuple satisfying φ₁ and φ₂
+// satisfies the translated φ₃.
+func TestTranslateSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slope := rng.NormFloat64()
+		b1 := rng.NormFloat64() * 5
+		delta := rng.NormFloat64() * 5
+		f1 := regress.NewLinear(b1, slope)
+		f2 := regress.NewLinear(b1+delta, slope)
+		rho := rng.Float64()*2 + 0.1
+		lo1 := float64(rng.Intn(6) - 3)
+		lo2 := float64(rng.Intn(6) - 3)
+		phi1 := ruleOn(f1, rho, condRange(lo1, lo1+2))
+		phi2 := ruleOn(f2, rho, condRange(lo2, lo2+2))
+		phi3, err := Translate(&phi1, &phi2)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 60; trial++ {
+			x := rng.Float64()*12 - 6
+			y := f1.Predict([]float64{x}) + rng.NormFloat64()*rho*2
+			tpl := lineTuple(x, y, "a")
+			if phi1.Sat(tpl) && phi2.Sat(tpl) && !phi3.Sat(tpl) {
+				return false
+			}
+			// Also probe values near f2's graph to exercise the 2nd disjunct.
+			y2 := f2.Predict([]float64{x}) + rng.NormFloat64()*rho*2
+			tpl2 := lineTuple(x, y2, "a")
+			if phi1.Sat(tpl2) && phi2.Sat(tpl2) && !phi3.Sat(tpl2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Proposition 2 soundness): for a refinement ℂ₂ ⊢ ℂ₁, every tuple
+// satisfying φ₁ satisfies the induced φ₂.
+func TestInduceSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := regress.NewLinear(rng.NormFloat64(), rng.NormFloat64())
+		lo := float64(rng.Intn(6) - 3)
+		phi1 := ruleOn(model, rng.Float64()+0.1, condRange(lo, lo+4))
+		phi2, err := Induce(&phi1, condRange(lo+1, lo+2))
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 60; trial++ {
+			x := rng.Float64()*12 - 6
+			y := model.Predict([]float64{x}) + rng.NormFloat64()
+			tpl := lineTuple(x, y, "a")
+			if phi1.Sat(tpl) && !phi2.Sat(tpl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Proposition 4 soundness): widening ρ preserves satisfaction.
+func TestGeneralizeSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := regress.NewLinear(rng.NormFloat64(), rng.NormFloat64())
+		phi1 := ruleOn(model, rng.Float64()+0.1, condLT(float64(rng.Intn(10))))
+		phi2, err := Generalize(&phi1, phi1.Rho+rng.Float64())
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 60; trial++ {
+			x := rng.Float64()*12 - 6
+			y := model.Predict([]float64{x}) + rng.NormFloat64()
+			tpl := lineTuple(x, y, "a")
+			if phi1.Sat(tpl) && !phi2.Sat(tpl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslateMLPNotSupported(t *testing.T) {
+	m1, err := regress.NewMLPTrainer(1).Train([][]float64{{0}, {1}}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := regress.NewMLPTrainer(2).Train([][]float64{{0}, {1}}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi1 := ruleOn(m1, 1, condRange(0, 5))
+	phi2 := ruleOn(m2, 1, condRange(5, 9))
+	if _, err := Translate(&phi1, &phi2); !errors.Is(err, ErrIncompatible) {
+		t.Error("Translate should not apply to F3 (MLP) models")
+	}
+}
+
+func TestTranslationBuiltinMapsFeatureToAttr(t *testing.T) {
+	tr := regress.Translation{DeltaX: []float64{0, 7}, DeltaY: 2}
+	b := translationBuiltin(tr, []int{3, 5})
+	if b.Shift(5) != 7 || b.Shift(3) != 0 || b.YShift != 2 {
+		t.Errorf("builtin = %v", b)
+	}
+	_ = dataset.Numeric // keep import for helpers above
+}

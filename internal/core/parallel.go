@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// DiscoverParallel runs Algorithm 1 with a worker pool: independent
+// condition parts are processed concurrently and the shared model set F is
+// guarded by a mutex. Compared to Discover:
+//
+//   - the ind(C) queue ordering becomes best-effort (workers race), so the
+//     Table IV ordering experiments require the sequential Discover;
+//   - the discovered rule set is deterministic as a *coverage* (every part is
+//     processed exactly once) but rule order, share attributions and exact
+//     rule count can vary run-to-run when different workers win the race to
+//     publish a shareable model.
+//
+// All Problem 1 invariants hold: the output covers D and every rule holds on
+// its part. workers ≤ 0 selects runtime.NumCPU().
+func DiscoverParallel(rel *dataset.Relation, cfg DiscoverConfig, workers int) (*DiscoverResult, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		return Discover(rel, cfg)
+	}
+	if cfg.Trainer == nil {
+		return nil, errNoTrainer
+	}
+	if rel.Schema.Attr(cfg.YAttr).Kind != dataset.Numeric {
+		return nil, errNonNumY
+	}
+	for _, a := range cfg.XAttrs {
+		if a == cfg.YAttr {
+			return nil, errTrivial
+		}
+	}
+	for _, p := range cfg.Preds {
+		if p.Attr == cfg.YAttr {
+			return nil, errPredOnY
+		}
+	}
+	minSupport := cfg.MinSupport
+	if minSupport <= 0 {
+		minSupport = len(cfg.XAttrs) + 2
+	}
+
+	all := make([]int, 0, rel.Len())
+	for i, t := range rel.Tuples {
+		if t[cfg.YAttr].Null {
+			continue
+		}
+		ok := true
+		for _, a := range cfg.XAttrs {
+			if t[a].Null {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			all = append(all, i)
+		}
+	}
+	out := &DiscoverResult{Rules: &RuleSet{
+		Schema: rel.Schema,
+		XAttrs: append([]int(nil), cfg.XAttrs...),
+		YAttr:  cfg.YAttr,
+	}}
+	if len(all) == 0 {
+		return out, nil
+	}
+	var ysum float64
+	for _, i := range all {
+		ysum += rel.Tuples[i][cfg.YAttr].Num
+	}
+	out.Rules.Fallback = ysum / float64(len(all))
+
+	si := newSplitIndex(cfg.Preds)
+	st := &parState{
+		cond:    sync.NewCond(&sync.Mutex{}),
+		visited: map[string]bool{conjKey(predicate.NewConjunction()): true},
+		shared:  append([]regress.Model(nil), cfg.SeedModels...),
+		ruleOf:  map[regress.Model]int{},
+	}
+	st.queue = append(st.queue, &condItem{conj: predicate.NewConjunction(), idxs: all})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := parWorker(rel, cfg, si, minSupport, st, out); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+				st.abort()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	// Stable output order: sort rules by their first conjunction rendering.
+	sort.SliceStable(out.Rules.Rules, func(i, j int) bool {
+		return ruleSortKey(&out.Rules.Rules[i]) < ruleSortKey(&out.Rules.Rules[j])
+	})
+	return out, nil
+}
+
+func ruleSortKey(r *CRR) string {
+	if len(r.Cond.Conjs) == 0 {
+		return ""
+	}
+	return conjKey(r.Cond.Conjs[0])
+}
+
+// parState is the shared state of the worker pool.
+type parState struct {
+	cond     *sync.Cond
+	queue    []*condItem
+	inflight int
+	aborted  bool
+
+	visited map[string]bool
+	shared  []regress.Model
+	ruleOf  map[regress.Model]int
+}
+
+func (st *parState) abort() {
+	st.cond.L.Lock()
+	st.aborted = true
+	st.cond.L.Unlock()
+	st.cond.Broadcast()
+}
+
+// next pops a work item, blocking while the queue is drained but peers are
+// still expanding. ok is false when the search is complete or aborted.
+func (st *parState) next() (*condItem, bool) {
+	st.cond.L.Lock()
+	defer st.cond.L.Unlock()
+	for {
+		if st.aborted {
+			return nil, false
+		}
+		if len(st.queue) > 0 {
+			item := st.queue[len(st.queue)-1]
+			st.queue = st.queue[:len(st.queue)-1]
+			st.inflight++
+			return item, true
+		}
+		if st.inflight == 0 {
+			return nil, false
+		}
+		st.cond.Wait()
+	}
+}
+
+// done publishes the children of a finished item.
+func (st *parState) done(children []*condItem) {
+	st.cond.L.Lock()
+	for _, ch := range children {
+		key := conjKey(ch.conj)
+		if !st.visited[key] {
+			st.visited[key] = true
+			st.queue = append(st.queue, ch)
+		}
+	}
+	st.inflight--
+	st.cond.L.Unlock()
+	st.cond.Broadcast()
+}
+
+func parWorker(rel *dataset.Relation, cfg DiscoverConfig, si *splitIndex, minSupport int,
+	st *parState, out *DiscoverResult) error {
+	for {
+		item, ok := st.next()
+		if !ok {
+			return nil
+		}
+		var children []*condItem
+		err := func() error {
+			if len(item.idxs) == 0 {
+				return nil
+			}
+			st.cond.L.Lock()
+			out.Stats.NodesExpanded++
+			st.cond.L.Unlock()
+			x, y, _ := FeatureRows(rel, item.idxs, cfg.XAttrs, cfg.YAttr)
+
+			if !cfg.DisableSharing {
+				st.cond.L.Lock()
+				pool := append([]regress.Model(nil), st.shared...)
+				st.cond.L.Unlock()
+				if model, res, hit := findShare(pool, x, y, cfg.RhoM); hit {
+					conj := item.conj.Clone()
+					conj.Builtin = conj.Builtin.WithYShift(res.Delta0)
+					st.cond.L.Lock()
+					out.Stats.ShareHits++
+					st.cond.L.Unlock()
+					emitPar(out, st, cfg, model, res.MaxErr, conj)
+					return nil
+				}
+			}
+			model, err := cfg.Trainer.Train(x, y)
+			if err != nil {
+				return fmt.Errorf("core: parallel training on %d tuples: %w", len(x), err)
+			}
+			st.cond.L.Lock()
+			out.Stats.ModelsTrained++
+			st.cond.L.Unlock()
+			maxErr := regress.MaxAbsError(model, x, y)
+			accept := maxErr <= cfg.RhoM
+			var parts []childPart
+			if !accept {
+				if len(item.idxs) <= minSupport {
+					accept = true
+				} else {
+					parts = bestSplit(rel, item.idxs, si, cfg.YAttr)
+					if len(parts) == 0 {
+						accept = true
+					}
+				}
+			}
+			if accept {
+				emitPar(out, st, cfg, model, maxErr, item.conj)
+				st.cond.L.Lock()
+				st.shared = append(st.shared, model)
+				st.cond.L.Unlock()
+				return nil
+			}
+			for _, ch := range parts {
+				children = append(children, &condItem{conj: item.conj.And(ch.pred), idxs: ch.idxs})
+			}
+			return nil
+		}()
+		st.done(children)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// emitPar appends a rule under the shared lock, honoring FuseShared.
+func emitPar(out *DiscoverResult, st *parState, cfg DiscoverConfig,
+	model regress.Model, rho float64, conj predicate.Conjunction) {
+	conj = conj.Normalize()
+	st.cond.L.Lock()
+	defer st.cond.L.Unlock()
+	if cfg.FuseShared {
+		if ri, ok := st.ruleOf[model]; ok {
+			r := &out.Rules.Rules[ri]
+			r.Cond.Conjs = append(r.Cond.Conjs, conj)
+			if rho > r.Rho {
+				r.Rho = rho
+			}
+			return
+		}
+		st.ruleOf[model] = len(out.Rules.Rules)
+	}
+	out.Rules.Rules = append(out.Rules.Rules, CRR{
+		Model:  model,
+		Rho:    rho,
+		Cond:   predicate.NewDNF(conj),
+		XAttrs: out.Rules.XAttrs,
+		YAttr:  cfg.YAttr,
+	})
+}

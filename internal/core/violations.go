@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// CRRs are integrity constraints (§II-A): a tuple covered by a rule whose
+// observed target strays beyond ρ from the (shifted) prediction violates the
+// rule. This file detects violations and proposes repairs — the
+// constraint-side counterpart of imputation.
+
+// Violation records one tuple breaking one rule.
+type Violation struct {
+	// TupleIndex is the position of the violating tuple in the checked
+	// relation.
+	TupleIndex int
+	// RuleIndex is the violated rule's position in the rule set.
+	RuleIndex int
+	// Observed is the tuple's target value.
+	Observed float64
+	// Predicted is the rule's (shifted) prediction f(t.X + x) + y.
+	Predicted float64
+	// Excess is |Observed − Predicted| − ρ, how far beyond the allowed bias
+	// the tuple sits (> 0 by construction).
+	Excess float64
+}
+
+// Violations returns every (tuple, rule) violation in rel, ordered by tuple
+// then rule. Tuples with a null target or outside every condition violate
+// nothing.
+func Violations(rel *dataset.Relation, s *RuleSet) []Violation {
+	var out []Violation
+	for ti, t := range rel.Tuples {
+		if t[s.YAttr].Null {
+			continue
+		}
+		for ri := range s.Rules {
+			r := &s.Rules[ri]
+			pred, ok := r.Predict(t)
+			if !ok {
+				continue
+			}
+			if dev := math.Abs(t[s.YAttr].Num - pred); dev > r.Rho+satSlack {
+				out = append(out, Violation{
+					TupleIndex: ti,
+					RuleIndex:  ri,
+					Observed:   t[s.YAttr].Num,
+					Predicted:  pred,
+					Excess:     dev - r.Rho,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Repair proposes a repaired target value for a violating tuple: the
+// prediction of the first rule covering it (the value that makes every
+// covering rule of that model satisfied). ok is false when no rule covers
+// the tuple.
+func Repair(t dataset.Tuple, s *RuleSet) (value float64, ok bool) {
+	return s.Predict(t)
+}
+
+// HoldsAll reports whether rel has no violations; it is equivalent to
+// len(Violations(rel, s)) == 0 but stops at the first hit.
+func HoldsAll(rel *dataset.Relation, s *RuleSet) bool {
+	for _, t := range rel.Tuples {
+		if t[s.YAttr].Null {
+			continue
+		}
+		for ri := range s.Rules {
+			r := &s.Rules[ri]
+			pred, ok := r.Predict(t)
+			if !ok {
+				continue
+			}
+			if math.Abs(t[s.YAttr].Num-pred) > r.Rho+satSlack {
+				return false
+			}
+		}
+	}
+	return true
+}

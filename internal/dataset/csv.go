@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the relation with a header row. Numeric cells are
+// written with strconv 'g' formatting; null cells are written as empty
+// strings.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	// writeRow handles the blank-line hazard: a record whose fields are all
+	// empty would serialize to a blank line, which csv.Reader silently
+	// skips; force a quoted empty first field so such rows (and all-empty
+	// headers) survive the round trip.
+	writeRow := func(cells []string, what string) error {
+		empty := true
+		for _, c := range cells {
+			if c != "" {
+				empty = false
+				break
+			}
+		}
+		if empty && len(cells) > 0 {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return fmt.Errorf("dataset: write %s: %w", what, err)
+			}
+			line := `""` + strings.Repeat(",", len(cells)-1) + "\n"
+			if _, err := io.WriteString(w, line); err != nil {
+				return fmt.Errorf("dataset: write %s: %w", what, err)
+			}
+			return nil
+		}
+		if err := cw.Write(cells); err != nil {
+			return fmt.Errorf("dataset: write %s: %w", what, err)
+		}
+		return nil
+	}
+
+	header := make([]string, r.Schema.Len())
+	for i := 0; i < r.Schema.Len(); i++ {
+		header[i] = r.Schema.Attr(i).Name
+	}
+	if err := writeRow(header, "header"); err != nil {
+		return err
+	}
+	row := make([]string, r.Schema.Len())
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			switch {
+			case v.Null:
+				row[i] = ""
+			case r.Schema.Attr(i).Kind == Numeric:
+				row[i] = strconv.FormatFloat(v.Num, 'g', -1, 64)
+			default:
+				row[i] = v.Str
+			}
+		}
+		if err := writeRow(row, "row"); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a relation produced by WriteCSV (or any headered CSV).
+// Column kinds are inferred: a column is Numeric when every non-empty cell
+// parses as a float, Categorical otherwise. Empty cells become Null.
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no header row")
+	}
+	header := records[0]
+	rows := records[1:]
+
+	kinds := make([]Kind, len(header))
+	for j := range header {
+		kinds[j] = Numeric
+		for _, row := range rows {
+			cell := strings.TrimSpace(row[j])
+			if cell == "" {
+				continue
+			}
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				kinds[j] = Categorical
+				break
+			}
+		}
+	}
+	attrs := make([]Attribute, len(header))
+	for j, name := range header {
+		attrs[j] = Attribute{Name: name, Kind: kinds[j]}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	rel := NewRelation(schema)
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("dataset: row %d has %d cells, want %d", i+1, len(row), len(header))
+		}
+		t := make(Tuple, len(row))
+		for j, cell := range row {
+			cell = strings.TrimSpace(cell)
+			if cell == "" {
+				t[j] = Null()
+				continue
+			}
+			if kinds[j] == Numeric {
+				f, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: row %d col %d: %w", i+1, j, err)
+				}
+				t[j] = Num(f)
+			} else {
+				t[j] = Str(cell)
+			}
+		}
+		rel.Tuples = append(rel.Tuples, t)
+	}
+	return rel, nil
+}

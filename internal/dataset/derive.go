@@ -1,0 +1,38 @@
+package dataset
+
+import "fmt"
+
+// Derive returns a new relation extending rel with a computed column —
+// feature engineering such as the minute-of-day phase that turns absolute
+// timestamps into a recurrence axis for CRR conditions. The function f maps
+// each tuple to the new cell; existing tuples are not copied deeply (the new
+// tuples share the original cells).
+func Derive(rel *Relation, attr Attribute, f func(Tuple) Value) (*Relation, error) {
+	attrs := append(rel.Schema.Attrs(), attr)
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: derive %q: %w", attr.Name, err)
+	}
+	out := NewRelation(schema)
+	out.Tuples = make([]Tuple, len(rel.Tuples))
+	for i, t := range rel.Tuples {
+		nt := make(Tuple, len(t)+1)
+		copy(nt, t)
+		nt[len(t)] = f(t)
+		out.Tuples[i] = nt
+	}
+	return out, nil
+}
+
+// DeriveNumeric is Derive for a numeric column computed from numeric cells;
+// f receives the tuple and returns the value. Null results are allowed by
+// returning ok=false.
+func DeriveNumeric(rel *Relation, name string, f func(Tuple) (float64, bool)) (*Relation, error) {
+	return Derive(rel, Attribute{Name: name, Kind: Numeric}, func(t Tuple) Value {
+		v, ok := f(t)
+		if !ok {
+			return Null()
+		}
+		return Num(v)
+	})
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeriveAddsColumn(t *testing.T) {
+	r := sampleRelation()
+	out, err := Derive(r, Attribute{Name: "X2", Kind: Numeric}, func(tp Tuple) Value {
+		return Num(tp[0].Num * 2)
+	})
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if out.Schema.Len() != r.Schema.Len()+1 {
+		t.Fatalf("schema width = %d", out.Schema.Len())
+	}
+	idx := out.Schema.MustIndex("X2")
+	for i, tp := range out.Tuples {
+		if tp[idx].Num != r.Tuples[i][0].Num*2 {
+			t.Fatalf("row %d derived %v", i, tp[idx])
+		}
+	}
+	// Original untouched.
+	if r.Schema.Len() != 2 || len(r.Tuples[0]) != 2 {
+		t.Error("Derive mutated the input relation")
+	}
+}
+
+func TestDeriveDuplicateName(t *testing.T) {
+	r := sampleRelation()
+	if _, err := Derive(r, Attribute{Name: "X", Kind: Numeric}, func(Tuple) Value { return Num(0) }); err == nil {
+		t.Fatal("duplicate column name accepted")
+	}
+}
+
+func TestDeriveNumericNulls(t *testing.T) {
+	r := sampleRelation()
+	out, err := DeriveNumeric(r, "Phase", func(tp Tuple) (float64, bool) {
+		if tp[0].Num < 5 {
+			return 0, false
+		}
+		return math.Mod(tp[0].Num, 3), true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := out.Schema.MustIndex("Phase")
+	if !out.Tuples[0][idx].Null {
+		t.Error("expected null derived cell")
+	}
+	if out.Tuples[7][idx].Num != math.Mod(7, 3) {
+		t.Errorf("derived = %v", out.Tuples[7][idx])
+	}
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import "math/rand"
+
+// AbaloneConfig controls the Abalone generator.
+type AbaloneConfig struct {
+	Rows  int
+	Noise float64 // half-width of the uniform noise on measurements
+	Seed  int64
+}
+
+// DefaultAbaloneConfig matches the real dataset's 4.2k-row scale.
+func DefaultAbaloneConfig() AbaloneConfig {
+	return AbaloneConfig{Rows: 4200, Noise: 0.02, Seed: 5}
+}
+
+// GenerateAbalone builds a synthetic stand-in for the UCI Abalone dataset:
+// per-sex linear allometric relations between sizes, weights and ring count,
+// with bounded noise. Sex-conditional slopes differ for infants, so equality
+// predicates on Sex isolate distinct regression models while the adult M/F
+// models are additive translations of each other.
+//
+// Schema: Sex (categorical), Length, Diameter, Height, WholeWeight,
+// ShuckedWeight, VisceraWeight, ShellWeight, Rings (target).
+func GenerateAbalone(cfg AbaloneConfig) *Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := MustSchema(
+		Attribute{Name: "Sex", Kind: Categorical},
+		Attribute{Name: "Length", Kind: Numeric},
+		Attribute{Name: "Diameter", Kind: Numeric},
+		Attribute{Name: "Height", Kind: Numeric},
+		Attribute{Name: "WholeWeight", Kind: Numeric},
+		Attribute{Name: "ShuckedWeight", Kind: Numeric},
+		Attribute{Name: "VisceraWeight", Kind: Numeric},
+		Attribute{Name: "ShellWeight", Kind: Numeric},
+		Attribute{Name: "Rings", Kind: Numeric},
+	)
+	rel := NewRelation(schema)
+	// Per-sex ring model Rings = slope·Length·20 + intercept; M and F share
+	// the slope (translation δ = 1.5), infants grow on a different slope.
+	ringModel := map[string][2]float64{
+		"M": {0.8, 4.0},
+		"F": {0.8, 5.5},
+		"I": {0.5, 3.0},
+	}
+	sexes := []string{"M", "F", "I"}
+	noise := func() float64 { return cfg.Noise * (2*rng.Float64() - 1) }
+	for i := 0; i < cfg.Rows; i++ {
+		sex := sexes[rng.Intn(len(sexes))]
+		length := 0.2 + rng.Float64()*0.5 // shell length in paper units
+		diameter := 0.8*length - 0.02 + noise()
+		height := 0.3*length + 0.01 + noise()
+		whole := 2.0*length - 0.3 + noise()
+		if whole < 0.01 {
+			whole = 0.01
+		}
+		shucked := 0.45*whole + noise()
+		viscera := 0.22*whole + noise()
+		shell := 0.28*whole + noise()
+		m := ringModel[sex]
+		rings := m[0]*length*20 + m[1] + 5*noise()
+		rel.MustAppend(Tuple{
+			Str(sex), Num(length), Num(diameter), Num(height),
+			Num(whole), Num(shucked), Num(viscera), Num(shell), Num(rings),
+		})
+	}
+	return rel
+}

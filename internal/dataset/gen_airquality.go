@@ -1,0 +1,103 @@
+package dataset
+
+import "math/rand"
+
+// AirQualityConfig controls the AirQuality generator.
+type AirQualityConfig struct {
+	Rows  int     // hourly samples
+	Noise float64 // half-width of the uniform sensor noise
+	Seed  int64
+}
+
+// DefaultAirQualityConfig matches the paper's 9.4k-row scale.
+func DefaultAirQualityConfig() AirQualityConfig {
+	return AirQualityConfig{Rows: 9400, Noise: 0.2, Seed: 2}
+}
+
+// airQualityBase evaluates the piecewise daily pollution regime for
+// hour-of-day h ∈ [0,24): a low night plateau, a morning ramp, a high
+// afternoon plateau and an evening ramp. Each linear piece repeats every day,
+// which is exactly the recurrence CRR Translation captures with Δ = 24.
+func airQualityBase(h float64) float64 {
+	switch {
+	case h < 6:
+		return 2.0
+	case h < 12:
+		return 2.0 + (h-6)*(8.0-2.0)/6.0
+	case h < 18:
+		return 8.0
+	default:
+		return 8.0 - (h-18)*(8.0-2.0)/6.0
+	}
+}
+
+// GenerateAirQuality builds a synthetic stand-in for the UCI AirQuality
+// dataset: hourly sensor channels that are fixed linear functions of a shared
+// daily-periodic pollution signal, plus bounded uniform noise. Sensor columns
+// are linearly coupled, so CRRs conditioned on hour-of-day windows recover
+// shared linear models across days. The column count mirrors the real
+// dataset's width (Table II: 18 columns).
+//
+// Schema: Time (hour index), CO (target), NO2, O3, Temp, Humidity, Benzene,
+// SO2, PM25, PM10, NOx, Pressure, Wind, Toluene, Xylene, NMHC, AbsHumidity,
+// Station (categorical).
+//
+// The extra channels draw from an independent noise stream so the first
+// seven columns are byte-identical to earlier releases of the generator
+// (recorded experiment outputs stay valid).
+func GenerateAirQuality(cfg AirQualityConfig) *Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng2 := rand.New(rand.NewSource(cfg.Seed + 1))
+	schema := MustSchema(
+		Attribute{Name: "Time", Kind: Numeric},
+		Attribute{Name: "CO", Kind: Numeric},
+		Attribute{Name: "NO2", Kind: Numeric},
+		Attribute{Name: "O3", Kind: Numeric},
+		Attribute{Name: "Temp", Kind: Numeric},
+		Attribute{Name: "Humidity", Kind: Numeric},
+		Attribute{Name: "Benzene", Kind: Numeric},
+		Attribute{Name: "SO2", Kind: Numeric},
+		Attribute{Name: "PM25", Kind: Numeric},
+		Attribute{Name: "PM10", Kind: Numeric},
+		Attribute{Name: "NOx", Kind: Numeric},
+		Attribute{Name: "Pressure", Kind: Numeric},
+		Attribute{Name: "Wind", Kind: Numeric},
+		Attribute{Name: "Toluene", Kind: Numeric},
+		Attribute{Name: "Xylene", Kind: Numeric},
+		Attribute{Name: "NMHC", Kind: Numeric},
+		Attribute{Name: "AbsHumidity", Kind: Numeric},
+		Attribute{Name: "Station", Kind: Categorical},
+	)
+	rel := NewRelation(schema)
+	noise := func() float64 { return cfg.Noise * (2*rng.Float64() - 1) }
+	noise2 := func() float64 { return cfg.Noise * (2*rng2.Float64() - 1) }
+	stations := []string{"North", "Center", "South"}
+	for i := 0; i < cfg.Rows; i++ {
+		t := float64(i)
+		h := t - 24*float64(int(t/24))
+		g := airQualityBase(h)
+		co := g + noise()
+		no2 := 3 + 0.5*g + noise()
+		o3 := 12 - 0.8*g + noise()
+		temp := 10 + 1.5*g + noise()
+		hum := 80 - 2*g + noise()
+		benz := 0.3*g + 1 + noise()
+		so2 := 0.7*g + 2 + noise2()
+		pm25 := 4*g + 5 + noise2()
+		pm10 := 6*g + 9 + noise2()
+		nox := 1.2*g + 4 + noise2()
+		pres := 1013 - 0.4*g + noise2()
+		wind := 5 - 0.3*g + noise2()
+		tol := 0.25*g + 0.8 + noise2()
+		xyl := 0.15*g + 0.5 + noise2()
+		nmhc := 0.9*g + 2 + noise2()
+		abshum := 0.6*g + 6 + noise2()
+		rel.MustAppend(Tuple{
+			Num(t), Num(co), Num(no2), Num(o3), Num(temp), Num(hum), Num(benz),
+			Num(so2), Num(pm25), Num(pm10), Num(nox), Num(pres), Num(wind),
+			Num(tol), Num(xyl), Num(nmhc), Num(abshum),
+			Str(stations[i%len(stations)]),
+		})
+	}
+	return rel
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import "math/rand"
+
+// BirdMapConfig controls the BirdMap generator. The zero value is not
+// useful; use DefaultBirdMapConfig.
+type BirdMapConfig struct {
+	Rows  int     // total tuples
+	Birds int     // number of distinct birds
+	Years int     // number of migration years
+	Noise float64 // half-width of the uniform observation noise (bounded!)
+	Seed  int64
+}
+
+// DefaultBirdMapConfig mirrors the structure of the paper's BirdMap dataset
+// at a laptop-friendly size.
+func DefaultBirdMapConfig() BirdMapConfig {
+	return BirdMapConfig{Rows: 8000, Birds: 4, Years: 3, Noise: 0.25, Seed: 1}
+}
+
+// YearLength is the synthetic year length in days. Using an exact constant
+// makes the cross-year translation offset Δ = YearLength recoverable by the
+// Translation inference, which is the phenomenon the paper exploits
+// ("the seasonal migration of birds is similar in different years").
+const YearLength = 365.0
+
+// birdSeason evaluates the deterministic seasonal trajectory for day-of-year
+// d ∈ [0, YearLength): southern plateau, northbound ramp, northern plateau,
+// southbound ramp, southern plateau.
+func birdSeason(d float64) (lat, lon float64) {
+	const (
+		southLat, northLat = 9.0, 58.0
+		southLon, northLon = 20.0, 27.0
+	)
+	switch {
+	case d < 90: // wintering in the south
+		return southLat, southLon
+	case d < 150: // northbound migration, linear ramp
+		f := (d - 90) / 60
+		return southLat + f*(northLat-southLat), southLon + f*(northLon-southLon)
+	case d < 240: // breeding plateau in the north (the constant-Latitude rule)
+		return northLat, northLon
+	case d < 300: // southbound migration
+		f := (d - 240) / 60
+		return northLat - f*(northLat-southLat), northLon - f*(northLon-southLon)
+	default:
+		return southLat, southLon
+	}
+}
+
+// GenerateBirdMap builds a synthetic stand-in for the BirdMap GPS dataset:
+// per-bird seasonal trajectories repeated every YearLength days with a small
+// per-bird additive latitude/longitude offset (so different birds' plateaus
+// are translations of each other) and bounded uniform noise. Bounded noise is
+// essential: CRR semantics bound the *maximum* bias, so unbounded noise would
+// degenerate discovery to per-tuple rules.
+//
+// Schema: Latitude (numeric, target), Longitude (numeric), BirdID
+// (categorical), Date (numeric; absolute day since epoch).
+func GenerateBirdMap(cfg BirdMapConfig) *Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := MustSchema(
+		Attribute{Name: "Latitude", Kind: Numeric},
+		Attribute{Name: "Longitude", Kind: Numeric},
+		Attribute{Name: "BirdID", Kind: Categorical},
+		Attribute{Name: "Date", Kind: Numeric},
+	)
+	rel := NewRelation(schema)
+	if cfg.Rows <= 0 || cfg.Birds <= 0 || cfg.Years <= 0 {
+		return rel
+	}
+	names := []string{"1.Kalakotkas", "2.Maria", "3.Raivo", "4.Mart", "5.Erika", "6.Jaak", "7.Tiiu", "8.Peeter"}
+	offsets := make([]float64, cfg.Birds)
+	for b := range offsets {
+		// Per-bird plateau offset in whole half-degrees so δ between birds is
+		// an exactly representable constant.
+		offsets[b] = 0.5 * float64(b)
+	}
+	rowsPerBird := cfg.Rows / cfg.Birds
+	for b := 0; b < cfg.Birds; b++ {
+		name := names[b%len(names)]
+		if b >= len(names) {
+			name = name + "x"
+		}
+		n := rowsPerBird
+		if b == cfg.Birds-1 {
+			n = cfg.Rows - rowsPerBird*(cfg.Birds-1)
+		}
+		for i := 0; i < n; i++ {
+			// Spread observations uniformly over the whole tracking window.
+			day := float64(cfg.Years) * YearLength * float64(i) / float64(n)
+			doy := day - YearLength*float64(int(day/YearLength))
+			lat, lon := birdSeason(doy)
+			lat += offsets[b] + cfg.Noise*(2*rng.Float64()-1)
+			lon += offsets[b]/2 + cfg.Noise*(2*rng.Float64()-1)
+			rel.MustAppend(Tuple{Num(lat), Num(lon), Str(name), Num(day)})
+		}
+	}
+	return rel
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import "math/rand"
+
+// TaxConfig controls the Tax generator.
+type TaxConfig struct {
+	Rows  int
+	Noise float64 // half-width of the uniform rounding noise on Tax
+	Seed  int64
+}
+
+// DefaultTaxConfig is a scaled-down stand-in for the paper's 100k-row Tax
+// dataset.
+func DefaultTaxConfig() TaxConfig {
+	return TaxConfig{Rows: 16000, Noise: 0.5, Seed: 4}
+}
+
+// taxFormula holds a per-state linear tax rule Tax = Rate·Salary + Base.
+// Several states share a Rate and differ only in Base — exactly the
+// structure the Translation inference (y = δ) exploits; the IA formula is
+// the paper's own example f5(Salary) = 0.04·Salary − 230.
+type taxFormula struct {
+	state string
+	rate  float64
+	base  float64
+}
+
+var taxFormulas = []taxFormula{
+	{"IA", 0.04, -230},
+	{"NY", 0.04, -110}, // shares the IA slope: δ = 120 translation
+	{"TX", 0.04, 0},    // flat variant of the same slope
+	{"CA", 0.06, -300},
+	{"WA", 0.06, -180}, // shares the CA slope
+	{"FL", 0.02, 50},
+	{"AZ", 0.05, -90},
+	{"OR", 0.05, -20}, // shares the AZ slope
+}
+
+// maritalAdjust is a per-status additive adjustment to the tax owed; it keeps
+// the per-(state, status) relation linear with the same slope, so rules
+// conditioned only on state still hold with a wider bias and rules
+// conditioned on both are exact.
+var maritalAdjust = map[string]float64{"S": 0, "M": -50, "W": -20}
+
+// GenerateTax builds a synthetic relational tax dataset with
+// state-conditional linear tax formulas, many of which are additive
+// translations of each other across states.
+//
+// Schema: Salary (numeric), State (categorical), MaritalStatus (categorical),
+// Dependents (numeric), Tax (numeric, target), Zip (numeric), plus the
+// auxiliary columns Age, YearsEmployed, Deduction, ChildCredit, StateRate,
+// Withheld, City (categorical) — approaching the real dataset's width
+// (Table II: 17 columns).
+//
+// The extra columns draw from an independent random stream so the first six
+// columns are byte-identical to earlier releases of the generator.
+func GenerateTax(cfg TaxConfig) *Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng2 := rand.New(rand.NewSource(cfg.Seed + 1))
+	schema := MustSchema(
+		Attribute{Name: "Salary", Kind: Numeric},
+		Attribute{Name: "State", Kind: Categorical},
+		Attribute{Name: "MaritalStatus", Kind: Categorical},
+		Attribute{Name: "Dependents", Kind: Numeric},
+		Attribute{Name: "Tax", Kind: Numeric},
+		Attribute{Name: "Zip", Kind: Numeric},
+		Attribute{Name: "Age", Kind: Numeric},
+		Attribute{Name: "YearsEmployed", Kind: Numeric},
+		Attribute{Name: "Deduction", Kind: Numeric},
+		Attribute{Name: "ChildCredit", Kind: Numeric},
+		Attribute{Name: "StateRate", Kind: Numeric},
+		Attribute{Name: "Withheld", Kind: Numeric},
+		Attribute{Name: "City", Kind: Categorical},
+	)
+	rel := NewRelation(schema)
+	statuses := []string{"S", "M", "W"}
+	cities := []string{"Springfield", "Riverton", "Lakeside", "Hillview"}
+	for i := 0; i < cfg.Rows; i++ {
+		f := taxFormulas[rng.Intn(len(taxFormulas))]
+		status := statuses[rng.Intn(len(statuses))]
+		salary := 20000 + rng.Float64()*80000
+		deps := float64(rng.Intn(5))
+		tax := f.rate*salary + f.base + maritalAdjust[status] + cfg.Noise*(2*rng.Float64()-1)
+		zip := 10000 + float64(rng.Intn(90000))
+		age := 22 + float64(rng2.Intn(45))
+		years := float64(rng2.Intn(int(age) - 18))
+		deduction := 1000*deps + 500 + cfg.Noise*(2*rng2.Float64()-1)
+		credit := 2000 * deps
+		withheld := 0.9*tax + 200*rng2.Float64()
+		city := cities[rng2.Intn(len(cities))]
+		rel.MustAppend(Tuple{
+			Num(salary), Str(f.state), Str(status), Num(deps), Num(tax), Num(zip),
+			Num(age), Num(years), Num(deduction), Num(credit),
+			Num(f.rate), Num(withheld), Str(city),
+		})
+	}
+	return rel
+}

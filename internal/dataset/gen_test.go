@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateBirdMapShape(t *testing.T) {
+	cfg := DefaultBirdMapConfig()
+	cfg.Rows = 1000
+	r := GenerateBirdMap(cfg)
+	if r.Len() != 1000 {
+		t.Fatalf("rows = %d, want 1000", r.Len())
+	}
+	if got := len(r.CategoricalDomain(r.Schema.MustIndex("BirdID"))); got != cfg.Birds {
+		t.Errorf("birds = %d, want %d", got, cfg.Birds)
+	}
+	latIdx := r.Schema.MustIndex("Latitude")
+	for _, tp := range r.Tuples {
+		lat := tp[latIdx].Num
+		if lat < 5 || lat > 65 {
+			t.Fatalf("latitude %v out of plausible range", lat)
+		}
+	}
+}
+
+func TestGenerateBirdMapDeterministic(t *testing.T) {
+	cfg := DefaultBirdMapConfig()
+	cfg.Rows = 200
+	a := GenerateBirdMap(cfg)
+	b := GenerateBirdMap(cfg)
+	for i := range a.Tuples {
+		if a.Tuples[i][0].Num != b.Tuples[i][0].Num {
+			t.Fatal("generator not deterministic for equal seeds")
+		}
+	}
+	cfg.Seed = 99
+	c := GenerateBirdMap(cfg)
+	same := true
+	for i := range a.Tuples {
+		if a.Tuples[i][0].Num != c.Tuples[i][0].Num {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestGenerateBirdMapRecurrence(t *testing.T) {
+	// The deterministic part of the trajectory must repeat with period
+	// YearLength: season(d) == season(d+YearLength).
+	for d := 0.0; d < YearLength; d += 7 {
+		lat1, lon1 := birdSeason(d)
+		lat2, lon2 := birdSeason(d) // same day-of-year next year maps to same point
+		if lat1 != lat2 || lon1 != lon2 {
+			t.Fatal("birdSeason not deterministic")
+		}
+	}
+	// Plateau check: breeding season is constant latitude.
+	lat1, _ := birdSeason(160)
+	lat2, _ := birdSeason(230)
+	if lat1 != lat2 {
+		t.Errorf("breeding plateau not constant: %v vs %v", lat1, lat2)
+	}
+}
+
+func TestGenerateBirdMapZeroRows(t *testing.T) {
+	cfg := DefaultBirdMapConfig()
+	cfg.Rows = 0
+	if r := GenerateBirdMap(cfg); r.Len() != 0 {
+		t.Fatal("zero rows requested but tuples generated")
+	}
+}
+
+func TestGenerateAirQualityShape(t *testing.T) {
+	cfg := DefaultAirQualityConfig()
+	cfg.Rows = 500
+	r := GenerateAirQuality(cfg)
+	if r.Len() != 500 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	if r.Schema.Len() != 18 {
+		t.Fatalf("cols = %d, want 18 (Table II width)", r.Schema.Len())
+	}
+	// Sensor coupling: NO2 ≈ 3 + 0.5·CO within twice the noise bound (both
+	// channels carry noise of half-width cfg.Noise).
+	co := r.Schema.MustIndex("CO")
+	no2 := r.Schema.MustIndex("NO2")
+	for _, tp := range r.Tuples {
+		want := 3 + 0.5*tp[co].Num
+		if math.Abs(tp[no2].Num-want) > 2*cfg.Noise+1e-9 {
+			t.Fatalf("NO2 decoupled from CO: %v vs %v", tp[no2].Num, want)
+		}
+	}
+}
+
+func TestAirQualityDailyPeriodicity(t *testing.T) {
+	for h := 0.0; h < 24; h++ {
+		if airQualityBase(h) != airQualityBase(h) {
+			t.Fatal("airQualityBase not deterministic")
+		}
+	}
+	if airQualityBase(2) != airQualityBase(4) {
+		t.Error("night plateau not constant")
+	}
+	if airQualityBase(13) != airQualityBase(17) {
+		t.Error("afternoon plateau not constant")
+	}
+	if airQualityBase(9) <= airQualityBase(6) {
+		t.Error("morning ramp not increasing")
+	}
+}
+
+func TestGenerateElectricityShape(t *testing.T) {
+	cfg := DefaultElectricityConfig()
+	cfg.Rows = 2000
+	r := GenerateElectricity(cfg)
+	if r.Len() != 2000 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	gap := r.Schema.MustIndex("GlobalActivePower")
+	s1 := r.Schema.MustIndex("Sub1")
+	s2 := r.Schema.MustIndex("Sub2")
+	s3 := r.Schema.MustIndex("Sub3")
+	for _, tp := range r.Tuples {
+		sum := tp[s1].Num + tp[s2].Num + tp[s3].Num + 0.3
+		if math.Abs(tp[gap].Num-sum) > cfg.Noise+1e-9 {
+			t.Fatalf("GAP decoupled from sub-meters: %v vs %v", tp[gap].Num, sum)
+		}
+	}
+}
+
+func TestElectricityRegimes(t *testing.T) {
+	cases := []struct {
+		minute float64
+		want   int
+	}{{0, 0}, {359, 0}, {360, 1}, {539, 1}, {540, 2}, {1019, 2}, {1020, 3}, {1439, 3}}
+	for _, c := range cases {
+		if got := electricityRegime(c.minute); got != c.want {
+			t.Errorf("regime(%v) = %d, want %d", c.minute, got, c.want)
+		}
+	}
+}
+
+func TestGenerateTaxFormulas(t *testing.T) {
+	cfg := DefaultTaxConfig()
+	cfg.Rows = 3000
+	r := GenerateTax(cfg)
+	if r.Len() != 3000 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	stateIdx := r.Schema.MustIndex("State")
+	salaryIdx := r.Schema.MustIndex("Salary")
+	taxIdx := r.Schema.MustIndex("Tax")
+	statusIdx := r.Schema.MustIndex("MaritalStatus")
+	formulas := make(map[string]taxFormula)
+	for _, f := range taxFormulas {
+		formulas[f.state] = f
+	}
+	for _, tp := range r.Tuples {
+		f := formulas[tp[stateIdx].Str]
+		want := f.rate*tp[salaryIdx].Num + f.base + maritalAdjust[tp[statusIdx].Str]
+		if math.Abs(tp[taxIdx].Num-want) > cfg.Noise+1e-9 {
+			t.Fatalf("state %s: tax %v, want %v ± %v", tp[stateIdx].Str, tp[taxIdx].Num, want, cfg.Noise)
+		}
+	}
+	if got := len(r.CategoricalDomain(stateIdx)); got != len(taxFormulas) {
+		t.Errorf("states = %d, want %d", got, len(taxFormulas))
+	}
+}
+
+func TestGenerateAbaloneShape(t *testing.T) {
+	cfg := DefaultAbaloneConfig()
+	cfg.Rows = 1000
+	r := GenerateAbalone(cfg)
+	if r.Len() != 1000 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	if got := len(r.CategoricalDomain(r.Schema.MustIndex("Sex"))); got != 3 {
+		t.Errorf("sexes = %d, want 3", got)
+	}
+	// Diameter is linear in Length up to the bounded noise.
+	li := r.Schema.MustIndex("Length")
+	di := r.Schema.MustIndex("Diameter")
+	for _, tp := range r.Tuples {
+		want := 0.8*tp[li].Num - 0.02
+		if math.Abs(tp[di].Num-want) > cfg.Noise+1e-9 {
+			t.Fatalf("diameter decoupled: %v vs %v", tp[di].Num, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRelation() *Relation {
+	s := MustSchema(
+		Attribute{Name: "X", Kind: Numeric},
+		Attribute{Name: "Tag", Kind: Categorical},
+	)
+	r := NewRelation(s)
+	for i := 0; i < 10; i++ {
+		tag := "a"
+		if i%2 == 1 {
+			tag = "b"
+		}
+		r.MustAppend(Tuple{Num(float64(i)), Str(tag)})
+	}
+	return r
+}
+
+func TestAppendArity(t *testing.T) {
+	r := sampleRelation()
+	if err := r.Append(Tuple{Num(1)}); err == nil {
+		t.Fatal("Append accepted wrong arity")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := sampleRelation()
+	sel := r.Select(func(tp Tuple) bool { return tp[1].Str == "a" })
+	if sel.Len() != 5 {
+		t.Fatalf("Select len = %d, want 5", sel.Len())
+	}
+	for _, tp := range sel.Tuples {
+		if tp[1].Str != "a" {
+			t.Fatal("Select kept a non-matching tuple")
+		}
+	}
+}
+
+func TestHead(t *testing.T) {
+	r := sampleRelation()
+	if got := r.Head(3).Len(); got != 3 {
+		t.Errorf("Head(3) len = %d", got)
+	}
+	if got := r.Head(100).Len(); got != 10 {
+		t.Errorf("Head(100) len = %d", got)
+	}
+}
+
+func TestColumnWithNull(t *testing.T) {
+	r := sampleRelation()
+	r.Tuples[2] = Tuple{Null(), Str("a")}
+	col := r.Column(0)
+	if !math.IsNaN(col[2]) {
+		t.Error("null cell did not map to NaN")
+	}
+	if col[3] != 3 {
+		t.Errorf("col[3] = %v, want 3", col[3])
+	}
+}
+
+func TestDomainSortedDistinct(t *testing.T) {
+	r := sampleRelation()
+	r.MustAppend(Tuple{Num(3), Str("a")}) // duplicate value
+	d := r.Domain(0)
+	if len(d) != 10 {
+		t.Fatalf("Domain len = %d, want 10 distinct", len(d))
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i-1] >= d[i] {
+			t.Fatal("Domain not strictly sorted")
+		}
+	}
+}
+
+func TestCategoricalDomain(t *testing.T) {
+	r := sampleRelation()
+	d := r.CategoricalDomain(1)
+	if len(d) != 2 || d[0] != "a" || d[1] != "b" {
+		t.Fatalf("CategoricalDomain = %v", d)
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	r := sampleRelation()
+	tr, te := r.Split(0.7)
+	if tr.Len() != 7 || te.Len() != 3 {
+		t.Fatalf("Split(0.7) = %d/%d", tr.Len(), te.Len())
+	}
+	tr, te = r.Split(-1)
+	if tr.Len() != 0 || te.Len() != 10 {
+		t.Fatalf("Split(-1) = %d/%d", tr.Len(), te.Len())
+	}
+	tr, te = r.Split(2)
+	if tr.Len() != 10 || te.Len() != 0 {
+		t.Fatalf("Split(2) = %d/%d", tr.Len(), te.Len())
+	}
+}
+
+func TestMaskMissing(t *testing.T) {
+	r := sampleRelation()
+	masked := r.MaskMissing(0, 0.3, rand.New(rand.NewSource(7)))
+	if len(masked) != 3 {
+		t.Fatalf("masked %d cells, want 3", len(masked))
+	}
+	for _, i := range masked {
+		if !r.Tuples[i][0].Null {
+			t.Errorf("tuple %d not masked", i)
+		}
+	}
+	// Non-masked rows untouched.
+	nulls := 0
+	for _, tp := range r.Tuples {
+		if tp[0].Null {
+			nulls++
+		}
+	}
+	if nulls != 3 {
+		t.Errorf("found %d nulls, want 3", nulls)
+	}
+}
+
+func TestSortByColumnNullsLast(t *testing.T) {
+	r := sampleRelation()
+	r.Tuples[0] = Tuple{Null(), Str("a")}
+	r.Shuffle(rand.New(rand.NewSource(1)))
+	r.SortByColumn(0)
+	last := r.Tuples[len(r.Tuples)-1]
+	if !last[0].Null {
+		t.Fatal("null not sorted last")
+	}
+	for i := 2; i < r.Len()-1; i++ {
+		if r.Tuples[i-1][0].Num > r.Tuples[i][0].Num {
+			t.Fatal("not sorted ascending")
+		}
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	r := sampleRelation()
+	c := r.Clone()
+	c.Tuples[0][0] = Num(999)
+	if r.Tuples[0][0].Num == 999 {
+		t.Error("Clone shares tuples")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sampleRelation()
+	r.Tuples[4] = Tuple{Null(), Str("b")}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != r.Len() {
+		t.Fatalf("round trip len %d, want %d", back.Len(), r.Len())
+	}
+	if back.Schema.Attr(0).Kind != Numeric || back.Schema.Attr(1).Kind != Categorical {
+		t.Fatal("kinds not inferred")
+	}
+	for i, tp := range back.Tuples {
+		want := r.Tuples[i]
+		if tp[0].Null != want[0].Null || (!tp[0].Null && tp[0].Num != want[0].Num) {
+			t.Errorf("row %d numeric mismatch: %+v vs %+v", i, tp[0], want[0])
+		}
+		if tp[1].Str != want[1].Str {
+			t.Errorf("row %d categorical mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Error("empty csv accepted")
+	}
+}
+
+// Property: CSV round trip preserves numeric columns for random relations.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := MustSchema(Attribute{Name: "A", Kind: Numeric}, Attribute{Name: "B", Kind: Numeric})
+		r := NewRelation(s)
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			r.MustAppend(Tuple{Num(rng.NormFloat64() * 1e3), Num(rng.NormFloat64())})
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, r); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil || back.Len() != r.Len() {
+			return false
+		}
+		for i := range back.Tuples {
+			if back.Tuples[i][0].Num != r.Tuples[i][0].Num || back.Tuples[i][1].Num != r.Tuples[i][1].Num {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package dataset provides the relational substrate for CRR discovery:
+// typed schemas, tuples, relations, CSV serialization, and deterministic
+// synthetic generators standing in for the paper's five evaluation datasets
+// (BirdMap, AirQuality, Electricity, Tax, Abalone).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind is the type of an attribute.
+type Kind int
+
+const (
+	// Numeric attributes carry float64 values; regression targets and
+	// translated attributes must be numeric.
+	Numeric Kind = iota
+	// Categorical attributes carry string values; they participate in
+	// equality predicates only.
+	Categorical
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute is a named, typed column of a relation schema.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the columns of a relation. A Schema is immutable after
+// construction; the attribute order defines tuple layout.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// ErrUnknownAttribute is returned when an attribute name is not in a schema.
+var ErrUnknownAttribute = errors.New("dataset: unknown attribute")
+
+// ErrDuplicateAttribute is returned when a schema is built with a repeated
+// attribute name.
+var ErrDuplicateAttribute = errors.New("dataset: duplicate attribute")
+
+// NewSchema builds a schema from attributes, rejecting duplicates.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{attrs: append([]Attribute(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateAttribute, a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for generators and
+// tests where the schema is a literal.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute { return append([]Attribute(nil), s.attrs...) }
+
+// Index returns the position of the named attribute.
+func (s *Schema) Index(name string) (int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownAttribute, name)
+	}
+	return i, nil
+}
+
+// MustIndex is Index that panics on unknown names.
+func (s *Schema) MustIndex(name string) int {
+	i, err := s.Index(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// NumericIndices returns the positions of all numeric attributes, in order.
+func (s *Schema) NumericIndices() []int {
+	var out []int
+	for i, a := range s.attrs {
+		if a.Kind == Numeric {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Value is one cell of a tuple. For Numeric attributes Num carries the value;
+// for Categorical attributes Str does. Null marks a missing cell.
+type Value struct {
+	Num  float64
+	Str  string
+	Null bool
+}
+
+// Num returns a non-null numeric value.
+func Num(v float64) Value { return Value{Num: v} }
+
+// Str returns a non-null categorical value.
+func Str(v string) Value { return Value{Str: v} }
+
+// Null returns a missing value.
+func Null() Value { return Value{Null: true} }
+
+// Tuple is one row; its layout follows the schema attribute order.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewSchemaDuplicate(t *testing.T) {
+	_, err := NewSchema(
+		Attribute{Name: "A", Kind: Numeric},
+		Attribute{Name: "A", Kind: Categorical},
+	)
+	if !errors.Is(err, ErrDuplicateAttribute) {
+		t.Fatalf("err = %v, want ErrDuplicateAttribute", err)
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "A", Kind: Numeric},
+		Attribute{Name: "B", Kind: Categorical},
+	)
+	i, err := s.Index("B")
+	if err != nil || i != 1 {
+		t.Fatalf("Index(B) = %d, %v; want 1, nil", i, err)
+	}
+	if _, err := s.Index("C"); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatalf("Index(C) err = %v, want ErrUnknownAttribute", err)
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	s := MustSchema(Attribute{Name: "A", Kind: Numeric})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex did not panic on unknown attribute")
+		}
+	}()
+	s.MustIndex("nope")
+}
+
+func TestNumericIndices(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "A", Kind: Numeric},
+		Attribute{Name: "B", Kind: Categorical},
+		Attribute{Name: "C", Kind: Numeric},
+	)
+	got := s.NumericIndices()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("NumericIndices = %v, want [0 2]", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Categorical.String() != "categorical" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("Kind(42).String() = %q", Kind(42).String())
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	if v := Num(3.5); v.Null || v.Num != 3.5 {
+		t.Errorf("Num(3.5) = %+v", v)
+	}
+	if v := Str("x"); v.Null || v.Str != "x" {
+		t.Errorf("Str(x) = %+v", v)
+	}
+	if v := Null(); !v.Null {
+		t.Errorf("Null() = %+v", v)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := Tuple{Num(1), Str("x")}
+	b := a.Clone()
+	b[0] = Num(9)
+	if a[0].Num != 1 {
+		t.Error("Tuple.Clone shares storage")
+	}
+}
+
+func TestSchemaAttrs(t *testing.T) {
+	s := MustSchema(Attribute{Name: "A", Kind: Numeric})
+	attrs := s.Attrs()
+	attrs[0].Name = "Z"
+	if s.Attr(0).Name != "A" {
+		t.Error("Attrs() exposes internal slice")
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// AblationSharing isolates the paper's core mechanism: Algorithm 1 with
+// model sharing (Lines 7–10) against the same search with sharing disabled.
+// Sharing should cut models trained, rules emitted and learning time at
+// equal RMSE (§VI-B1).
+func AblationSharing(scale float64) ([]Row, error) {
+	var rows []Row
+	for _, spec := range []DatasetSpec{BirdMapSpec(), ElectricitySpec()} {
+		n := scaled(4000, scale, 800)
+		rel := spec.Gen(n)
+		train, test := splitInterleaved(rel, 5)
+		for _, variant := range []struct {
+			name    string
+			disable bool
+		}{
+			{"sharing-on", false},
+			{"sharing-off", true},
+		} {
+			m := crrFor(spec)
+			m.DisplayName = variant.name
+			m.DisableSharing = variant.disable
+			row, err := runMethod("ablation-sharing", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "variant", 0)
+			if err != nil {
+				return nil, err
+			}
+			row.Param = variant.name
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AblationDelta0 compares the δ0 midpoint rule of Proposition 6 against a
+// least-squares δ (the residual mean) as the sharing shift. The midpoint
+// minimizes the maximum error — the criterion the CRR semantics bound — so
+// it must accept sharing at least as often as the LS shift under the ρ_M
+// gate. The experiment reports, per dataset, how many candidate parts each
+// shift rule would accept for sharing against a reference model.
+func AblationDelta0(scale float64) ([]Row, error) {
+	var rows []Row
+	for _, spec := range []DatasetSpec{BirdMapSpec(), AbaloneSpec()} {
+		rel := spec.Gen(scaled(3000, scale, 600))
+		// Discover with sharing to obtain the model pool and the parts; keep
+		// one rule per part (no fusing/compaction) so each rule's condition
+		// selects a homogeneous candidate part for the shift test.
+		m := crrFor(spec)
+		m.FuseShared = false
+		m.Compact = false
+		if err := m.Fit(rel, spec.XAttrs, spec.YAttr); err != nil {
+			return nil, err
+		}
+		rules := m.Rules()
+		if rules.NumRules() == 0 {
+			continue
+		}
+		ref := rules.Rules[0].Model
+		midpointAccepts, lsAccepts := 0, 0
+		for _, r := range rules.Rules {
+			// Gather the part the rule covers.
+			var idxs []int
+			for i, t := range rel.Tuples {
+				if r.Covers(t) {
+					idxs = append(idxs, i)
+				}
+			}
+			x, y, _ := core.FeatureRows(rel, idxs, rules.XAttrs, rules.YAttr)
+			if len(x) == 0 {
+				continue
+			}
+			if res := regress.ShareTest(ref, x, y, spec.RhoM); res.OK {
+				midpointAccepts++
+			}
+			if lsShareOK(ref, x, y, spec.RhoM) {
+				lsAccepts++
+			}
+		}
+		rows = append(rows,
+			Row{Experiment: "ablation-delta0", Dataset: spec.Name, Method: "midpoint-δ0",
+				Param: "accepts", Rules: midpointAccepts},
+			Row{Experiment: "ablation-delta0", Dataset: spec.Name, Method: "least-squares-δ",
+				Param: "accepts", Rules: lsAccepts},
+		)
+	}
+	return rows, nil
+}
+
+// lsShareOK tests sharing with the least-squares shift (the residual mean)
+// instead of the minimax midpoint.
+func lsShareOK(f regress.Model, x [][]float64, y []float64, rhoM float64) bool {
+	var sum float64
+	for i, row := range x {
+		sum += y[i] - f.Predict(row)
+	}
+	delta := sum / float64(len(x))
+	for i, row := range x {
+		if math.Abs(y[i]-(f.Predict(row)+delta)) > rhoM {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/eval"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// AblationFuse measures eager shared-rule fusion (DiscoverConfig.FuseShared):
+// rule counts and evaluation time with the fusion applied during search
+// versus rules emitted per part. Predictions are identical by construction;
+// the fused set should be much smaller and no slower to evaluate.
+func AblationFuse(scale float64) ([]Row, error) {
+	var rows []Row
+	for _, spec := range []DatasetSpec{BirdMapSpec(), ElectricitySpec()} {
+		rel := spec.Gen(scaled(4000, scale, 800))
+		train, test := splitInterleaved(rel, 5)
+		for _, variant := range []struct {
+			name string
+			fuse bool
+		}{
+			{"fuse-on", true},
+			{"fuse-off", false},
+		} {
+			m := crrFor(spec)
+			m.DisplayName = variant.name
+			m.FuseShared = variant.fuse
+			m.Compact = false // isolate the in-search fusion effect
+			row, err := runMethod("ablation-fuse", spec.Name, m, train, test,
+				spec.XAttrs, spec.YAttr, "variant", 0)
+			if err != nil {
+				return nil, err
+			}
+			row.Param = variant.name
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AblationPrune measures the §VII post-pruning on an over-refined discovery:
+// ρ_M below the noise floor fragments a dataset into many windows; pruning
+// should merge statistically indistinguishable neighbors with little RMSE
+// cost.
+func AblationPrune(scale float64) ([]Row, error) {
+	var rows []Row
+	for _, spec := range []DatasetSpec{AirQualitySpec(), AbaloneSpec()} {
+		rel := spec.Gen(scaled(3000, scale, 600))
+		train, test := splitInterleaved(rel, 5)
+		preds := predicate.Generate(train, spec.CondAttrs, predicate.GeneratorConfig{
+			ExpertCuts: spec.ExpertCuts,
+		})
+		// Deliberately over-refine: a quarter of the dataset's ρ_M.
+		res, err := core.Discover(train, core.DiscoverConfig{
+			XAttrs:  spec.XAttrs,
+			YAttr:   spec.YAttr,
+			RhoM:    spec.RhoM / 4,
+			Preds:   preds,
+			Trainer: regress.LinearTrainer{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rmse0, eval0 := eval.Score(res.Rules, test, spec.YAttr, res.Rules.Fallback)
+		rows = append(rows, Row{
+			Experiment: "ablation-prune", Dataset: spec.Name,
+			Method: "unpruned", Param: "variant",
+			Eval: eval0, RMSE: rmse0, Rules: res.Rules.NumRules(),
+		})
+		var pruned *core.RuleSet
+		pruneTime := eval.Timed(func() {
+			var err2 error
+			pruned, _, err2 = core.Prune(train, res.Rules, core.PruneOptions{})
+			if err2 != nil {
+				err = err2
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		rmse1, eval1 := eval.Score(pruned, test, spec.YAttr, pruned.Fallback)
+		rows = append(rows, Row{
+			Experiment: "ablation-prune", Dataset: spec.Name,
+			Method: "pruned", Param: "variant", Learn: pruneTime,
+			Eval: eval1, RMSE: rmse1, Rules: pruned.NumRules(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// Dataset descriptors bind each paper dataset to its generator, regression
+// signature (X, Y) and condition attributes, so every experiment agrees on
+// the setup.
+
+// DatasetSpec describes one evaluation dataset.
+type DatasetSpec struct {
+	Name string
+	// Gen builds the first n rows deterministically.
+	Gen func(n int) *dataset.Relation
+	// XAttrs/YAttr is the regression signature used throughout §VI.
+	XAttrs []int
+	YAttr  int
+	// CondAttrs feed the predicate generator.
+	CondAttrs []int
+	// ExpertCuts are the domain-knowledge cut points for Table III.
+	ExpertCuts map[int][]float64
+	// RhoM is the per-dataset default bias matched to its value scale.
+	RhoM float64
+	// CompactTol is the Algorithm 2 model tolerance matched to the
+	// dataset's slope-estimation noise (see core.CompactOptions.ModelTol).
+	CompactTol float64
+	// TimeSeries marks datasets where the time-series baselines apply.
+	TimeSeries bool
+}
+
+// BirdMapSpec is the BirdMap stand-in: Latitude regressed on Date,
+// conditions over Date and BirdID. Expert cuts are the true season
+// boundaries of the generator (day-of-year 90/150/240/300 per year).
+func BirdMapSpec() DatasetSpec {
+	cuts := []float64{}
+	for year := 0; year < 3; year++ {
+		base := float64(year) * dataset.YearLength
+		cuts = append(cuts, base+90, base+150, base+240, base+300)
+	}
+	return DatasetSpec{
+		Name: "BirdMap",
+		Gen: func(n int) *dataset.Relation {
+			cfg := dataset.DefaultBirdMapConfig()
+			cfg.Rows = n
+			return dataset.GenerateBirdMap(cfg)
+		},
+		XAttrs:     []int{3}, // Date
+		YAttr:      0,        // Latitude
+		CondAttrs:  []int{3, 2},
+		ExpertCuts: map[int][]float64{3: cuts},
+		RhoM:       1.0,
+		CompactTol: 0.01,
+		TimeSeries: true,
+	}
+}
+
+// AirQualitySpec regresses CO on Time with hour-of-day expert cuts.
+func AirQualitySpec() DatasetSpec {
+	cuts := []float64{}
+	for day := 0; day < 14; day++ {
+		base := float64(day) * 24
+		cuts = append(cuts, base+6, base+12, base+18)
+	}
+	return DatasetSpec{
+		Name: "AirQuality",
+		Gen: func(n int) *dataset.Relation {
+			cfg := dataset.DefaultAirQualityConfig()
+			cfg.Rows = n
+			return dataset.GenerateAirQuality(cfg)
+		},
+		XAttrs:     []int{0}, // Time
+		YAttr:      1,        // CO
+		CondAttrs:  []int{0},
+		ExpertCuts: map[int][]float64{0: cuts},
+		RhoM:       1.0,
+		CompactTol: 0.05,
+		TimeSeries: true,
+	}
+}
+
+// ElectricitySpec regresses GlobalActivePower on Time.
+func ElectricitySpec() DatasetSpec {
+	return DatasetSpec{
+		Name: "Electricity",
+		Gen: func(n int) *dataset.Relation {
+			cfg := dataset.DefaultElectricityConfig()
+			cfg.Rows = n
+			return dataset.GenerateElectricity(cfg)
+		},
+		XAttrs:     []int{0}, // Time
+		YAttr:      1,        // GlobalActivePower
+		CondAttrs:  []int{0},
+		RhoM:       0.5,
+		CompactTol: 0.01,
+		TimeSeries: true,
+	}
+}
+
+// TaxSpec regresses Tax on Salary with categorical conditions.
+func TaxSpec() DatasetSpec {
+	return DatasetSpec{
+		Name: "Tax",
+		Gen: func(n int) *dataset.Relation {
+			cfg := dataset.DefaultTaxConfig()
+			cfg.Rows = n
+			return dataset.GenerateTax(cfg)
+		},
+		XAttrs:     []int{0},    // Salary
+		YAttr:      4,           // Tax
+		CondAttrs:  []int{1, 2}, // State, MaritalStatus
+		RhoM:       60,          // tax dollars: salary ranges are 1e4–1e5
+		CompactTol: 0.002,
+		TimeSeries: false,
+	}
+}
+
+// AbaloneSpec regresses Rings on Length with Sex conditions. The expert cut
+// separates juveniles from adults at the generator's regime scale.
+func AbaloneSpec() DatasetSpec {
+	return DatasetSpec{
+		Name: "Abalone",
+		Gen: func(n int) *dataset.Relation {
+			cfg := dataset.DefaultAbaloneConfig()
+			cfg.Rows = n
+			return dataset.GenerateAbalone(cfg)
+		},
+		XAttrs:     []int{1},    // Length
+		YAttr:      8,           // Rings
+		CondAttrs:  []int{0, 1}, // Sex, Length
+		ExpertCuts: map[int][]float64{1: {0.35, 0.5}},
+		RhoM:       0.5,
+		CompactTol: 0.5,
+		TimeSeries: false,
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"github.com/crrlab/crr/internal/baseline"
+)
+
+// The paper's §VI-B1 notes that the Figure 2/3-style comparisons on BirdMap
+// and Abalone are "reported in the full version technique report, owing to
+// limited space". These two experiments regenerate them.
+
+// ExtraBirdMap runs the Figure 2 roster on the BirdMap stand-in (time
+// series: all methods apply).
+func ExtraBirdMap(scale float64) ([]Row, error) {
+	spec := BirdMapSpec()
+	sizes := []int{
+		scaled(1000, scale, 200), scaled(2000, scale, 400),
+		scaled(4000, scale, 800), scaled(8000, scale, 1600),
+	}
+	roster := func() []baseline.Method {
+		return []baseline.Method{
+			crrFor(spec),
+			&baseline.RegTree{RhoM: spec.RhoM, SplitAttrs: spec.CondAttrs},
+			&baseline.EBLR{},
+			&baseline.AR{},
+			&baseline.SampLR{},
+			&baseline.MCLR{},
+			&baseline.Forest{Trees: 8},
+			&baseline.DHR{Periods: []float64{365}},
+			&baseline.Recur{},
+		}
+	}
+	return scalabilitySweep("extra-birdmap", spec, sizes, roster)
+}
+
+// ExtraAbalone runs the Figure 4 roster on the Abalone stand-in
+// (relational: CRR, RegTree, SampLR, MCLR, as in the paper's Figure 4).
+func ExtraAbalone(scale float64) ([]Row, error) {
+	spec := AbaloneSpec()
+	sizes := []int{
+		scaled(1000, scale, 200), scaled(2000, scale, 400), scaled(4200, scale, 800),
+	}
+	roster := func() []baseline.Method {
+		return []baseline.Method{
+			crrFor(spec),
+			&baseline.RegTree{RhoM: spec.RhoM, SplitAttrs: spec.CondAttrs},
+			&baseline.SampLR{},
+			&baseline.MCLR{},
+		}
+	}
+	return scalabilitySweep("extra-abalone", spec, sizes, roster)
+}

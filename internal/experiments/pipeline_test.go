@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/impute"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// TestFullPipelinePerDataset drives the complete system on every dataset
+// stand-in: generate → discover (Algorithm 1) → compact (Algorithm 2) →
+// persist/restore → impute, asserting the Problem 1 invariants at each step.
+func TestFullPipelinePerDataset(t *testing.T) {
+	specs := []DatasetSpec{
+		BirdMapSpec(), AirQualitySpec(), ElectricitySpec(), TaxSpec(), AbaloneSpec(),
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			rel := spec.Gen(1200)
+			preds := predicate.Generate(rel, spec.CondAttrs, predicate.GeneratorConfig{
+				ExpertCuts: spec.ExpertCuts,
+			})
+			res, err := core.Discover(rel, core.DiscoverConfig{
+				XAttrs:  spec.XAttrs,
+				YAttr:   spec.YAttr,
+				RhoM:    spec.RhoM,
+				Preds:   preds,
+				Trainer: regress.LinearTrainer{},
+			})
+			if err != nil {
+				t.Fatalf("discover: %v", err)
+			}
+			if cov := res.Rules.Coverage(rel); cov != 1 {
+				t.Fatalf("discovery coverage = %v", cov)
+			}
+			if !res.Rules.Holds(rel) {
+				t.Fatal("discovered rules violated on training data")
+			}
+
+			compacted, _ := core.CompactOpts(res.Rules, core.CompactOptions{ModelTol: spec.CompactTol})
+			if compacted.NumRules() > res.Rules.NumRules() {
+				t.Error("compaction grew the rule set")
+			}
+			if cov := compacted.Coverage(rel); cov != 1 {
+				t.Errorf("compacted coverage = %v", cov)
+			}
+
+			// Persist and restore; predictions must survive byte-for-byte.
+			var buf bytes.Buffer
+			if err := core.WriteRuleSet(&buf, compacted); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			restored, err := core.ReadRuleSet(&buf)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			for _, tp := range rel.Tuples[:100] {
+				p1, ok1 := compacted.Predict(tp)
+				p2, ok2 := restored.Predict(tp)
+				if ok1 != ok2 || math.Abs(p1-p2) > 1e-9 {
+					t.Fatalf("persistence changed prediction: %v/%v vs %v/%v", p1, ok1, p2, ok2)
+				}
+			}
+
+			// Imputation at 10% missing stays near the generator's noise.
+			masked := rel.Clone()
+			holes := masked.MaskMissing(spec.YAttr, 0.1, rand.New(rand.NewSource(9)))
+			rmse, st, err := impute.Evaluate(masked, rel, spec.YAttr, holes,
+				impute.RuleSetPredictor{Rules: restored, UseFallback: true})
+			if err != nil {
+				t.Fatalf("impute: %v", err)
+			}
+			if st.Imputed == 0 {
+				t.Fatal("nothing imputed")
+			}
+			// Generous per-dataset sanity bound: 4× the ρ_M scale.
+			if rmse > 4*spec.RhoM {
+				t.Errorf("imputation RMSE %v above 4·ρ_M = %v", rmse, 4*spec.RhoM)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialQuality cross-checks DiscoverParallel on two
+// dataset stand-ins.
+func TestParallelMatchesSequentialQuality(t *testing.T) {
+	for _, spec := range []DatasetSpec{ElectricitySpec(), TaxSpec()} {
+		rel := spec.Gen(2000)
+		preds := predicate.Generate(rel, spec.CondAttrs, predicate.GeneratorConfig{})
+		cfg := core.DiscoverConfig{
+			XAttrs: spec.XAttrs, YAttr: spec.YAttr, RhoM: spec.RhoM,
+			Preds: preds, Trainer: regress.LinearTrainer{},
+		}
+		seq, err := core.Discover(rel, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := core.DiscoverParallel(rel, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov := par.Rules.Coverage(rel); cov != 1 {
+			t.Errorf("%s: parallel coverage %v", spec.Name, cov)
+		}
+		sr, pr := seq.Rules.RMSE(rel), par.Rules.RMSE(rel)
+		if pr > 2*sr+0.1*spec.RhoM {
+			t.Errorf("%s: parallel RMSE %v vs sequential %v", spec.Name, pr, sr)
+		}
+	}
+}
+
+// TestMaintainOnGrowingBirdMap simulates the streaming scenario: discover on
+// two years of tracking data, then ingest the third year incrementally; the
+// recurring seasonal regimes should be absorbed mostly by sharing or
+// satisfaction, not full re-discovery.
+func TestMaintainOnGrowingBirdMap(t *testing.T) {
+	spec := BirdMapSpec()
+	full := spec.Gen(3000)
+	dateIdx := spec.XAttrs[0]
+	// Train on the first two years; the third arrives as a stream.
+	train := dataset.NewRelation(full.Schema)
+	var newIdx []int
+	for i, tp := range full.Tuples {
+		if tp[dateIdx].Num < 730 {
+			train.Tuples = append(train.Tuples, tp)
+		} else {
+			newIdx = append(newIdx, i)
+		}
+	}
+	preds := predicate.Generate(full, spec.CondAttrs, predicate.GeneratorConfig{})
+	cfg := core.DiscoverConfig{
+		XAttrs: spec.XAttrs, YAttr: spec.YAttr, RhoM: spec.RhoM,
+		Preds: preds, Trainer: regress.LinearTrainer{},
+	}
+	res, err := core.Discover(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := core.Maintain(full, res.Rules, newIdx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rediscovered == len(newIdx) {
+		t.Error("every third-year tuple was re-discovered; nothing was absorbed")
+	}
+	// Maintain's contract: either the maintained set holds on the whole
+	// database, or it reports Conflicts — rules violated by new tuples that
+	// interleave with the rules' own satisfied data (here: year-3 ramp
+	// fixes under an old open plateau window) — signalling that a full
+	// re-discovery is needed.
+	if st.Conflicts == 0 && !out.Holds(full) {
+		t.Error("maintained rules violated without reporting a conflict")
+	}
+	if st.Conflicts > 0 {
+		// The escape hatch must work: re-discovery over the full track.
+		res2, err := core.Discover(full, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res2.Rules.Holds(full) {
+			t.Error("full re-discovery still violated")
+		}
+	}
+}

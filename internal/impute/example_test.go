@@ -1,0 +1,39 @@
+package impute_test
+
+import (
+	"fmt"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/impute"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// ExampleFill imputes a missing target cell with a rule set — the paper's
+// t6 scenario from Table I.
+func ExampleFill() {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "Date", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Latitude", Kind: dataset.Numeric},
+	)
+	rel := dataset.NewRelation(schema)
+	rel.MustAppend(dataset.Tuple{dataset.Num(100), dataset.Null()}) // missing
+	rel.MustAppend(dataset.Tuple{dataset.Num(120), dataset.Num(58)})
+
+	rules := &core.RuleSet{
+		Schema: schema, XAttrs: []int{0}, YAttr: 1,
+		Rules: []core.CRR{{
+			Model: regress.NewConstant(58, 1), Rho: 0.5,
+			Cond: predicate.NewDNF(predicate.NewConjunction(
+				predicate.NumPred(0, predicate.Ge, 90))),
+			XAttrs: []int{0}, YAttr: 1,
+		}},
+	}
+	st, err := impute.Fill(rel, 1, impute.RuleSetPredictor{Rules: rules})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(st.Imputed, rel.Tuples[0][1].Num)
+	// Output: 1 58
+}

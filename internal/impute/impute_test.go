@@ -1,0 +1,154 @@
+package impute
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+func testSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Y", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Tag", Kind: dataset.Categorical},
+	)
+}
+
+// exactLine builds tuples on y = 2x and a rule set that predicts it exactly
+// for x ≥ 0.
+func exactLine(n int) (*dataset.Relation, *core.RuleSet) {
+	rel := dataset.NewRelation(testSchema())
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		rel.MustAppend(dataset.Tuple{dataset.Num(x), dataset.Num(2 * x), dataset.Str("a")})
+	}
+	rs := &core.RuleSet{
+		Schema: rel.Schema, XAttrs: []int{0}, YAttr: 1,
+		Rules: []core.CRR{{
+			Model: regress.NewLinear(0, 2), Rho: 0.1,
+			Cond:   predicate.NewDNF(predicate.NewConjunction(predicate.NumPred(0, predicate.Ge, 0))),
+			XAttrs: []int{0}, YAttr: 1,
+		}},
+		Fallback: 42,
+	}
+	return rel, rs
+}
+
+func TestFillImputesNulls(t *testing.T) {
+	rel, rs := exactLine(20)
+	rng := rand.New(rand.NewSource(1))
+	masked := rel.MaskMissing(1, 0.25, rng)
+	st, err := Fill(rel, 1, RuleSetPredictor{Rules: rs})
+	if err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	if st.Imputed != len(masked) || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want %d imputed", st, len(masked))
+	}
+	for _, i := range masked {
+		got := rel.Tuples[i][1]
+		if got.Null {
+			t.Fatalf("row %d still null", i)
+		}
+		want := 2 * rel.Tuples[i][0].Num
+		if got.Num != want {
+			t.Errorf("row %d imputed %v, want %v", i, got.Num, want)
+		}
+	}
+}
+
+func TestFillCountsFailed(t *testing.T) {
+	rel, rs := exactLine(10)
+	// A tuple outside every rule's condition.
+	rel.MustAppend(dataset.Tuple{dataset.Num(-5), dataset.Null(), dataset.Str("a")})
+	st, err := Fill(rel, 1, RuleSetPredictor{Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", st.Failed)
+	}
+	if !rel.Tuples[10][1].Null {
+		t.Error("uncovered cell was filled")
+	}
+}
+
+func TestFillWithFallback(t *testing.T) {
+	rel, rs := exactLine(10)
+	rel.MustAppend(dataset.Tuple{dataset.Num(-5), dataset.Null(), dataset.Str("a")})
+	st, err := Fill(rel, 1, RuleSetPredictor{Rules: rs, UseFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failed != 0 {
+		t.Errorf("Failed = %d with fallback enabled", st.Failed)
+	}
+	if got := rel.Tuples[10][1].Num; got != 42 {
+		t.Errorf("fallback imputed %v, want 42", got)
+	}
+}
+
+func TestFillRejectsCategorical(t *testing.T) {
+	rel, rs := exactLine(5)
+	if _, err := Fill(rel, 2, RuleSetPredictor{Rules: rs}); !errors.Is(err, ErrColumnKind) {
+		t.Errorf("err = %v, want ErrColumnKind", err)
+	}
+}
+
+func TestEvaluateScoresAgainstTruth(t *testing.T) {
+	original, rs := exactLine(40)
+	masked := original.Clone()
+	rng := rand.New(rand.NewSource(2))
+	rows := masked.MaskMissing(1, 0.3, rng)
+	rmse, st, err := Evaluate(masked, original, 1, rows, RuleSetPredictor{Rules: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse != 0 {
+		t.Errorf("RMSE = %v on an exact rule, want 0", rmse)
+	}
+	if st.Imputed != len(rows) {
+		t.Errorf("Imputed = %d, want %d", st.Imputed, len(rows))
+	}
+	// Evaluate must not mutate masked.
+	for _, i := range rows {
+		if !masked.Tuples[i][1].Null {
+			t.Fatal("Evaluate mutated the masked relation")
+		}
+	}
+}
+
+func TestEvaluateSkipsNullTruth(t *testing.T) {
+	original, rs := exactLine(5)
+	original.Tuples[3] = dataset.Tuple{dataset.Num(3), dataset.Null(), dataset.Str("a")}
+	masked := original.Clone()
+	rmse, st, err := Evaluate(masked, original, 1, []int{3}, RuleSetPredictor{Rules: rs})
+	if err != nil || rmse != 0 || st.Imputed != 0 {
+		t.Errorf("Evaluate on null truth: rmse=%v st=%+v err=%v", rmse, st, err)
+	}
+}
+
+func TestFillCopyOnWrite(t *testing.T) {
+	rel, rs := exactLine(10)
+	rng := rand.New(rand.NewSource(3))
+	rel.MaskMissing(1, 0.2, rng)
+	shared := rel.Head(rel.Len()) // shares tuple slice headers
+	snapshot := make([]dataset.Tuple, len(shared.Tuples))
+	copy(snapshot, shared.Tuples)
+	if _, err := Fill(rel, 1, RuleSetPredictor{Rules: rs}); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot tuples themselves must be unchanged (copy-on-write).
+	for i, tp := range snapshot {
+		for j := range tp {
+			if tp[j] != snapshot[i][j] {
+				t.Fatal("Fill mutated shared tuple storage")
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package impute
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// Multi-column imputation: when several columns have holes, a rule set for
+// column A may need column B's value and vice versa. FillAll sweeps the
+// columns round-robin, filling what is currently predictable; each pass can
+// unlock cells for the next (a MICE-style fixed-point without the
+// re-estimation step — the rule sets stay fixed).
+
+// ColumnPredictor binds a target column to the predictor imputing it.
+type ColumnPredictor struct {
+	Col       int
+	Predictor Predictor
+}
+
+// MultiStats reports a FillAll run.
+type MultiStats struct {
+	// Imputed counts filled cells over all columns and passes.
+	Imputed int
+	// Failed counts cells still null after the final pass.
+	Failed int
+	// Passes is the number of round-robin sweeps executed.
+	Passes int
+	// Duration is the total wall-clock time.
+	Duration time.Duration
+}
+
+// FillAll imputes the null cells of every configured column in place,
+// sweeping round-robin until a full pass makes no progress or maxPasses is
+// reached (0 means len(columns)+1, enough for any acyclic dependency chain).
+func FillAll(rel *dataset.Relation, columns []ColumnPredictor, maxPasses int) (MultiStats, error) {
+	var st MultiStats
+	start := time.Now()
+	for _, c := range columns {
+		if rel.Schema.Attr(c.Col).Kind != dataset.Numeric {
+			return st, fmt.Errorf("%w: column %d", ErrColumnKind, c.Col)
+		}
+	}
+	if maxPasses <= 0 {
+		maxPasses = len(columns) + 1
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		st.Passes++
+		filled := 0
+		for _, c := range columns {
+			cs, err := Fill(rel, c.Col, c.Predictor)
+			if err != nil {
+				return st, err
+			}
+			filled += cs.Imputed
+		}
+		st.Imputed += filled
+		if filled == 0 {
+			break
+		}
+	}
+	for _, c := range columns {
+		for _, t := range rel.Tuples {
+			if t[c.Col].Null {
+				st.Failed++
+			}
+		}
+	}
+	st.Duration = time.Since(start)
+	return st, nil
+}

@@ -1,0 +1,104 @@
+package impute
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// chainSchema: A → B → C where B is predicted from A and C from B, so C's
+// holes only become fillable after B's pass.
+func chainSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Attribute{Name: "A", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "B", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "C", Kind: dataset.Numeric},
+	)
+}
+
+// chainRules builds the exact rule B = 2A and C = B + 1 over all data.
+func chainRules(schema *dataset.Schema) (bRules, cRules *core.RuleSet) {
+	all := predicate.NewDNF(predicate.NewConjunction())
+	bRules = &core.RuleSet{
+		Schema: schema, XAttrs: []int{0}, YAttr: 1,
+		Rules: []core.CRR{{
+			Model: regress.NewLinear(0, 2), Rho: 0.01,
+			Cond: all, XAttrs: []int{0}, YAttr: 1,
+		}},
+	}
+	cRules = &core.RuleSet{
+		Schema: schema, XAttrs: []int{1}, YAttr: 2,
+		Rules: []core.CRR{{
+			Model: regress.NewLinear(1, 1), Rho: 0.01,
+			Cond: all.Clone(), XAttrs: []int{1}, YAttr: 2,
+		}},
+	}
+	return bRules, cRules
+}
+
+func TestFillAllChainedDependencies(t *testing.T) {
+	schema := chainSchema()
+	rel := dataset.NewRelation(schema)
+	// Row with B and C missing: C needs B, which needs A.
+	rel.MustAppend(dataset.Tuple{dataset.Num(3), dataset.Null(), dataset.Null()})
+	rel.MustAppend(dataset.Tuple{dataset.Num(1), dataset.Num(2), dataset.Num(3)})
+	bRules, cRules := chainRules(schema)
+
+	// Adversarial order: C first, so the first pass cannot fill it.
+	st, err := FillAll(rel, []ColumnPredictor{
+		{Col: 2, Predictor: RuleSetPredictor{Rules: cRules}},
+		{Col: 1, Predictor: RuleSetPredictor{Rules: bRules}},
+	}, 0)
+	if err != nil {
+		t.Fatalf("FillAll: %v", err)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("stats = %+v, want no failures", st)
+	}
+	if st.Passes < 2 {
+		t.Errorf("passes = %d, want ≥ 2 (C depends on B)", st.Passes)
+	}
+	if got := rel.Tuples[0][1].Num; got != 6 {
+		t.Errorf("B = %v, want 6", got)
+	}
+	if got := rel.Tuples[0][2].Num; got != 7 {
+		t.Errorf("C = %v, want B+1 = 7", got)
+	}
+}
+
+func TestFillAllStopsWhenStuck(t *testing.T) {
+	schema := chainSchema()
+	rel := dataset.NewRelation(schema)
+	// A is missing too: nothing can fill it, so B and C stay null.
+	rel.MustAppend(dataset.Tuple{dataset.Null(), dataset.Null(), dataset.Null()})
+	bRules, cRules := chainRules(schema)
+	st, err := FillAll(rel, []ColumnPredictor{
+		{Col: 1, Predictor: RuleSetPredictor{Rules: bRules}},
+		{Col: 2, Predictor: RuleSetPredictor{Rules: cRules}},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Imputed != 0 || st.Failed != 2 {
+		t.Errorf("stats = %+v, want 0 imputed / 2 failed", st)
+	}
+	if st.Passes > 2 {
+		t.Errorf("passes = %d; should stop after the first no-progress pass", st.Passes)
+	}
+}
+
+func TestFillAllRejectsCategorical(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "A", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Tag", Kind: dataset.Categorical},
+	)
+	rel := dataset.NewRelation(schema)
+	_, err := FillAll(rel, []ColumnPredictor{{Col: 1, Predictor: RuleSetPredictor{}}}, 0)
+	if !errors.Is(err, ErrColumnKind) {
+		t.Errorf("err = %v, want ErrColumnKind", err)
+	}
+}

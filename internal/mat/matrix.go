@@ -1,0 +1,271 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// regression substrate: column-major-free dense matrices, Cholesky and QR
+// factorizations, and least-squares solvers via the normal equations.
+//
+// The package is deliberately minimal — it implements exactly what OLS,
+// ridge regression and a small MLP need, with no external dependencies.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// ErrShape is returned when operand dimensions do not conform.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(row), c)
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// At returns the (i,j) element.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the (i,j) element.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns a*b, or ErrShape if the inner dimensions differ.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: (%dx%d)·(%dx%d)", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns a·x for a vector x, or ErrShape.
+func MulVec(a *Dense, x []float64) ([]float64, error) {
+	if a.Cols != len(x) {
+		return nil, fmt.Errorf("%w: (%dx%d)·vec(%d)", ErrShape, a.Rows, a.Cols, len(x))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+// It panics if the lengths differ, matching the behaviour of slice indexing.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AddDiag adds lambda to every diagonal element of square m, in place.
+func AddDiag(m *Dense, lambda float64) error {
+	if m.Rows != m.Cols {
+		return fmt.Errorf("%w: AddDiag on %dx%d", ErrShape, m.Rows, m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += lambda
+	}
+	return nil
+}
+
+// Cholesky computes the lower-triangular L with L·Lᵀ = a for a symmetric
+// positive-definite a. It returns ErrSingular when a pivot collapses.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: Cholesky on %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a·x = b given the Cholesky factor L of a.
+func SolveCholesky(l *Dense, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: SolveCholesky rhs %d, want %d", ErrShape, len(b), n)
+	}
+	// Forward solve L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves a·x = b for symmetric positive-definite a.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, b)
+}
+
+// LeastSquares solves min_w ‖X·w − y‖² (+ lambda‖w‖² when lambda > 0) via the
+// normal equations (Xᵀ X + λI) w = Xᵀ y. When the Gram matrix is singular it
+// falls back to Householder QR (condition number enters once, not squared);
+// a genuinely rank-deficient design finally solves through a tiny ridge
+// jitter so discovery on degenerate parts (e.g. a single tuple) still yields
+// a covering model.
+func LeastSquares(x *Dense, y []float64, lambda float64) ([]float64, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("%w: design %dx%d vs target %d", ErrShape, x.Rows, x.Cols, len(y))
+	}
+	xt := x.T()
+	gram, err := Mul(xt, x)
+	if err != nil {
+		return nil, err
+	}
+	if lambda > 0 {
+		if err := AddDiag(gram, lambda); err != nil {
+			return nil, err
+		}
+	}
+	rhs, err := MulVec(xt, y)
+	if err != nil {
+		return nil, err
+	}
+	w, err := SolveSPD(gram, rhs)
+	if err == nil {
+		return w, nil
+	}
+	if !errors.Is(err, ErrSingular) || lambda > 0 {
+		return nil, err
+	}
+	if x.Rows >= x.Cols {
+		if w, err := SolveQR(x, y); err == nil {
+			return w, nil
+		}
+	}
+	// Jitter retry: scale to the magnitude of the diagonal.
+	var trace float64
+	for i := 0; i < gram.Rows; i++ {
+		trace += gram.At(i, i)
+	}
+	jitter := 1e-10*trace/float64(gram.Rows) + 1e-12
+	if err := AddDiag(gram, jitter); err != nil {
+		return nil, err
+	}
+	return SolveSPD(gram, rhs)
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_i |a[i]−b[i]|; it panics on length mismatch.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,288 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil || m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("FromRows(nil) = %v,%v", m, err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	if _, err := Mul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	v, err := MulVec(a, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if v[0] != 7 || v[1] != 6 {
+		t.Errorf("MulVec = %v, want [7 6]", v)
+	}
+}
+
+func TestMulVecShape(t *testing.T) {
+	a := NewDense(2, 3)
+	if _, err := MulVec(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T shape = %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Errorf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// SPD matrix and a known solution.
+	a, _ := FromRows([][]float64{{4, 2, 0}, {2, 5, 1}, {0, 1, 3}})
+	want := []float64{1, -2, 3}
+	b, err := MulVec(a, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatalf("SolveSPD: %v", err)
+	}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestCholeskySingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := Cholesky(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2 + 3x fitted exactly through a design with intercept column.
+	xs := []float64{0, 1, 2, 3, 4}
+	rows := make([][]float64, len(xs))
+	y := make([]float64, len(xs))
+	for i, x := range xs {
+		rows[i] = []float64{1, x}
+		y[i] = 2 + 3*x
+	}
+	design, _ := FromRows(rows)
+	w, err := LeastSquares(design, y, 0)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEq(w[0], 2, 1e-9) || !almostEq(w[1], 3, 1e-9) {
+		t.Errorf("w = %v, want [2 3]", w)
+	}
+}
+
+func TestLeastSquaresRidgeShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range rows {
+		x := rng.Float64() * 10
+		rows[i] = []float64{1, x}
+		y[i] = 5*x + rng.NormFloat64()
+	}
+	design, _ := FromRows(rows)
+	w0, err := LeastSquares(design, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := LeastSquares(design, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wr[1]) >= math.Abs(w0[1]) {
+		t.Errorf("ridge slope %v not shrunk vs OLS slope %v", wr[1], w0[1])
+	}
+}
+
+func TestLeastSquaresCollinearJitter(t *testing.T) {
+	// Perfectly collinear columns: the jitter retry must still produce a
+	// finite solution with small residual.
+	rows := make([][]float64, 10)
+	y := make([]float64, 10)
+	for i := range rows {
+		x := float64(i)
+		rows[i] = []float64{1, x, 2 * x}
+		y[i] = 3 * x
+	}
+	design, _ := FromRows(rows)
+	w, err := LeastSquares(design, y, 0)
+	if err != nil {
+		t.Fatalf("LeastSquares on collinear design: %v", err)
+	}
+	pred, err := MulVec(design, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(pred, y); d > 1e-4 {
+		t.Errorf("residual max = %v, want ~0", d)
+	}
+}
+
+func TestLeastSquaresShape(t *testing.T) {
+	if _, err := LeastSquares(NewDense(3, 2), []float64{1, 2}, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestAddDiagNonSquare(t *testing.T) {
+	if err := AddDiag(NewDense(2, 3), 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestNorm2AndMaxAbsDiff(t *testing.T) {
+	if n := Norm2([]float64{3, 4}); !almostEq(n, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", n)
+	}
+	if d := MaxAbsDiff([]float64{1, 2, 3}, []float64{1, 5, 2}); d != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", d)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot did not panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+// Property: solving a·x=b for random SPD a (built as MᵀM+I) recovers x.
+func TestSolveSPDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := NewDense(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		gram, err := Mul(m.T(), m)
+		if err != nil {
+			return false
+		}
+		if err := AddDiag(gram, 1); err != nil {
+			return false
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, err := MulVec(gram, want)
+		if err != nil {
+			return false
+		}
+		got, err := SolveSPD(gram, b)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(got, want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (aᵀ)ᵀ == a.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(5), 1+rng.Intn(5)
+		a := NewDense(r, c)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		tt := a.T().T()
+		if tt.Rows != a.Rows || tt.Cols != a.Cols {
+			return false
+		}
+		return MaxAbsDiff(tt.Data, a.Data) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package mat
+
+import "math"
+
+// QR holds a Householder QR factorization of an m×n matrix (m ≥ n):
+// a = Q·R with orthonormal Q (m×n, thin) and upper-triangular R (n×n).
+// Storage is compact: Householder vectors in the lower trapezoid of qr,
+// R strictly above the diagonal, and R's diagonal in rdiag.
+type QR struct {
+	qr    *Dense
+	rdiag []float64
+	m, n  int
+}
+
+// FactorQR computes the Householder QR factorization of a. It requires
+// m ≥ n and returns ErrShape otherwise. Rank deficiency is tolerated at
+// factorization time; Solve reports ErrSingular when a zero R pivot blocks
+// the back substitution.
+func FactorQR(a *Dense) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, ErrShape
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm != 0 {
+			// Sign chosen so the pivot of the Householder vector is ≥ 1,
+			// avoiding cancellation.
+			if qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				qr.Set(i, k, qr.At(i, k)/nrm)
+			}
+			qr.Set(k, k, qr.At(k, k)+1)
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += qr.At(i, k) * qr.At(i, j)
+				}
+				s = -s / qr.At(k, k)
+				for i := k; i < m; i++ {
+					qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+				}
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag, m: m, n: n}, nil
+}
+
+// Solve computes the least-squares solution x of a·x = b using the stored
+// factorization. It returns ErrSingular when R has a zero diagonal element
+// (rank-deficient design) and ErrShape when len(b) ≠ m.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		return nil, ErrShape
+	}
+	// y = Qᵀ·b applied reflector by reflector.
+	y := append([]float64(nil), b...)
+	for k := 0; k < f.n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue // skipped (zero) reflector
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution R·x = y[:n]. A pivot is treated as zero below a
+	// tolerance relative to the largest pivot — rank deficiency leaves
+	// round-off residue, not exact zeros.
+	var maxDiag float64
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > maxDiag {
+			maxDiag = a
+		}
+	}
+	tol := 1e-12 * maxDiag
+	x := make([]float64, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		d := f.rdiag[i]
+		if math.Abs(d) <= tol || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveQR solves the least-squares problem min ‖a·x − b‖₂ by Householder QR —
+// numerically more robust than the normal equations for ill-conditioned
+// designs (the condition number enters once, not squared).
+func SolveQR(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

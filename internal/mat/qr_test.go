@@ -1,0 +1,168 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveQRExact(t *testing.T) {
+	// Overdetermined consistent system: y = 2 + 3x.
+	rows := make([][]float64, 6)
+	y := make([]float64, 6)
+	for i := range rows {
+		x := float64(i)
+		rows[i] = []float64{1, x}
+		y[i] = 2 + 3*x
+	}
+	a, _ := FromRows(rows)
+	w, err := SolveQR(a, y)
+	if err != nil {
+		t.Fatalf("SolveQR: %v", err)
+	}
+	if !almostEq(w[0], 2, 1e-9) || !almostEq(w[1], 3, 1e-9) {
+		t.Errorf("w = %v, want [2 3]", w)
+	}
+}
+
+func TestSolveQRMatchesNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range rows {
+		x1, x2 := rng.NormFloat64(), rng.NormFloat64()
+		rows[i] = []float64{1, x1, x2}
+		y[i] = 5 + 2*x1 - x2 + rng.NormFloat64()
+	}
+	a, _ := FromRows(rows)
+	wq, err := SolveQR(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wn, err := LeastSquares(a, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(wq, wn); d > 1e-8 {
+		t.Errorf("QR vs normal equations differ by %v", d)
+	}
+}
+
+func TestSolveQRIllConditioned(t *testing.T) {
+	// Nearly collinear columns that defeat the raw normal equations: the
+	// Gram matrix condition number is squared, QR's is not.
+	const eps = 1e-8
+	rows := make([][]float64, 20)
+	y := make([]float64, 20)
+	for i := range rows {
+		x := float64(i) / 19
+		rows[i] = []float64{1, x, x + eps*float64(i%2)}
+		y[i] = 1 + x // representable with w = [1, 1, 0]
+	}
+	a, _ := FromRows(rows)
+	w, err := SolveQR(a, y)
+	if err != nil {
+		t.Fatalf("SolveQR: %v", err)
+	}
+	pred, _ := MulVec(a, w)
+	if d := MaxAbsDiff(pred, y); d > 1e-6 {
+		t.Errorf("ill-conditioned residual = %v", d)
+	}
+}
+
+func TestSolveQRRankDeficient(t *testing.T) {
+	rows := [][]float64{{1, 2}, {2, 4}, {3, 6}} // rank 1
+	a, _ := FromRows(rows)
+	if _, err := SolveQR(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("rank-deficient err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorQRShape(t *testing.T) {
+	if _, err := FactorQR(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("m < n err = %v, want ErrShape", err)
+	}
+	f, err := FactorQR(NewDense(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad rhs err = %v, want ErrShape", err)
+	}
+}
+
+// Property: for random full-rank tall designs, QR reproduces a known
+// solution of a consistent system.
+func TestSolveQRProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := n + 1 + rng.Intn(10)
+		a := NewDense(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, err := MulVec(a, want)
+		if err != nil {
+			return false
+		}
+		got, err := SolveQR(a, b)
+		if err != nil {
+			// Random Gaussian designs are almost surely full rank; treat a
+			// singular draw as a vacuous case.
+			return errors.Is(err, ErrSingular)
+		}
+		return MaxAbsDiff(got, want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the QR residual is orthogonal to the column space (first-order
+// optimality of least squares): ‖Aᵀ(Ax − b)‖ ≈ 0.
+func TestSolveQROrthogonalResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		m := n + 2 + rng.Intn(8)
+		a := NewDense(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveQR(a, b)
+		if err != nil {
+			return errors.Is(err, ErrSingular)
+		}
+		pred, err := MulVec(a, x)
+		if err != nil {
+			return false
+		}
+		res := make([]float64, m)
+		for i := range res {
+			res[i] = pred[i] - b[i]
+		}
+		grad, err := MulVec(a.T(), res)
+		if err != nil {
+			return false
+		}
+		var scale float64
+		for _, v := range b {
+			scale += math.Abs(v)
+		}
+		return Norm2(grad) < 1e-8*(1+scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,383 @@
+package predicate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+func TestConjunctionSat(t *testing.T) {
+	c := NewConjunction(NumPred(0, Ge, 2), NumPred(0, Lt, 5))
+	if !c.Sat(tup(3)) {
+		t.Error("3 should satisfy [2,5)")
+	}
+	if c.Sat(tup(5)) {
+		t.Error("5 should not satisfy [2,5)")
+	}
+	if !NewConjunction().Sat(tup(42)) {
+		t.Error("empty conjunction must hold for every tuple")
+	}
+}
+
+func TestConjunctionAndClone(t *testing.T) {
+	c := NewConjunction(NumPred(0, Ge, 0))
+	d := c.And(NumPred(0, Lt, 1))
+	if len(c.Preds) != 1 || len(d.Preds) != 2 {
+		t.Fatal("And mutated the receiver")
+	}
+	e := d.Clone()
+	e.Preds[0] = NumPred(0, Ge, 99)
+	if d.Preds[0].Num == 99 {
+		t.Error("Clone shares predicate storage")
+	}
+}
+
+func TestConjunctionUnsatisfiable(t *testing.T) {
+	cases := []struct {
+		c    Conjunction
+		want bool
+	}{
+		{NewConjunction(NumPred(0, Gt, 5), NumPred(0, Lt, 3)), true},
+		{NewConjunction(NumPred(0, Gt, 5), NumPred(0, Lt, 5)), true},
+		{NewConjunction(NumPred(0, Ge, 5), NumPred(0, Le, 5)), false}, // exactly 5
+		{NewConjunction(NumPred(0, Gt, 5), NumPred(0, Le, 5)), true},
+		{NewConjunction(NumPred(0, Eq, 5), NumPred(0, Eq, 6)), true},
+		{NewConjunction(NumPred(0, Eq, 5), NumPred(0, Ge, 5)), false},
+		{NewConjunction(StrPred(1, "a"), StrPred(1, "b")), true},
+		{NewConjunction(StrPred(1, "a"), StrPred(1, "a")), false},
+		{NewConjunction(), false},
+	}
+	for i, c := range cases {
+		if got := c.c.Unsatisfiable(); got != c.want {
+			t.Errorf("case %d (%v): Unsatisfiable = %v, want %v", i, c.c, got, c.want)
+		}
+	}
+}
+
+func TestConjunctionImplies(t *testing.T) {
+	narrow := NewConjunction(NumPred(0, Ge, 2), NumPred(0, Lt, 4))
+	wide := NewConjunction(NumPred(0, Ge, 0), NumPred(0, Lt, 10))
+	if !narrow.Implies(wide) {
+		t.Error("[2,4) should imply [0,10)")
+	}
+	if wide.Implies(narrow) {
+		t.Error("[0,10) should not imply [2,4)")
+	}
+	// Everything implies the empty conjunction.
+	if !narrow.Implies(NewConjunction()) {
+		t.Error("C must imply ⊤")
+	}
+	// The empty conjunction implies nothing restrictive.
+	if NewConjunction().Implies(narrow) {
+		t.Error("⊤ implies a restriction")
+	}
+	// Categorical refinement: (S=IA ∧ MS=S) ⊢ (S=IA), the paper's Induction
+	// example.
+	refined := NewConjunction(StrPred(1, "IA"), StrPred(2, "S"))
+	base := NewConjunction(StrPred(1, "IA"))
+	if !refined.Implies(base) {
+		t.Error("refined condition should imply its base")
+	}
+	if base.Implies(refined) {
+		t.Error("base implies refinement")
+	}
+	// Unsatisfiable implies anything.
+	contra := NewConjunction(NumPred(0, Gt, 5), NumPred(0, Lt, 3))
+	if !contra.Implies(narrow) {
+		t.Error("unsatisfiable conjunction must imply everything")
+	}
+}
+
+func TestConjunctionEquivalent(t *testing.T) {
+	a := NewConjunction(NumPred(0, Ge, 2), NumPred(0, Ge, 1))
+	b := NewConjunction(NumPred(0, Ge, 2))
+	if !a.Equivalent(b) {
+		t.Error("A≥2∧A≥1 should be equivalent to A≥2")
+	}
+}
+
+// randomConj builds a small random conjunction over two attributes.
+func randomConj(rng *rand.Rand) Conjunction {
+	n := rng.Intn(3)
+	c := NewConjunction()
+	for i := 0; i < n; i++ {
+		p := randomPred(rng)
+		p.Attr = rng.Intn(2)
+		c = c.And(p)
+	}
+	return c
+}
+
+// Property: conjunction implication is sound on a 2-attribute grid.
+func TestConjunctionImpliesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, d := randomConj(rng), randomConj(rng)
+		if !c.Implies(d) {
+			return true
+		}
+		for x := -4.0; x <= 4.0; x += 0.5 {
+			for y := -4.0; y <= 4.0; y += 0.5 {
+				tpl := tup(x, y)
+				if c.Sat(tpl) && !d.Sat(tpl) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unsatisfiable conjunctions truly have no satisfying grid point.
+func TestUnsatisfiableSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomConj(rng)
+		if !c.Unsatisfiable() {
+			return true
+		}
+		for x := -4.0; x <= 4.0; x += 0.25 {
+			for y := -4.0; y <= 4.0; y += 0.25 {
+				if c.Sat(tup(x, y)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDNFSatAndMatch(t *testing.T) {
+	d := NewDNF(
+		NewConjunction(NumPred(0, Lt, 0)),
+		NewConjunction(NumPred(0, Gt, 10)),
+	)
+	if !d.Sat(tup(-1)) || !d.Sat(tup(11)) {
+		t.Error("DNF should hold on either disjunct")
+	}
+	if d.Sat(tup(5)) {
+		t.Error("DNF held in the gap")
+	}
+	c, ok := d.MatchConjunction(tup(11))
+	if !ok || len(c.Preds) != 1 || c.Preds[0].Op != Gt {
+		t.Errorf("MatchConjunction = %v, %v", c, ok)
+	}
+	if _, ok := d.MatchConjunction(tup(5)); ok {
+		t.Error("MatchConjunction matched in the gap")
+	}
+	if NewDNF().Sat(tup(0)) {
+		t.Error("empty DNF is unsatisfiable by definition")
+	}
+}
+
+func TestDNFOr(t *testing.T) {
+	a := NewDNF(NewConjunction(NumPred(0, Lt, 0)))
+	b := NewDNF(NewConjunction(NumPred(0, Gt, 10)))
+	ab := a.Or(b)
+	if len(ab.Conjs) != 2 {
+		t.Fatalf("Or size = %d", len(ab.Conjs))
+	}
+	if len(a.Conjs) != 1 || len(b.Conjs) != 1 {
+		t.Error("Or mutated operands")
+	}
+}
+
+func TestDNFImpliesDefinition2(t *testing.T) {
+	// ℂ1 = (0≤A<2) ∨ (5≤A<7); ℂ2 = (A≥0 ∧ A<10). Every disjunct of ℂ1
+	// implies the single disjunct of ℂ2.
+	c1 := NewDNF(
+		NewConjunction(NumPred(0, Ge, 0), NumPred(0, Lt, 2)),
+		NewConjunction(NumPred(0, Ge, 5), NumPred(0, Lt, 7)),
+	)
+	c2 := NewDNF(NewConjunction(NumPred(0, Ge, 0), NumPred(0, Lt, 10)))
+	if !c1.Implies(c2) {
+		t.Error("ℂ1 ⊢ ℂ2 expected")
+	}
+	if c2.Implies(c1) {
+		t.Error("ℂ2 ⊢ ℂ1 unexpected")
+	}
+}
+
+// Property: DNF implication (Definition 2) is sound w.r.t. satisfaction.
+func TestDNFImpliesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDNF(randomConj(rng), randomConj(rng))
+		e := NewDNF(randomConj(rng), randomConj(rng))
+		if !d.Implies(e) {
+			return true
+		}
+		for x := -4.0; x <= 4.0; x += 0.5 {
+			for y := -4.0; y <= 4.0; y += 0.5 {
+				tpl := tup(x, y)
+				if d.Sat(tpl) && !e.Sat(tpl) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDNFSimplify(t *testing.T) {
+	// The narrow disjunct is subsumed by the wide one.
+	wide := NewConjunction(NumPred(0, Ge, 0), NumPred(0, Lt, 10))
+	narrow := NewConjunction(NumPred(0, Ge, 2), NumPred(0, Lt, 4))
+	contra := NewConjunction(NumPred(0, Gt, 5), NumPred(0, Lt, 3))
+	d := NewDNF(wide, narrow, contra).Simplify()
+	if len(d.Conjs) != 1 {
+		t.Fatalf("Simplify kept %d conjuncts, want 1: %v", len(d.Conjs), d)
+	}
+	if !d.Conjs[0].Equivalent(wide) {
+		t.Error("Simplify kept the wrong disjunct")
+	}
+}
+
+func TestDNFSimplifyKeepsDistinctBuiltins(t *testing.T) {
+	// Same region, different builtins → both must survive (they drive
+	// different model translations).
+	a := NewConjunction(NumPred(0, Ge, 0))
+	b := a.Clone()
+	b.Builtin = b.Builtin.WithYShift(3)
+	d := NewDNF(a, b).Simplify()
+	if len(d.Conjs) != 2 {
+		t.Fatalf("Simplify dropped a conjunct with distinct builtin: %v", d)
+	}
+}
+
+func TestDNFSimplifyEquivalentDuplicates(t *testing.T) {
+	a := NewConjunction(NumPred(0, Ge, 2))
+	b := NewConjunction(NumPred(0, Ge, 2), NumPred(0, Ge, 1))
+	d := NewDNF(a, b).Simplify()
+	if len(d.Conjs) != 1 {
+		t.Fatalf("Simplify kept %d equivalent duplicates", len(d.Conjs))
+	}
+}
+
+// Property: Simplify preserves DNF semantics on a grid.
+func TestDNFSimplifyPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDNF(randomConj(rng), randomConj(rng), randomConj(rng))
+		s := d.Simplify()
+		for x := -4.0; x <= 4.0; x += 0.5 {
+			for y := -4.0; y <= 4.0; y += 0.5 {
+				tpl := tup(x, y)
+				if d.Sat(tpl) != s.Sat(tpl) {
+					return false
+				}
+			}
+		}
+		return len(s.Conjs) <= len(d.Conjs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeCollapsesBounds(t *testing.T) {
+	c := NewConjunction(
+		NumPred(0, Gt, 1), NumPred(0, Gt, 5), NumPred(0, Le, 100), NumPred(0, Le, 40),
+		StrPred(1, "a"), StrPred(1, "a"),
+	)
+	c.Builtin = c.Builtin.WithYShift(3)
+	n := c.Normalize()
+	if len(n.Preds) != 3 { // A0>5, A0<=40, A1=a
+		t.Fatalf("normalized to %d predicates (%v), want 3", len(n.Preds), n)
+	}
+	if n.Builtin.YShift != 3 {
+		t.Error("Normalize dropped the builtin")
+	}
+	if !n.Equivalent(c) {
+		t.Error("Normalize changed semantics")
+	}
+}
+
+func TestNormalizePointInterval(t *testing.T) {
+	c := NewConjunction(NumPred(0, Ge, 5), NumPred(0, Le, 5))
+	n := c.Normalize()
+	if len(n.Preds) != 1 || n.Preds[0].Op != Eq || n.Preds[0].Num != 5 {
+		t.Fatalf("point interval normalized to %v, want A0=5", n)
+	}
+}
+
+func TestNormalizeUnsatisfiableUnchanged(t *testing.T) {
+	c := NewConjunction(NumPred(0, Gt, 5), NumPred(0, Lt, 3))
+	n := c.Normalize()
+	if len(n.Preds) != 2 {
+		t.Error("unsatisfiable conjunction should be returned unchanged")
+	}
+}
+
+// Property: Normalize preserves satisfaction on a grid.
+func TestNormalizePreservesSat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomConj(rng)
+		n := c.Normalize()
+		for x := -4.0; x <= 4.0; x += 0.25 {
+			for y := -4.0; y <= 4.0; y += 0.25 {
+				tpl := tup(x, y)
+				if c.Sat(tpl) != n.Sat(tpl) {
+					return false
+				}
+			}
+		}
+		return len(n.Preds) <= len(c.Preds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericBounds(t *testing.T) {
+	c := NewConjunction(NumPred(0, Gt, 2), NumPred(0, Le, 7))
+	lo, hi, ok := c.NumericBounds(0)
+	if !ok || lo != 2 || hi != 7 {
+		t.Errorf("NumericBounds = %v, %v, %v", lo, hi, ok)
+	}
+	if _, _, ok := c.NumericBounds(1); ok {
+		t.Error("bounds reported for an unconstrained attribute")
+	}
+	contra := NewConjunction(NumPred(0, Gt, 5), NumPred(0, Lt, 3))
+	if _, _, ok := contra.NumericBounds(0); ok {
+		t.Error("bounds reported for a contradictory conjunction")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := NewConjunction().String(); got != "⊤" {
+		t.Errorf("empty conjunction String = %q", got)
+	}
+	if got := NewDNF().String(); got != "⊥" {
+		t.Errorf("empty DNF String = %q", got)
+	}
+	c := NewConjunction(NumPred(0, Ge, 1))
+	c.Builtin = c.Builtin.WithYShift(2)
+	if s := c.String(); !strings.Contains(s, "y=2") || !strings.Contains(s, "A0>=1") {
+		t.Errorf("conjunction String = %q", s)
+	}
+	schema := dataset.MustSchema(dataset.Attribute{Name: "Date", Kind: dataset.Numeric})
+	d := NewDNF(NewConjunction(NumPred(0, Lt, 3)))
+	if got := d.Format(schema); got != "(Date<3)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := NewDNF().Format(schema); got != "⊥" {
+		t.Errorf("empty DNF Format = %q", got)
+	}
+	if got := NewConjunction().Format(schema); got != "⊤" {
+		t.Errorf("empty conjunction Format = %q", got)
+	}
+}

@@ -1,0 +1,53 @@
+package predicate_test
+
+import (
+	"fmt"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+)
+
+// ExampleParseDNF parses the φ₃ condition of the paper's Example 2 — the
+// same migration model applying in two years, the second shifted by
+// x = 744 days.
+func ExampleParseDNF() {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "Latitude", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Date", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "BirdID", Kind: dataset.Categorical},
+	)
+	cond, err := predicate.ParseDNF(
+		"Date>=223 && Date<255 && x[Date]=0 || Date>=953 && Date<985 && x[Date]=744", schema)
+	if err != nil {
+		panic(err)
+	}
+	t1 := dataset.Tuple{dataset.Num(56.2), dataset.Num(230), dataset.Str("2.Maria")}
+	t2 := dataset.Tuple{dataset.Num(55.8), dataset.Num(960), dataset.Str("2.Maria")}
+	t3 := dataset.Tuple{dataset.Num(21.9), dataset.Num(500), dataset.Str("2.Maria")}
+	fmt.Println(cond.Sat(t1), cond.Sat(t2), cond.Sat(t3))
+	c, _ := cond.MatchConjunction(t2)
+	fmt.Println("Δ on Date:", c.Builtin.Shift(1))
+	// Output:
+	// true true false
+	// Δ on Date: 744
+}
+
+// ExampleConjunction_Implies shows the Induction-side implication: a refined
+// condition implies its base.
+func ExampleConjunction_Implies() {
+	base := predicate.NewConjunction(predicate.StrPred(0, "IA"))
+	refined := base.And(predicate.StrPred(1, "S"))
+	fmt.Println(refined.Implies(base), base.Implies(refined))
+	// Output: true false
+}
+
+// ExampleDNF_Simplify drops subsumed disjuncts.
+func ExampleDNF_Simplify() {
+	wide := predicate.NewConjunction(
+		predicate.NumPred(0, predicate.Ge, 0), predicate.NumPred(0, predicate.Lt, 10))
+	narrow := predicate.NewConjunction(
+		predicate.NumPred(0, predicate.Ge, 2), predicate.NumPred(0, predicate.Lt, 4))
+	d := predicate.NewDNF(wide, narrow).Simplify()
+	fmt.Println(len(d.Conjs))
+	// Output: 1
+}

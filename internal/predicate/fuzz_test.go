@@ -1,0 +1,39 @@
+package predicate
+
+import (
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// FuzzParseDNF exercises the condition parser with arbitrary inputs: it must
+// never panic, and whatever it accepts must evaluate without panicking.
+func FuzzParseDNF(f *testing.F) {
+	f.Add("Date>=10 && Date<20")
+	f.Add("BirdID='2.Maria' || y=30")
+	f.Add("x[Date]=744 && Date>0")
+	f.Add("Date>=")
+	f.Add("&&||")
+	f.Add("y=x[Date]=1")
+	f.Fuzz(func(t *testing.T, input string) {
+		schema := dataset.MustSchema(
+			dataset.Attribute{Name: "Date", Kind: dataset.Numeric},
+			dataset.Attribute{Name: "BirdID", Kind: dataset.Categorical},
+		)
+		d, err := ParseDNF(input, schema)
+		if err != nil {
+			return
+		}
+		// Accepted conditions must be evaluable.
+		tuples := []dataset.Tuple{
+			{dataset.Num(0), dataset.Str("2.Maria")},
+			{dataset.Num(1000), dataset.Str("x")},
+			{dataset.Null(), dataset.Null()},
+		}
+		for _, tp := range tuples {
+			_ = d.Sat(tp)
+		}
+		_ = d.Simplify()
+		_ = d.String()
+	})
+}

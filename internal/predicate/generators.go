@@ -1,0 +1,151 @@
+package predicate
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// GeneratorKind selects one of the paper's three predicate-generation
+// strategies (§VI-D2, Table III).
+type GeneratorKind int
+
+const (
+	// Binary recursively bisects each attribute domain; with size 2ⁿ the
+	// generated cut points segment the domain into 2ⁿ⁻¹ sections.
+	Binary GeneratorKind = iota
+	// Random draws |ℙ|/2 constants uniformly from the observed domain.
+	Random
+	// Expert uses caller-provided cut points (domain knowledge), topping up
+	// with binary cuts when too few are given.
+	Expert
+)
+
+// String implements fmt.Stringer.
+func (k GeneratorKind) String() string {
+	switch k {
+	case Binary:
+		return "binary"
+	case Random:
+		return "random"
+	case Expert:
+		return "expert"
+	default:
+		return "unknown"
+	}
+}
+
+// GeneratorConfig parameterizes Generate.
+type GeneratorConfig struct {
+	Kind GeneratorKind
+	// Size is the target number of predicates per numeric attribute; each
+	// cut point c yields the pair {A > c, A ≤ c}, so Size/2 cuts are chosen.
+	// Size ≤ 0 selects the paper's default (§VI-A2): a predicate pair at
+	// every distinct domain value.
+	Size int
+	// ExpertCuts maps attribute index → cut points for the Expert kind.
+	ExpertCuts map[int][]float64
+	// Seed drives the Random kind.
+	Seed int64
+}
+
+// Generate builds the predicate space ℙ for the given relation restricted to
+// the attrs columns (the condition attributes; the regression target must be
+// excluded by the caller, per Definition 1 "no predicates on attribute Y").
+// Numeric attributes contribute {>, ≤} pairs at generated cut points; for
+// categorical attributes every domain value contributes one equality
+// predicate (the paper's natural segregation, e.g. per-bird predicates).
+func Generate(rel *dataset.Relation, attrs []int, cfg GeneratorConfig) []Predicate {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Predicate
+	for _, attr := range attrs {
+		if rel.Schema.Attr(attr).Kind == dataset.Categorical {
+			for _, v := range rel.CategoricalDomain(attr) {
+				out = append(out, StrPred(attr, v))
+			}
+			continue
+		}
+		domain := rel.Domain(attr)
+		if len(domain) < 2 {
+			continue
+		}
+		if cfg.Size <= 0 {
+			// The paper's default: A φ c on each domain value (the last
+			// value yields no split and is skipped).
+			for _, c := range domain[:len(domain)-1] {
+				out = append(out, NumPred(attr, Gt, c), NumPred(attr, Le, c))
+			}
+			continue
+		}
+		nCuts := cfg.Size / 2
+		if nCuts < 1 {
+			nCuts = 1
+		}
+		var cuts []float64
+		switch cfg.Kind {
+		case Binary:
+			cuts = binaryCuts(domain, nCuts)
+		case Random:
+			cuts = randomCuts(domain, nCuts, rng)
+		case Expert:
+			cuts = append(cuts, cfg.ExpertCuts[attr]...)
+			if len(cuts) > nCuts {
+				cuts = cuts[:nCuts]
+			}
+			if len(cuts) < nCuts {
+				cuts = append(cuts, binaryCuts(domain, nCuts-len(cuts))...)
+			}
+		}
+		cuts = dedupSorted(cuts)
+		for _, c := range cuts {
+			out = append(out, NumPred(attr, Gt, c), NumPred(attr, Le, c))
+		}
+	}
+	return out
+}
+
+// binaryCuts returns n cut points chosen by recursive bisection of the
+// domain quantiles: 1/2 first, then 1/4 and 3/4, then eighths, and so on —
+// the "binary separation" of §VI-D2.
+func binaryCuts(domain []float64, n int) []float64 {
+	if len(domain) < 2 || n < 1 {
+		return nil
+	}
+	var cuts []float64
+	// Breadth-first over quantile positions k/2^level.
+	for level := 1; len(cuts) < n && level < 31; level++ {
+		den := 1 << level
+		for num := 1; num < den && len(cuts) < n; num += 2 {
+			idx := len(domain) * num / den
+			if idx >= len(domain) {
+				idx = len(domain) - 1
+			}
+			cuts = append(cuts, domain[idx])
+		}
+	}
+	return cuts
+}
+
+// randomCuts draws n constants uniformly from the domain values.
+func randomCuts(domain []float64, n int, rng *rand.Rand) []float64 {
+	cuts := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		cuts = append(cuts, domain[rng.Intn(len(domain))])
+	}
+	return cuts
+}
+
+func dedupSorted(v []float64) []float64 {
+	if len(v) == 0 {
+		return v
+	}
+	sort.Float64s(v)
+	out := v[:1]
+	for _, x := range v[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package predicate
+
+import (
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+func genRelation() *dataset.Relation {
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "X", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Tag", Kind: dataset.Categorical},
+	)
+	r := dataset.NewRelation(s)
+	tags := []string{"a", "b", "c"}
+	for i := 0; i < 100; i++ {
+		r.MustAppend(dataset.Tuple{dataset.Num(float64(i)), dataset.Str(tags[i%3])})
+	}
+	return r
+}
+
+func TestGenerateBinary(t *testing.T) {
+	r := genRelation()
+	preds := Generate(r, []int{0}, GeneratorConfig{Kind: Binary, Size: 8})
+	if len(preds) != 8 {
+		t.Fatalf("got %d predicates, want 8", len(preds))
+	}
+	// Pairs {>c, ≤c} on the same constants.
+	for i := 0; i < len(preds); i += 2 {
+		if preds[i].Num != preds[i+1].Num {
+			t.Errorf("pair %d constants differ: %v vs %v", i/2, preds[i].Num, preds[i+1].Num)
+		}
+		if preds[i].Op != Gt || preds[i+1].Op != Le {
+			t.Errorf("pair %d operators: %v, %v", i/2, preds[i].Op, preds[i+1].Op)
+		}
+	}
+	// The median must be among the binary cuts (level-1 bisection).
+	found := false
+	for _, p := range preds {
+		if p.Num == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("median 50 missing from binary cuts")
+	}
+}
+
+func TestGenerateCategorical(t *testing.T) {
+	r := genRelation()
+	preds := Generate(r, []int{1}, GeneratorConfig{Kind: Binary, Size: 8})
+	if len(preds) != 3 {
+		t.Fatalf("got %d categorical predicates, want 3", len(preds))
+	}
+	for _, p := range preds {
+		if !p.Categorical || p.Op != Eq {
+			t.Errorf("bad categorical predicate %v", p)
+		}
+	}
+}
+
+func TestGenerateRandomDeterministic(t *testing.T) {
+	r := genRelation()
+	a := Generate(r, []int{0}, GeneratorConfig{Kind: Random, Size: 10, Seed: 7})
+	b := Generate(r, []int{0}, GeneratorConfig{Kind: Random, Size: 10, Seed: 7})
+	if len(a) != len(b) {
+		t.Fatal("random generation not deterministic in size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random generation not deterministic for fixed seed")
+		}
+	}
+	// Constants must come from the observed domain.
+	for _, p := range a {
+		if p.Num < 0 || p.Num > 99 {
+			t.Errorf("random cut %v outside domain", p.Num)
+		}
+	}
+}
+
+func TestGenerateExpertUsesCuts(t *testing.T) {
+	r := genRelation()
+	preds := Generate(r, []int{0}, GeneratorConfig{
+		Kind:       Expert,
+		Size:       4,
+		ExpertCuts: map[int][]float64{0: {30, 60}},
+	})
+	if len(preds) != 4 {
+		t.Fatalf("got %d predicates, want 4", len(preds))
+	}
+	constants := map[float64]bool{}
+	for _, p := range preds {
+		constants[p.Num] = true
+	}
+	if !constants[30] || !constants[60] {
+		t.Errorf("expert cuts missing: %v", constants)
+	}
+}
+
+func TestGenerateExpertTopsUpWithBinary(t *testing.T) {
+	r := genRelation()
+	preds := Generate(r, []int{0}, GeneratorConfig{
+		Kind:       Expert,
+		Size:       8,
+		ExpertCuts: map[int][]float64{0: {30}},
+	})
+	if len(preds) != 8 {
+		t.Fatalf("got %d predicates, want 8 (expert cut + binary top-up)", len(preds))
+	}
+}
+
+func TestGenerateSkipsDegenerate(t *testing.T) {
+	s := dataset.MustSchema(dataset.Attribute{Name: "X", Kind: dataset.Numeric})
+	r := dataset.NewRelation(s)
+	r.MustAppend(dataset.Tuple{dataset.Num(1)}) // single-value domain
+	if preds := Generate(r, []int{0}, GeneratorConfig{Kind: Binary, Size: 4}); len(preds) != 0 {
+		t.Errorf("degenerate domain yielded predicates: %v", preds)
+	}
+}
+
+func TestBinaryCutsDedup(t *testing.T) {
+	// A tiny domain forces repeated quantile values; the generator must
+	// deduplicate and never loop forever.
+	r := dataset.NewRelation(dataset.MustSchema(dataset.Attribute{Name: "X", Kind: dataset.Numeric}))
+	r.MustAppend(dataset.Tuple{dataset.Num(0)})
+	r.MustAppend(dataset.Tuple{dataset.Num(1)})
+	preds := Generate(r, []int{0}, GeneratorConfig{Kind: Binary, Size: 16})
+	seen := map[float64]int{}
+	for _, p := range preds {
+		seen[p.Num]++
+	}
+	for c, n := range seen {
+		if n > 2 {
+			t.Errorf("cut %v appears %d times, want ≤2 (one > one ≤)", c, n)
+		}
+	}
+}
+
+func TestGeneratorKindString(t *testing.T) {
+	if Binary.String() != "binary" || Random.String() != "random" || Expert.String() != "expert" {
+		t.Error("GeneratorKind.String mismatch")
+	}
+	if GeneratorKind(9).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}

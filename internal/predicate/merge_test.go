@@ -1,0 +1,139 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+func window(lo, hi float64) Conjunction {
+	return NewConjunction(NumPred(0, Ge, lo), NumPred(0, Lt, hi))
+}
+
+func TestMergeAdjacentChain(t *testing.T) {
+	d := NewDNF(window(0, 10), window(10, 20), window(20, 30))
+	m := d.MergeAdjacent()
+	if len(m.Conjs) != 1 {
+		t.Fatalf("merged to %d disjuncts, want 1: %v", len(m.Conjs), m)
+	}
+	lo, hi, ok := m.Conjs[0].NumericBounds(0)
+	if !ok || lo != 0 || hi != 30 {
+		t.Errorf("merged bounds [%v, %v]", lo, hi)
+	}
+}
+
+func TestMergeAdjacentKeepsGaps(t *testing.T) {
+	d := NewDNF(window(0, 10), window(15, 20))
+	m := d.MergeAdjacent()
+	if len(m.Conjs) != 2 {
+		t.Fatalf("gap merged away: %v", m)
+	}
+}
+
+func TestMergeAdjacentRespectsBuiltins(t *testing.T) {
+	a := window(0, 10)
+	b := window(10, 20)
+	b.Builtin = b.Builtin.WithYShift(5) // different shift → no merge
+	m := NewDNF(a, b).MergeAdjacent()
+	if len(m.Conjs) != 2 {
+		t.Fatalf("windows with different builtins merged: %v", m)
+	}
+	// Equal builtins do merge.
+	c := window(10, 20)
+	c.Builtin = c.Builtin.WithYShift(5)
+	d := window(0, 10)
+	d.Builtin = d.Builtin.WithYShift(5)
+	m = NewDNF(d, c).MergeAdjacent()
+	if len(m.Conjs) != 1 {
+		t.Fatalf("equal-builtin windows did not merge: %v", m)
+	}
+	if m.Conjs[0].Builtin.YShift != 5 {
+		t.Error("merged window lost its builtin")
+	}
+}
+
+func TestMergeAdjacentRespectsContext(t *testing.T) {
+	a := window(0, 10).And(StrPred(1, "x"))
+	b := window(10, 20).And(StrPred(1, "y"))
+	m := NewDNF(a, b).MergeAdjacent()
+	if len(m.Conjs) != 2 {
+		t.Fatalf("windows with different categorical context merged: %v", m)
+	}
+	c := window(10, 20).And(StrPred(1, "x"))
+	m = NewDNF(a, c).MergeAdjacent()
+	if len(m.Conjs) != 1 {
+		t.Fatalf("same-context windows did not merge: %v", m)
+	}
+	// The context predicate survives the merge.
+	withX := dataset.Tuple{dataset.Num(5), dataset.Str("x")}
+	withY := dataset.Tuple{dataset.Num(5), dataset.Str("y")}
+	if !m.Conjs[0].Sat(withX) || m.Conjs[0].Sat(withY) {
+		t.Error("context lost in merge")
+	}
+}
+
+func TestMergeAdjacentBoundaryClosedness(t *testing.T) {
+	// (0,10) and (10,20) — both open at 10 — leave a hole; no merge.
+	a := NewConjunction(NumPred(0, Gt, 0), NumPred(0, Lt, 10))
+	b := NewConjunction(NumPred(0, Gt, 10), NumPred(0, Lt, 20))
+	if m := NewDNF(a, b).MergeAdjacent(); len(m.Conjs) != 2 {
+		t.Fatalf("open-open boundary merged over the hole at 10: %v", m)
+	}
+	// (0,10] and (10,20) touch: merge.
+	c := NewConjunction(NumPred(0, Gt, 0), NumPred(0, Le, 10))
+	if m := NewDNF(c, b).MergeAdjacent(); len(m.Conjs) != 1 {
+		t.Fatalf("closed-open boundary did not merge: %v", m)
+	}
+}
+
+func TestMergeAdjacentPassthrough(t *testing.T) {
+	// Disjuncts constraining several numeric attributes pass through.
+	multi := NewConjunction(NumPred(0, Ge, 0), NumPred(2, Lt, 5))
+	m := NewDNF(multi, window(0, 10)).MergeAdjacent()
+	if len(m.Conjs) != 2 {
+		t.Fatalf("multi-attribute disjunct handled wrongly: %v", m)
+	}
+}
+
+// Property: MergeAdjacent preserves satisfaction on a grid.
+func TestMergeAdjacentPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var conjs []Conjunction
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			lo := float64(rng.Intn(12) - 6)
+			c := window(lo, lo+float64(1+rng.Intn(5)))
+			if rng.Intn(3) == 0 {
+				c.Builtin = c.Builtin.WithYShift(float64(rng.Intn(2)))
+			}
+			conjs = append(conjs, c)
+		}
+		d := NewDNF(conjs...)
+		m := d.MergeAdjacent()
+		if len(m.Conjs) > len(d.Conjs) {
+			return false
+		}
+		for x := -8.0; x <= 14.0; x += 0.25 {
+			tpl := tup(x)
+			if d.Sat(tpl) != m.Sat(tpl) {
+				return false
+			}
+			// The builtin a tuple resolves to must be preserved.
+			c1, ok1 := d.MatchConjunction(tpl)
+			c2, ok2 := m.MatchConjunction(tpl)
+			if ok1 != ok2 {
+				return false
+			}
+			if ok1 && !c1.Builtin.Equal(c2.Builtin) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// ParseDNF parses a textual DNF condition against a schema. The grammar
+// mirrors the paper's notation in ASCII:
+//
+//	dnf   := conj ("||" conj)*
+//	conj  := term ("&&" term)*
+//	term  := ATTR op value            -- a predicate A φ c
+//	       | "y" "=" number           -- the y = δ builtin
+//	       | "x[" ATTR "]" "=" number -- an x = Δ builtin on one attribute
+//	op    := "=" | ">" | ">=" | "<" | "<="
+//
+// Attribute names resolve through the schema; constants on categorical
+// attributes are taken verbatim (optionally quoted with single quotes),
+// numeric constants must parse as floats. Example:
+//
+//	Date>=2006 && BirdID='2.Maria' || Date<100 && y=30
+func ParseDNF(input string, schema *dataset.Schema) (DNF, error) {
+	var dnf DNF
+	for _, conjSrc := range splitTop(input, "||") {
+		conj, err := parseConj(conjSrc, schema)
+		if err != nil {
+			return DNF{}, err
+		}
+		dnf.Conjs = append(dnf.Conjs, conj)
+	}
+	if len(dnf.Conjs) == 0 {
+		return DNF{}, fmt.Errorf("predicate: empty condition")
+	}
+	return dnf, nil
+}
+
+// ParseConjunction parses a single conjunction (no "||").
+func ParseConjunction(input string, schema *dataset.Schema) (Conjunction, error) {
+	if strings.Contains(input, "||") {
+		return Conjunction{}, fmt.Errorf("predicate: %q contains a disjunction; use ParseDNF", input)
+	}
+	return parseConj(input, schema)
+}
+
+func parseConj(src string, schema *dataset.Schema) (Conjunction, error) {
+	conj := NewConjunction()
+	terms := splitTop(src, "&&")
+	if len(terms) == 1 && strings.TrimSpace(terms[0]) == "" {
+		return conj, nil // the empty conjunction ⊤
+	}
+	for _, term := range terms {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return Conjunction{}, fmt.Errorf("predicate: empty term in %q", src)
+		}
+		if err := parseTerm(term, schema, &conj); err != nil {
+			return Conjunction{}, err
+		}
+	}
+	return conj, nil
+}
+
+func parseTerm(term string, schema *dataset.Schema, conj *Conjunction) error {
+	// Builtin y = δ.
+	if rest, ok := strings.CutPrefix(term, "y="); ok && !strings.ContainsAny(rest, "<>=") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return fmt.Errorf("predicate: builtin %q: %w", term, err)
+		}
+		conj.Builtin = conj.Builtin.WithYShift(d)
+		return nil
+	}
+	// Builtin x[Attr] = Δ.
+	if rest, ok := strings.CutPrefix(term, "x["); ok {
+		name, after, found := strings.Cut(rest, "]")
+		if !found {
+			return fmt.Errorf("predicate: builtin %q: missing ]", term)
+		}
+		after = strings.TrimSpace(after)
+		val, ok := strings.CutPrefix(after, "=")
+		if !ok {
+			return fmt.Errorf("predicate: builtin %q: want x[Attr]=Δ", term)
+		}
+		attr, err := schema.Index(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		d, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return fmt.Errorf("predicate: builtin %q: %w", term, err)
+		}
+		conj.Builtin = conj.Builtin.WithXShift(attr, d)
+		return nil
+	}
+	// Predicate ATTR op value. Two-char operators first.
+	var opStr string
+	var opPos int
+	for _, cand := range []string{">=", "<=", ">", "<", "="} {
+		if i := strings.Index(term, cand); i > 0 {
+			opStr, opPos = cand, i
+			break
+		}
+	}
+	if opStr == "" {
+		return fmt.Errorf("predicate: term %q has no operator", term)
+	}
+	name := strings.TrimSpace(term[:opPos])
+	valueStr := strings.TrimSpace(term[opPos+len(opStr):])
+	attr, err := schema.Index(name)
+	if err != nil {
+		return err
+	}
+	var op Op
+	switch opStr {
+	case "=":
+		op = Eq
+	case ">":
+		op = Gt
+	case ">=":
+		op = Ge
+	case "<":
+		op = Lt
+	case "<=":
+		op = Le
+	}
+	if schema.Attr(attr).Kind == dataset.Categorical {
+		if op != Eq {
+			return fmt.Errorf("predicate: categorical attribute %s supports only =", name)
+		}
+		conj.Preds = append(conj.Preds, StrPred(attr, strings.Trim(valueStr, "'")))
+		return nil
+	}
+	c, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return fmt.Errorf("predicate: term %q: constant %q: %w", term, valueStr, err)
+	}
+	conj.Preds = append(conj.Preds, NumPred(attr, op, c))
+	return nil
+}
+
+// splitTop splits src on sep outside single quotes.
+func splitTop(src, sep string) []string {
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i+len(sep) <= len(src); i++ {
+		if src[i] == '\'' {
+			depth = !depth
+			continue
+		}
+		if !depth && src[i:i+len(sep)] == sep {
+			parts = append(parts, src[start:i])
+			start = i + len(sep)
+			i += len(sep) - 1
+		}
+	}
+	parts = append(parts, src[start:])
+	return parts
+}

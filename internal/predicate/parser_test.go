@@ -1,0 +1,158 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+func parserSchema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.Attribute{Name: "Date", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Latitude", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "BirdID", Kind: dataset.Categorical},
+	)
+}
+
+func TestParseDNFPaperExample(t *testing.T) {
+	// φ3's condition from Example 2, in ASCII.
+	s := parserSchema()
+	d, err := ParseDNF("Date>=223 && Date<255 && x[Date]=0 || Date>=953 && Date<985 && x[Date]=744", s)
+	if err != nil {
+		t.Fatalf("ParseDNF: %v", err)
+	}
+	if len(d.Conjs) != 2 {
+		t.Fatalf("conjs = %d, want 2", len(d.Conjs))
+	}
+	if d.Conjs[1].Builtin.Shift(0) != 744 {
+		t.Errorf("second disjunct Δ = %v, want 744", d.Conjs[1].Builtin.Shift(0))
+	}
+	tp := dataset.Tuple{dataset.Num(960), dataset.Num(50), dataset.Str("2.Maria")}
+	if !d.Sat(tp) {
+		t.Error("tuple in the second window should satisfy")
+	}
+	if d.Sat(dataset.Tuple{dataset.Num(500), dataset.Num(0), dataset.Str("x")}) {
+		t.Error("tuple in the gap satisfied")
+	}
+}
+
+func TestParseDNFCategoricalQuoted(t *testing.T) {
+	s := parserSchema()
+	d, err := ParseDNF("BirdID='2.Maria' && Date<100", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Conjs[0]
+	if len(c.Preds) != 2 || !c.Preds[0].Categorical || c.Preds[0].Str != "2.Maria" {
+		t.Errorf("parsed %v", c.Preds)
+	}
+}
+
+func TestParseDNFYShift(t *testing.T) {
+	s := parserSchema()
+	d, err := ParseDNF("Date>=10 && y=30", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Conjs[0].Builtin.YShift != 30 {
+		t.Errorf("δ = %v", d.Conjs[0].Builtin.YShift)
+	}
+	if len(d.Conjs[0].Preds) != 1 {
+		t.Error("builtin leaked into predicates")
+	}
+}
+
+func TestParseDNFAllOperators(t *testing.T) {
+	s := parserSchema()
+	for _, src := range []string{"Date=5", "Date>5", "Date>=5", "Date<5", "Date<=5"} {
+		d, err := ParseDNF(src, s)
+		if err != nil {
+			t.Errorf("ParseDNF(%q): %v", src, err)
+			continue
+		}
+		if len(d.Conjs[0].Preds) != 1 {
+			t.Errorf("%q parsed to %v", src, d.Conjs[0].Preds)
+		}
+	}
+	// >= must not parse as > with constant "=5".
+	d, _ := ParseDNF("Date>=5", s)
+	if d.Conjs[0].Preds[0].Op != Ge {
+		t.Errorf("Date>=5 parsed with op %v", d.Conjs[0].Preds[0].Op)
+	}
+}
+
+func TestParseConjunctionEmptyIsTop(t *testing.T) {
+	s := parserSchema()
+	c, err := ParseConjunction("", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Preds) != 0 {
+		t.Error("empty input should parse to ⊤")
+	}
+	if _, err := ParseConjunction("Date<1 || Date>2", s); err == nil {
+		t.Error("disjunction accepted by ParseConjunction")
+	}
+}
+
+func TestParseDNFErrors(t *testing.T) {
+	s := parserSchema()
+	cases := []string{
+		"Nope>5",       // unknown attribute
+		"BirdID>abc",   // inequality on categorical
+		"Date>abc",     // non-numeric constant
+		"Date",         // no operator
+		"Date>5 && ",   // empty term
+		"y=notanumber", // bad builtin
+		"x[Date=5",     // missing ]
+		"x[Date] 5",    // missing =
+		"x[Nope]=5",    // unknown builtin attribute
+		"",             // empty condition handled as error? empty conj is ⊤ but DNF of one empty conj is fine
+	}
+	for _, c := range cases[:len(cases)-1] {
+		if _, err := ParseDNF(c, s); err == nil {
+			t.Errorf("ParseDNF(%q) accepted", c)
+		}
+	}
+	// The empty string parses as the single empty conjunction ⊤.
+	d, err := ParseDNF("", s)
+	if err != nil || len(d.Conjs) != 1 || len(d.Conjs[0].Preds) != 0 {
+		t.Errorf("ParseDNF(\"\") = %v, %v", d, err)
+	}
+}
+
+func TestParseRoundTripThroughFormat(t *testing.T) {
+	s := parserSchema()
+	src := "Date>=10 && Date<20 || BirdID='2.Maria' && y=3"
+	d, err := ParseDNF(src, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The formatted output is human syntax (∧/∨); re-parse via translation.
+	ascii := d.Format(s)
+	ascii = strings.ReplaceAll(ascii, "∧", "&&")
+	ascii = strings.ReplaceAll(ascii, "∨", "||")
+	ascii = strings.ReplaceAll(ascii, "(", "")
+	ascii = strings.ReplaceAll(ascii, ")", "")
+	back, err := ParseDNF(ascii, s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", ascii, err)
+	}
+	// Same satisfaction behavior.
+	for date := 0.0; date < 30; date += 1 {
+		for _, bird := range []string{"2.Maria", "other"} {
+			tp := dataset.Tuple{dataset.Num(date), dataset.Num(0), dataset.Str(bird)}
+			if d.Sat(tp) != back.Sat(tp) {
+				t.Fatalf("round trip diverged at %v/%s", date, bird)
+			}
+		}
+	}
+}
+
+func TestSplitTopRespectsQuotes(t *testing.T) {
+	parts := splitTop("BirdID='a&&b' && Date<5", "&&")
+	if len(parts) != 2 {
+		t.Fatalf("splitTop = %v", parts)
+	}
+}

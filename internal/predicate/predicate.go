@@ -1,0 +1,268 @@
+// Package predicate implements the condition language of conditional
+// regression rules: single-tuple predicates A φ c over the operator set
+// {=, >, ≥, <, ≤} (paper §III-A1), built-in translation predicates
+// x = Δ and y = δ (§III-A3), conjunctions, DNF conditions (§III-A2), and the
+// implication relations ⊢ on conjunctions and DNFs (Definition 2) that power
+// the Induction inference.
+package predicate
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// Op is a comparison operator from the paper's operator set Φ.
+type Op int
+
+const (
+	Eq Op = iota // =
+	Gt           // >
+	Ge           // ≥
+	Lt           // <
+	Le           // ≤
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Predicate is a single-tuple predicate A φ c. Attr is the attribute's index
+// in the relation schema. For categorical attributes only Eq is meaningful
+// and Str carries the constant; for numeric attributes Num does.
+type Predicate struct {
+	Attr        int
+	Op          Op
+	Num         float64
+	Str         string
+	Categorical bool
+}
+
+// NumPred builds a numeric predicate attr φ c.
+func NumPred(attr int, op Op, c float64) Predicate {
+	return Predicate{Attr: attr, Op: op, Num: c}
+}
+
+// StrPred builds a categorical equality predicate attr = s.
+func StrPred(attr int, s string) Predicate {
+	return Predicate{Attr: attr, Op: Eq, Str: s, Categorical: true}
+}
+
+// Sat reports whether tuple t satisfies the predicate. A null cell satisfies
+// no predicate.
+func (p Predicate) Sat(t dataset.Tuple) bool {
+	v := t[p.Attr]
+	if v.Null {
+		return false
+	}
+	if p.Categorical {
+		return p.Op == Eq && v.Str == p.Str
+	}
+	switch p.Op {
+	case Eq:
+		return v.Num == p.Num
+	case Gt:
+		return v.Num > p.Num
+	case Ge:
+		return v.Num >= p.Num
+	case Lt:
+		return v.Num < p.Num
+	case Le:
+		return v.Num <= p.Num
+	default:
+		return false
+	}
+}
+
+// Implies reports whether p ⊢ q for two predicates over the same attribute:
+// every tuple satisfying p satisfies q. Predicates on different attributes
+// never imply one another.
+func (p Predicate) Implies(q Predicate) bool {
+	if p.Attr != q.Attr || p.Categorical != q.Categorical {
+		return false
+	}
+	if p.Categorical {
+		return p.Op == Eq && q.Op == Eq && p.Str == q.Str
+	}
+	switch p.Op {
+	case Eq:
+		// {v = c} ⊆ {v φ d} iff c satisfies q.
+		probe := dataset.Tuple{dataset.Num(p.Num)}
+		q2 := q
+		q2.Attr = 0
+		return q2.Sat(probe)
+	case Gt:
+		switch q.Op {
+		case Gt:
+			return p.Num >= q.Num
+		case Ge:
+			return p.Num >= q.Num
+		}
+	case Ge:
+		switch q.Op {
+		case Gt:
+			return p.Num > q.Num
+		case Ge:
+			return p.Num >= q.Num
+		}
+	case Lt:
+		switch q.Op {
+		case Lt:
+			return p.Num <= q.Num
+		case Le:
+			return p.Num <= q.Num
+		}
+	case Le:
+		switch q.Op {
+		case Lt:
+			return p.Num < q.Num
+		case Le:
+			return p.Num <= q.Num
+		}
+	}
+	return false
+}
+
+// String renders the predicate using the schema-free attribute index.
+func (p Predicate) String() string {
+	if p.Categorical {
+		return fmt.Sprintf("A%d=%s", p.Attr, p.Str)
+	}
+	return fmt.Sprintf("A%d%s%s", p.Attr, p.Op, strconv.FormatFloat(p.Num, 'g', -1, 64))
+}
+
+// Format renders the predicate with attribute names from schema.
+func (p Predicate) Format(schema *dataset.Schema) string {
+	name := schema.Attr(p.Attr).Name
+	if p.Categorical {
+		return fmt.Sprintf("%s=%s", name, p.Str)
+	}
+	return fmt.Sprintf("%s%s%s", name, p.Op, strconv.FormatFloat(p.Num, 'g', -1, 64))
+}
+
+// Builtin carries the built-in translation predicates of one conjunction:
+// x = Δ per translated attribute (keyed by attribute index) and y = δ on the
+// target (paper §III-A3). A tuple is satisfied by any built-in predicate;
+// builtins only parameterize the regression function application.
+type Builtin struct {
+	XShift map[int]float64
+	YShift float64
+}
+
+// ZeroBuiltin is the default x = 0 ∧ y = 0 builtin.
+func ZeroBuiltin() Builtin { return Builtin{} }
+
+// IsZero reports whether every shift is zero.
+func (b Builtin) IsZero() bool {
+	if b.YShift != 0 {
+		return false
+	}
+	for _, v := range b.XShift {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Shift returns the Δ for attribute attr (0 when absent).
+func (b Builtin) Shift(attr int) float64 { return b.XShift[attr] }
+
+// WithXShift returns a copy of b with Δ set for attr.
+func (b Builtin) WithXShift(attr int, delta float64) Builtin {
+	out := b.Clone()
+	if out.XShift == nil {
+		out.XShift = make(map[int]float64, 1)
+	}
+	out.XShift[attr] = delta
+	return out
+}
+
+// WithYShift returns a copy of b with δ set.
+func (b Builtin) WithYShift(delta float64) Builtin {
+	out := b.Clone()
+	out.YShift = delta
+	return out
+}
+
+// Add returns the composition of two builtins: Δ” = Δ + Δ', δ” = δ + δ'
+// (Proposition 9's built-in predicate decision).
+func (b Builtin) Add(o Builtin) Builtin {
+	out := b.Clone()
+	if len(o.XShift) > 0 && out.XShift == nil {
+		out.XShift = make(map[int]float64, len(o.XShift))
+	}
+	for k, v := range o.XShift {
+		out.XShift[k] += v
+	}
+	out.YShift += o.YShift
+	return out
+}
+
+// Clone deep-copies the builtin.
+func (b Builtin) Clone() Builtin {
+	out := Builtin{YShift: b.YShift}
+	if b.XShift != nil {
+		out.XShift = make(map[int]float64, len(b.XShift))
+		for k, v := range b.XShift {
+			out.XShift[k] = v
+		}
+	}
+	return out
+}
+
+// Equal reports component-wise equality, treating absent Δ entries as zero.
+func (b Builtin) Equal(o Builtin) bool {
+	if b.YShift != o.YShift {
+		return false
+	}
+	keys := make(map[int]struct{}, len(b.XShift)+len(o.XShift))
+	for k := range b.XShift {
+		keys[k] = struct{}{}
+	}
+	for k := range o.XShift {
+		keys[k] = struct{}{}
+	}
+	for k := range keys {
+		if b.XShift[k] != o.XShift[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the builtin as "x_i=Δ,y=δ" terms; empty for the zero builtin.
+func (b Builtin) String() string {
+	var parts []string
+	keys := make([]int, 0, len(b.XShift))
+	for k := range b.XShift {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if b.XShift[k] != 0 {
+			parts = append(parts, fmt.Sprintf("x%d=%s", k, strconv.FormatFloat(b.XShift[k], 'g', -1, 64)))
+		}
+	}
+	if b.YShift != 0 {
+		parts = append(parts, fmt.Sprintf("y=%s", strconv.FormatFloat(b.YShift, 'g', -1, 64)))
+	}
+	return strings.Join(parts, ",")
+}

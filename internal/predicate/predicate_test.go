@@ -1,0 +1,222 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+func tup(vals ...float64) dataset.Tuple {
+	t := make(dataset.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = dataset.Num(v)
+	}
+	return t
+}
+
+func TestPredicateSatNumeric(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		v    float64
+		want bool
+	}{
+		{NumPred(0, Eq, 5), 5, true},
+		{NumPred(0, Eq, 5), 5.1, false},
+		{NumPred(0, Gt, 5), 5, false},
+		{NumPred(0, Gt, 5), 6, true},
+		{NumPred(0, Ge, 5), 5, true},
+		{NumPred(0, Ge, 5), 4.9, false},
+		{NumPred(0, Lt, 5), 4, true},
+		{NumPred(0, Lt, 5), 5, false},
+		{NumPred(0, Le, 5), 5, true},
+		{NumPred(0, Le, 5), 5.1, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Sat(tup(c.v)); got != c.want {
+			t.Errorf("%v.Sat(%v) = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestPredicateSatCategorical(t *testing.T) {
+	p := StrPred(0, "IA")
+	if !p.Sat(dataset.Tuple{dataset.Str("IA")}) {
+		t.Error("matching categorical not satisfied")
+	}
+	if p.Sat(dataset.Tuple{dataset.Str("NY")}) {
+		t.Error("non-matching categorical satisfied")
+	}
+}
+
+func TestPredicateSatNull(t *testing.T) {
+	if NumPred(0, Ge, 0).Sat(dataset.Tuple{dataset.Null()}) {
+		t.Error("null cell satisfied a predicate")
+	}
+}
+
+func TestPredicateImpliesTable(t *testing.T) {
+	cases := []struct {
+		p, q Predicate
+		want bool
+	}{
+		{NumPred(0, Gt, 5), NumPred(0, Gt, 3), true},
+		{NumPred(0, Gt, 5), NumPred(0, Ge, 5), true},
+		{NumPred(0, Gt, 5), NumPred(0, Gt, 6), false},
+		{NumPred(0, Ge, 5), NumPred(0, Gt, 4), true},
+		{NumPred(0, Ge, 5), NumPred(0, Gt, 5), false},
+		{NumPred(0, Lt, 3), NumPred(0, Le, 3), true},
+		{NumPred(0, Le, 3), NumPred(0, Lt, 3), false},
+		{NumPred(0, Le, 3), NumPred(0, Lt, 4), true},
+		{NumPred(0, Eq, 5), NumPred(0, Ge, 5), true},
+		{NumPred(0, Eq, 5), NumPred(0, Gt, 5), false},
+		{NumPred(0, Eq, 5), NumPred(0, Le, 5), true},
+		{NumPred(0, Eq, 5), NumPred(0, Eq, 5), true},
+		{NumPred(0, Eq, 5), NumPred(0, Eq, 6), false},
+		{NumPred(0, Gt, 5), NumPred(1, Gt, 3), false}, // different attrs
+		{NumPred(0, Gt, 5), NumPred(0, Lt, 9), false}, // > never implies <
+	}
+	for _, c := range cases {
+		if got := c.p.Implies(c.q); got != c.want {
+			t.Errorf("%v ⊢ %v = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestStrPredImplies(t *testing.T) {
+	if !StrPred(0, "a").Implies(StrPred(0, "a")) {
+		t.Error("identical categorical predicates should imply")
+	}
+	if StrPred(0, "a").Implies(StrPred(0, "b")) {
+		t.Error("different constants imply")
+	}
+	if StrPred(0, "a").Implies(NumPred(0, Eq, 1)) {
+		t.Error("categorical implies numeric")
+	}
+}
+
+// randomPred draws a random numeric predicate on attribute 0 with constants
+// in a small integer grid so that edge cases (equal constants) are common.
+func randomPred(rng *rand.Rand) Predicate {
+	ops := []Op{Eq, Gt, Ge, Lt, Le}
+	return NumPred(0, ops[rng.Intn(len(ops))], float64(rng.Intn(7)-3))
+}
+
+// Property: Implies is sound — whenever p ⊢ q, every satisfying point of p
+// satisfies q (checked on a dense grid including the constants).
+func TestPredicateImpliesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := randomPred(rng), randomPred(rng)
+		if !p.Implies(q) {
+			return true
+		}
+		for v := -4.0; v <= 4.0; v += 0.25 {
+			tpl := tup(v)
+			if p.Sat(tpl) && !q.Sat(tpl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Implies is complete on the grid — if every grid point satisfying
+// p satisfies q and p is satisfiable on the grid, then p ⊢ q must hold for
+// same-attribute numeric predicates with grid-aligned constants. The 0.25
+// step is finer than the 1.0 constant grid, so open/closed boundary
+// distinctions are visible to the grid check.
+func TestPredicateImpliesCompleteOnGrid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, q := randomPred(rng), randomPred(rng)
+		sat := false
+		entailed := true
+		for v := -4.0; v <= 4.0; v += 0.25 {
+			tpl := tup(v)
+			if p.Sat(tpl) {
+				sat = true
+				if !q.Sat(tpl) {
+					entailed = false
+					break
+				}
+			}
+		}
+		if !sat || !entailed {
+			return true // nothing to check
+		}
+		return p.Implies(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuiltinCompose(t *testing.T) {
+	b := ZeroBuiltin().WithXShift(2, 10).WithYShift(-3)
+	c := ZeroBuiltin().WithXShift(2, 5).WithXShift(1, 1).WithYShift(4)
+	sum := b.Add(c)
+	if sum.Shift(2) != 15 || sum.Shift(1) != 1 || sum.YShift != 1 {
+		t.Errorf("Add = %+v", sum)
+	}
+	// Operands untouched.
+	if b.Shift(2) != 10 || b.YShift != -3 {
+		t.Error("Add mutated receiver")
+	}
+	if c.Shift(1) != 1 {
+		t.Error("Add mutated argument")
+	}
+}
+
+func TestBuiltinEqual(t *testing.T) {
+	a := ZeroBuiltin().WithXShift(0, 0).WithYShift(0)
+	if !a.Equal(ZeroBuiltin()) {
+		t.Error("explicit zero shifts should equal the zero builtin")
+	}
+	b := ZeroBuiltin().WithXShift(0, 1)
+	if a.Equal(b) {
+		t.Error("distinct shifts reported equal")
+	}
+}
+
+func TestBuiltinIsZeroAndString(t *testing.T) {
+	if !ZeroBuiltin().IsZero() {
+		t.Error("zero builtin not zero")
+	}
+	b := ZeroBuiltin().WithXShift(1, 2).WithYShift(-1)
+	if b.IsZero() {
+		t.Error("shifted builtin reported zero")
+	}
+	if b.String() != "x1=2,y=-1" {
+		t.Errorf("String = %q", b.String())
+	}
+	if ZeroBuiltin().String() != "" {
+		t.Error("zero builtin should render empty")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{Eq: "=", Gt: ">", Ge: ">=", Lt: "<", Le: "<="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op %d String = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestPredicateFormat(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "Date", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "Bird", Kind: dataset.Categorical},
+	)
+	if got := NumPred(0, Ge, 2006.5).Format(schema); got != "Date>=2006.5" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := StrPred(1, "Maria").Format(schema); got != "Bird=Maria" {
+		t.Errorf("Format = %q", got)
+	}
+}

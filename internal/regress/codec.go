@@ -1,0 +1,106 @@
+package regress
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the serialized form of a Model: a family tag plus the
+// family-specific payload. Only one payload field is populated.
+type modelJSON struct {
+	Family string          `json:"family"`
+	Linear *linearJSON     `json:"linear,omitempty"`
+	MLP    *mlpJSON        `json:"mlp,omitempty"`
+	Extra  json.RawMessage `json:"extra,omitempty"`
+}
+
+type linearJSON struct {
+	Weights []float64 `json:"weights"`
+	Family  string    `json:"subfamily"` // "linear" or "ridge"
+}
+
+type mlpJSON struct {
+	InDim  int         `json:"in_dim"`
+	W1     [][]float64 `json:"w1"`
+	B1     []float64   `json:"b1"`
+	W2     []float64   `json:"w2"`
+	B2     float64     `json:"b2"`
+	InMean []float64   `json:"in_mean"`
+	InStd  []float64   `json:"in_std"`
+}
+
+// EncodeModel serializes a model to JSON. Linear (OLS and ridge) and MLP
+// families are supported — the F1/F2/F3 set of the paper.
+func EncodeModel(m Model) ([]byte, error) {
+	switch v := m.(type) {
+	case *Linear:
+		return json.Marshal(modelJSON{
+			Family: "linear",
+			Linear: &linearJSON{Weights: v.W, Family: v.family},
+		})
+	case *MLP:
+		return json.Marshal(modelJSON{
+			Family: "mlp",
+			MLP: &mlpJSON{
+				InDim: v.InDim, W1: v.W1, B1: v.B1, W2: v.W2, B2: v.B2,
+				InMean: v.inMean, InStd: v.inStd,
+			},
+		})
+	default:
+		return nil, fmt.Errorf("regress: cannot encode model family %q", m.Family())
+	}
+}
+
+// DecodeModel deserializes a model encoded by EncodeModel.
+func DecodeModel(data []byte) (Model, error) {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return nil, fmt.Errorf("regress: decode model: %w", err)
+	}
+	switch mj.Family {
+	case "linear":
+		if mj.Linear == nil || len(mj.Linear.Weights) == 0 {
+			return nil, fmt.Errorf("regress: linear payload missing or empty")
+		}
+		fam := mj.Linear.Family
+		if fam != "ridge" {
+			fam = "linear"
+		}
+		return &Linear{W: mj.Linear.Weights, family: fam}, nil
+	case "mlp":
+		p := mj.MLP
+		if p == nil {
+			return nil, fmt.Errorf("regress: mlp payload missing")
+		}
+		if err := validateMLPPayload(p); err != nil {
+			return nil, err
+		}
+		return &MLP{
+			InDim: p.InDim, W1: p.W1, B1: p.B1, W2: p.W2, B2: p.B2,
+			inMean: p.InMean, inStd: p.InStd,
+		}, nil
+	default:
+		return nil, fmt.Errorf("regress: unknown model family %q", mj.Family)
+	}
+}
+
+func validateMLPPayload(p *mlpJSON) error {
+	h := len(p.W2)
+	if len(p.W1) != h || len(p.B1) != h {
+		return fmt.Errorf("regress: mlp payload layer sizes disagree (w1=%d b1=%d w2=%d)", len(p.W1), len(p.B1), h)
+	}
+	for i, row := range p.W1 {
+		if len(row) != p.InDim {
+			return fmt.Errorf("regress: mlp payload w1 row %d width %d, want %d", i, len(row), p.InDim)
+		}
+	}
+	if len(p.InMean) != p.InDim || len(p.InStd) != p.InDim {
+		return fmt.Errorf("regress: mlp payload standardization width mismatch")
+	}
+	for i, s := range p.InStd {
+		if s == 0 {
+			return fmt.Errorf("regress: mlp payload in_std[%d] is zero", i)
+		}
+	}
+	return nil
+}

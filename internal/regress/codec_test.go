@@ -1,0 +1,130 @@
+package regress
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeLinear(t *testing.T) {
+	m := NewLinear(1.5, -2, 3)
+	data, err := EncodeModel(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := DecodeModel(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !m.Equal(back, 0) {
+		t.Errorf("round trip changed the model: %v vs %v", m, back)
+	}
+	if back.Family() != "linear" {
+		t.Errorf("family = %s", back.Family())
+	}
+}
+
+func TestEncodeDecodeRidgePreservesFamily(t *testing.T) {
+	m, err := LinearTrainer{Ridge: 1}.Train([][]float64{{0}, {1}, {2}}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Family() != "ridge" {
+		t.Errorf("family = %s, want ridge", back.Family())
+	}
+	if !m.Equal(back, 0) {
+		t.Error("ridge round trip changed weights")
+	}
+}
+
+func TestEncodeDecodeMLP(t *testing.T) {
+	m, err := MLPTrainer{Hidden: 4, Epochs: 30, LR: 0.05, Seed: 3}.Train(
+		[][]float64{{0, 1}, {1, 0}, {2, 2}, {3, 1}}, []float64{0, 1, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back, 0) {
+		t.Error("MLP round trip changed parameters")
+	}
+	// Predictions identical.
+	probe := []float64{1.5, 0.5}
+	if m.Predict(probe) != back.Predict(probe) {
+		t.Error("MLP round trip changed predictions")
+	}
+}
+
+func TestDecodeModelErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"family":"quantum"}`,
+		`{"family":"linear"}`,
+		`{"family":"linear","linear":{"weights":[]}}`,
+		`{"family":"mlp"}`,
+		`{"family":"mlp","mlp":{"in_dim":2,"w1":[[1]],"b1":[0],"w2":[1],"in_mean":[0,0],"in_std":[1,1]}}`,
+		`{"family":"mlp","mlp":{"in_dim":1,"w1":[[1]],"b1":[0],"w2":[1],"in_mean":[0],"in_std":[0]}}`,
+	}
+	for _, c := range cases {
+		if _, err := DecodeModel([]byte(c)); err == nil {
+			t.Errorf("DecodeModel accepted %q", c)
+		}
+	}
+}
+
+func TestEncodeModelUnknownFamily(t *testing.T) {
+	if _, err := EncodeModel(fakeModel{}); err == nil || !strings.Contains(err.Error(), "cannot encode") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Predict([]float64) float64 { return 0 }
+func (fakeModel) Dim() int                  { return 0 }
+func (fakeModel) Family() string            { return "fake" }
+func (fakeModel) Equal(Model, float64) bool { return false }
+
+// Property: linear round trips preserve predictions exactly.
+func TestLinearCodecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(4)
+		slopes := make([]float64, dim)
+		for i := range slopes {
+			slopes[i] = rng.NormFloat64() * 10
+		}
+		m := NewLinear(rng.NormFloat64()*10, slopes...)
+		data, err := EncodeModel(m)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeModel(data)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+		}
+		return m.Predict(x) == back.Predict(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossValidate scores a trainer by k-fold cross-validation RMSE on (x, y),
+// with contiguous folds (appropriate for the ordered parts CRR discovery
+// produces; shuffle beforehand for i.i.d. data). It returns the mean
+// held-out RMSE across folds.
+func CrossValidate(t Trainer, x [][]float64, y []float64, k int) (float64, error) {
+	if _, err := validateSample(x, y); err != nil {
+		return 0, err
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("regress: cross-validation needs k ≥ 2, got %d", k)
+	}
+	n := len(x)
+	if k > n {
+		k = n
+	}
+	var total float64
+	folds := 0
+	for f := 0; f < k; f++ {
+		lo := n * f / k
+		hi := n * (f + 1) / k
+		if lo == hi {
+			continue
+		}
+		var trX [][]float64
+		var trY []float64
+		trX = append(trX, x[:lo]...)
+		trX = append(trX, x[hi:]...)
+		trY = append(trY, y[:lo]...)
+		trY = append(trY, y[hi:]...)
+		if len(trX) == 0 {
+			continue
+		}
+		m, err := t.Train(trX, trY)
+		if err != nil {
+			return 0, fmt.Errorf("regress: fold %d: %w", f, err)
+		}
+		total += RMSE(m, x[lo:hi], y[lo:hi])
+		folds++
+	}
+	if folds == 0 {
+		return 0, fmt.Errorf("regress: no usable folds for n=%d, k=%d", n, k)
+	}
+	return total / float64(folds), nil
+}
+
+// SelectRidge picks the ridge penalty λ minimizing k-fold cross-validation
+// RMSE over the given candidates (F2's hyper-parameter). It returns the
+// winning trainer and its CV score. An empty candidate list defaults to a
+// logarithmic grid from 0 (plain OLS) to 100.
+func SelectRidge(x [][]float64, y []float64, candidates []float64, k int) (LinearTrainer, float64, error) {
+	if len(candidates) == 0 {
+		candidates = []float64{0, 0.01, 0.1, 1, 10, 100}
+	}
+	best := LinearTrainer{}
+	bestScore := math.Inf(1)
+	for _, lambda := range candidates {
+		t := LinearTrainer{Ridge: lambda}
+		score, err := CrossValidate(t, x, y, k)
+		if err != nil {
+			return LinearTrainer{}, 0, err
+		}
+		if score < bestScore {
+			best, bestScore = t, score
+		}
+	}
+	return best, bestScore, nil
+}

@@ -1,0 +1,87 @@
+package regress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func cvData(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		v := rng.Float64() * 10
+		x[i] = []float64{v}
+		y[i] = 3*v + 1 + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestCrossValidateNearNoiseLevel(t *testing.T) {
+	x, y := cvData(200, 0.5, 1)
+	score, err := CrossValidate(LinearTrainer{}, x, y, 5)
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	if score < 0.3 || score > 0.8 {
+		t.Errorf("CV RMSE = %v, want near the noise level 0.5", score)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	x, y := cvData(10, 0.1, 2)
+	if _, err := CrossValidate(LinearTrainer{}, x, y, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(LinearTrainer{}, nil, nil, 5); err == nil {
+		t.Error("empty sample accepted")
+	}
+	// k > n clamps rather than failing.
+	if _, err := CrossValidate(LinearTrainer{}, x[:3], y[:3], 10); err != nil {
+		t.Errorf("k > n: %v", err)
+	}
+}
+
+func TestSelectRidgePrefersOLSOnCleanData(t *testing.T) {
+	x, y := cvData(300, 0.1, 3)
+	trainer, score, err := SelectRidge(x, y, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainer.Ridge > 1 {
+		t.Errorf("clean linear data selected λ = %v, want small", trainer.Ridge)
+	}
+	if score > 0.3 {
+		t.Errorf("winning CV score = %v", score)
+	}
+}
+
+func TestSelectRidgeShrinksOnTinyNoisySample(t *testing.T) {
+	// With p ≈ n and heavy noise, some ridge beats OLS on held-out folds.
+	rng := rand.New(rand.NewSource(4))
+	n := 12
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = x[i][0] + 5*rng.NormFloat64()
+	}
+	trainer, _, err := SelectRidge(x, y, []float64{0, 10, 1000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainer.Ridge == 0 {
+		t.Error("tiny noisy sample selected plain OLS over any ridge")
+	}
+}
+
+func TestSelectRidgeCustomCandidates(t *testing.T) {
+	x, y := cvData(100, 0.2, 5)
+	trainer, _, err := SelectRidge(x, y, []float64{7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainer.Ridge != 7 {
+		t.Errorf("single-candidate selection returned λ = %v", trainer.Ridge)
+	}
+}

@@ -1,0 +1,43 @@
+package regress_test
+
+import (
+	"fmt"
+
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// ExampleLinear_SolveTranslation reproduces the paper's §IV Tax example:
+// f5(Salary) = 0.04·Salary − 230 is a pure-output translation of
+// f4(Salary) = 0.04·Salary.
+func ExampleLinear_SolveTranslation() {
+	f4 := regress.NewLinear(0, 0.04)
+	f5 := regress.NewLinear(-230, 0.04)
+	tr, ok := f4.SolveTranslation(f5, 1e-9)
+	fmt.Println(ok, tr.DeltaY, tr.IsPureY())
+	// Output: true -230 true
+}
+
+// ExampleShareTest shows Proposition 6's δ0 midpoint test: a model fits a
+// foreign data part after an output shift exactly when the post-shift
+// maximum error stays within ρ_M.
+func ExampleShareTest() {
+	f := regress.NewLinear(0, 2) // f(x) = 2x
+	// Data follows 2x + 30 — the same slope, shifted.
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{30, 32.1, 33.9, 36}
+	res := regress.ShareTest(f, x, y, 0.5)
+	fmt.Printf("share=%v δ0=%.1f maxErr=%.1f\n", res.OK, res.Delta0, res.MaxErr)
+	// Output: share=true δ0=30.0 maxErr=0.1
+}
+
+// ExampleLinearTrainer fits F1 (OLS) and F2 (ridge).
+func ExampleLinearTrainer() {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{1, 3, 5, 7} // 1 + 2x
+	m, err := regress.LinearTrainer{}.Train(x, y)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("f(10) = %.0f\n", m.Predict([]float64{10}))
+	// Output: f(10) = 21
+}

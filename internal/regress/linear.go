@@ -1,0 +1,158 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/crrlab/crr/internal/mat"
+)
+
+// Linear is an affine model f(x) = W[0] + Σ W[i+1]·x[i]. It covers both the
+// paper's F1 (OLS) and F2 (ridge) fits as well as constant models (all-zero
+// slopes), which express the paper's constant-target rules such as
+// "Latitude = 60.10".
+type Linear struct {
+	W      []float64 // W[0] is the intercept, W[1:] the slopes
+	family string
+}
+
+// NewLinear builds a linear model from explicit weights.
+func NewLinear(intercept float64, slopes ...float64) *Linear {
+	return &Linear{W: append([]float64{intercept}, slopes...), family: "linear"}
+}
+
+// NewConstant builds the constant model f(x) = c of the given width.
+func NewConstant(c float64, dim int) *Linear {
+	return &Linear{W: append([]float64{c}, make([]float64, dim)...), family: "linear"}
+}
+
+// Predict implements Model.
+func (m *Linear) Predict(x []float64) float64 {
+	if len(x) != m.Dim() {
+		panic(fmt.Sprintf("regress: Linear.Predict dim %d, want %d", len(x), m.Dim()))
+	}
+	y := m.W[0]
+	for i, v := range x {
+		y += m.W[i+1] * v
+	}
+	return y
+}
+
+// Dim implements Model.
+func (m *Linear) Dim() int { return len(m.W) - 1 }
+
+// Family implements Model.
+func (m *Linear) Family() string { return m.family }
+
+// Equal implements Model: same family, same width, all weights within tol.
+func (m *Linear) Equal(other Model, tol float64) bool {
+	o, ok := other.(*Linear)
+	if !ok || o.family != m.family || len(o.W) != len(m.W) {
+		return false
+	}
+	for i := range m.W {
+		if math.Abs(m.W[i]-o.W[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConstant reports whether all slopes are zero within tol.
+func (m *Linear) IsConstant(tol float64) bool {
+	for _, w := range m.W[1:] {
+		if math.Abs(w) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveTranslation implements Translatable. Two affine models are
+// translations of each other exactly when their slopes agree: then
+// other(X) = m(X+Δ)+δ holds for any Δ, δ with Σ aᵢΔᵢ + δ = b₀ − a₀. We
+// return the canonical pure-output solution Δ = 0, δ = b₀ − a₀ (matching
+// the paper's Tax example, where f5 = f4 − 230 gives y = −230).
+func (m *Linear) SolveTranslation(other Model, tol float64) (Translation, bool) {
+	o, ok := other.(*Linear)
+	if !ok || len(o.W) != len(m.W) {
+		return Translation{}, false
+	}
+	for i := 1; i < len(m.W); i++ {
+		if math.Abs(m.W[i]-o.W[i]) > tol {
+			return Translation{}, false
+		}
+	}
+	return Translation{DeltaY: o.W[0] - m.W[0]}, true
+}
+
+// String renders the model equation.
+func (m *Linear) String() string {
+	var b strings.Builder
+	b.WriteString(m.family)
+	b.WriteString("(")
+	b.WriteString(strconv.FormatFloat(m.W[0], 'g', 6, 64))
+	for i, w := range m.W[1:] {
+		fmt.Fprintf(&b, "%+s·x%d", strconv.FormatFloat(w, 'g', 6, 64), i)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// LinearTrainer fits affine models by least squares; Ridge > 0 selects the
+// F2 ridge-regression family, Ridge == 0 the F1 OLS family.
+type LinearTrainer struct {
+	Ridge float64
+}
+
+// Name implements Trainer.
+func (t LinearTrainer) Name() string {
+	if t.Ridge > 0 {
+		return "F2"
+	}
+	return "F1"
+}
+
+// Train implements Trainer. Samples smaller than the parameter count still
+// fit thanks to the jittered normal-equation solve — the paper's edge case
+// where "any tuple (the smallest data part) could learn a regression model".
+func (t LinearTrainer) Train(x [][]float64, y []float64) (Model, error) {
+	dim, err := validateSample(x, y)
+	if err != nil {
+		return nil, err
+	}
+	family := "linear"
+	if t.Ridge > 0 {
+		family = "ridge"
+	}
+	if dim == 0 {
+		// No features: the best max-bias constant is the residual midpoint.
+		lo, hi := minMax(y)
+		return &Linear{W: []float64{(lo + hi) / 2}, family: family}, nil
+	}
+	design := mat.NewDense(len(x), dim+1)
+	for i, row := range x {
+		design.Set(i, 0, 1)
+		copy(design.Row(i)[1:], row)
+	}
+	w, err := mat.LeastSquares(design, y, t.Ridge)
+	if err != nil {
+		return nil, fmt.Errorf("regress: linear fit: %w", err)
+	}
+	return &Linear{W: w, family: family}, nil
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

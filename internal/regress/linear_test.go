@@ -1,0 +1,194 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearPredict(t *testing.T) {
+	m := NewLinear(2, 3, -1) // 2 + 3x0 - x1
+	if got := m.Predict([]float64{1, 4}); got != 1 {
+		t.Errorf("Predict = %v, want 1", got)
+	}
+	if m.Dim() != 2 || m.Family() != "linear" {
+		t.Errorf("Dim/Family = %d/%s", m.Dim(), m.Family())
+	}
+}
+
+func TestLinearPredictPanicsOnDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dim mismatch")
+		}
+	}()
+	NewLinear(0, 1).Predict([]float64{1, 2})
+}
+
+func TestNewConstant(t *testing.T) {
+	m := NewConstant(60.10, 3)
+	if got := m.Predict([]float64{1, 2, 3}); got != 60.10 {
+		t.Errorf("constant Predict = %v", got)
+	}
+	if !m.IsConstant(0) {
+		t.Error("constant model not reported constant")
+	}
+	if NewLinear(1, 0.5).IsConstant(0.1) {
+		t.Error("sloped model reported constant")
+	}
+}
+
+func TestLinearTrainerRecovers(t *testing.T) {
+	tr := LinearTrainer{}
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 7, 9, 11} // 5 + 2x
+	m, err := tr.Train(x, y)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	lin := m.(*Linear)
+	if math.Abs(lin.W[0]-5) > 1e-9 || math.Abs(lin.W[1]-2) > 1e-9 {
+		t.Errorf("W = %v, want [5 2]", lin.W)
+	}
+	if tr.Name() != "F1" {
+		t.Errorf("Name = %s", tr.Name())
+	}
+}
+
+func TestLinearTrainerSingleTuple(t *testing.T) {
+	// The paper's edge case: a single tuple still yields a model covering it.
+	m, err := LinearTrainer{}.Train([][]float64{{4}}, []float64{9})
+	if err != nil {
+		t.Fatalf("Train single tuple: %v", err)
+	}
+	if math.Abs(m.Predict([]float64{4})-9) > 1e-6 {
+		t.Errorf("single-tuple model misses its own tuple: %v", m.Predict([]float64{4}))
+	}
+}
+
+func TestLinearTrainerZeroDim(t *testing.T) {
+	m, err := LinearTrainer{}.Train([][]float64{{}, {}, {}}, []float64{1, 5, 3})
+	if err != nil {
+		t.Fatalf("Train zero-dim: %v", err)
+	}
+	// Midpoint of [1,5] minimizes the max error.
+	if got := m.Predict(nil); got != 3 {
+		t.Errorf("zero-dim prediction = %v, want midpoint 3", got)
+	}
+}
+
+func TestLinearTrainerErrors(t *testing.T) {
+	if _, err := (LinearTrainer{}).Train(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	if _, err := (LinearTrainer{}).Train([][]float64{{1}}, []float64{1, 2}); !errors.Is(err, ErrBadSample) {
+		t.Errorf("err = %v, want ErrBadSample", err)
+	}
+	if _, err := (LinearTrainer{}).Train([][]float64{{1}, {1, 2}}, []float64{1, 2}); !errors.Is(err, ErrBadSample) {
+		t.Errorf("ragged err = %v, want ErrBadSample", err)
+	}
+}
+
+func TestRidgeTrainerFamilyAndName(t *testing.T) {
+	tr := LinearTrainer{Ridge: 0.1}
+	if tr.Name() != "F2" {
+		t.Errorf("Name = %s, want F2", tr.Name())
+	}
+	m, err := tr.Train([][]float64{{0}, {1}, {2}}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Family() != "ridge" {
+		t.Errorf("Family = %s, want ridge", m.Family())
+	}
+}
+
+func TestLinearEqual(t *testing.T) {
+	a := NewLinear(1, 2)
+	b := NewLinear(1.0000001, 2)
+	if !a.Equal(b, 1e-3) {
+		t.Error("near-identical models not equal at loose tol")
+	}
+	if a.Equal(b, 1e-9) {
+		t.Error("models equal at tight tol")
+	}
+	if a.Equal(NewLinear(1, 2, 3), 1) {
+		t.Error("different widths equal")
+	}
+	ridge, _ := LinearTrainer{Ridge: 1}.Train([][]float64{{0}, {1}}, []float64{0, 0})
+	if a.Equal(ridge, 100) {
+		t.Error("different families equal")
+	}
+}
+
+func TestSolveTranslationLinear(t *testing.T) {
+	// The paper's Tax example: f4(S) = 0.04S, f5(S) = 0.04S − 230 ⇒ δ = −230.
+	f4 := NewLinear(0, 0.04)
+	f5 := NewLinear(-230, 0.04)
+	tr, ok := f4.SolveTranslation(f5, 1e-9)
+	if !ok {
+		t.Fatal("translation not found")
+	}
+	if tr.DeltaY != -230 || !tr.IsPureY() {
+		t.Errorf("translation = %+v, want δ = −230", tr)
+	}
+	// Verify the defining equation on samples.
+	for s := 0.0; s < 1e5; s += 2.5e4 {
+		if math.Abs(f5.Predict([]float64{s})-PredictShifted(f4, []float64{s}, tr)) > 1e-9 {
+			t.Fatal("translation equation violated")
+		}
+	}
+}
+
+func TestSolveTranslationRejectsDifferentSlopes(t *testing.T) {
+	a := NewLinear(0, 1)
+	b := NewLinear(0, 2)
+	if _, ok := a.SolveTranslation(b, 1e-6); ok {
+		t.Error("translation found across different slopes")
+	}
+	if _, ok := a.SolveTranslation(NewLinear(0, 1, 1), 1e-6); ok {
+		t.Error("translation found across widths")
+	}
+}
+
+// Property: for random linear models differing only in intercept,
+// SolveTranslation recovers the exact δ.
+func TestSolveTranslationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(3)
+		slopes := make([]float64, dim)
+		for i := range slopes {
+			slopes[i] = rng.NormFloat64()
+		}
+		a := NewLinear(rng.NormFloat64(), slopes...)
+		delta := rng.NormFloat64() * 10
+		b := NewLinear(a.W[0]+delta, slopes...)
+		tr, ok := a.SolveTranslation(b, 1e-12)
+		return ok && math.Abs(tr.DeltaY-delta) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictShiftedInputDelta(t *testing.T) {
+	// f(x) = 2x; shifting the input by Δ=3 must evaluate f(x+3).
+	f := NewLinear(0, 2)
+	got := PredictShifted(f, []float64{1}, Translation{DeltaX: []float64{3}, DeltaY: 5})
+	if got != 2*(1+3)+5 {
+		t.Errorf("PredictShifted = %v, want 13", got)
+	}
+	// nil DeltaX means Δ = 0.
+	if got := PredictShifted(f, []float64{1}, Translation{DeltaY: 1}); got != 3 {
+		t.Errorf("PredictShifted nil Δ = %v, want 3", got)
+	}
+}
+
+func TestLinearString(t *testing.T) {
+	if s := NewLinear(1, -2).String(); s == "" {
+		t.Error("empty String")
+	}
+}

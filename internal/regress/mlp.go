@@ -1,0 +1,228 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is the paper's F3 family: a one-hidden-layer perceptron with tanh
+// activation and a linear output, trained by Adam. As in the paper, F3 only
+// supports output translation (y = δ): SolveTranslation is deliberately not
+// implemented, so Algorithm 2 can never derive an x = Δ built-in for it,
+// while Algorithm 1's data-based sharing (which only needs Predict) still
+// applies.
+type MLP struct {
+	InDim  int
+	W1     [][]float64 // hidden × in
+	B1     []float64   // hidden
+	W2     []float64   // hidden
+	B2     float64
+	inMean []float64 // feature standardization
+	inStd  []float64
+}
+
+// Predict implements Model.
+func (m *MLP) Predict(x []float64) float64 {
+	if len(x) != m.InDim {
+		panic(fmt.Sprintf("regress: MLP.Predict dim %d, want %d", len(x), m.InDim))
+	}
+	y := m.B2
+	for h := range m.W2 {
+		a := m.B1[h]
+		for i, v := range x {
+			a += m.W1[h][i] * (v - m.inMean[i]) / m.inStd[i]
+		}
+		y += m.W2[h] * math.Tanh(a)
+	}
+	return y
+}
+
+// Dim implements Model.
+func (m *MLP) Dim() int { return m.InDim }
+
+// Family implements Model.
+func (m *MLP) Family() string { return "mlp" }
+
+// Equal implements Model: identical architecture and all parameters within
+// tol. Two independently trained MLPs essentially never compare equal, which
+// matches the paper's observation that F3 shares only through the data-based
+// y = δ path.
+func (m *MLP) Equal(other Model, tol float64) bool {
+	o, ok := other.(*MLP)
+	if !ok || o.InDim != m.InDim || len(o.W2) != len(m.W2) {
+		return false
+	}
+	if math.Abs(m.B2-o.B2) > tol {
+		return false
+	}
+	for h := range m.W2 {
+		if math.Abs(m.W2[h]-o.W2[h]) > tol || math.Abs(m.B1[h]-o.B1[h]) > tol {
+			return false
+		}
+		for i := range m.W1[h] {
+			if math.Abs(m.W1[h][i]-o.W1[h][i]) > tol {
+				return false
+			}
+		}
+	}
+	for i := 0; i < m.InDim; i++ {
+		if math.Abs(m.inMean[i]-o.inMean[i]) > tol || math.Abs(m.inStd[i]-o.inStd[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MLPTrainer fits an MLP with Adam full-batch updates. The zero value is not
+// useful; use NewMLPTrainer for sensible defaults.
+type MLPTrainer struct {
+	Hidden int
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+// NewMLPTrainer returns the default F3 configuration: 8 hidden units,
+// 300 epochs, learning rate 0.02.
+func NewMLPTrainer(seed int64) MLPTrainer {
+	return MLPTrainer{Hidden: 8, Epochs: 300, LR: 0.02, Seed: seed}
+}
+
+// Name implements Trainer.
+func (t MLPTrainer) Name() string { return "F3" }
+
+// Train implements Trainer.
+func (t MLPTrainer) Train(x [][]float64, y []float64) (Model, error) {
+	dim, err := validateSample(x, y)
+	if err != nil {
+		return nil, err
+	}
+	hidden := t.Hidden
+	if hidden <= 0 {
+		hidden = 8
+	}
+	epochs := t.Epochs
+	if epochs <= 0 {
+		epochs = 300
+	}
+	lr := t.LR
+	if lr <= 0 {
+		lr = 0.02
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+
+	m := &MLP{
+		InDim:  dim,
+		W1:     make([][]float64, hidden),
+		B1:     make([]float64, hidden),
+		W2:     make([]float64, hidden),
+		inMean: make([]float64, dim),
+		inStd:  make([]float64, dim),
+	}
+	// Standardize inputs so tanh units are in range.
+	for i := 0; i < dim; i++ {
+		var s float64
+		for _, row := range x {
+			s += row[i]
+		}
+		mean := s / float64(len(x))
+		var ss float64
+		for _, row := range x {
+			d := row[i] - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(len(x)))
+		if std < 1e-9 {
+			std = 1
+		}
+		m.inMean[i], m.inStd[i] = mean, std
+	}
+	scale := 1 / math.Sqrt(float64(dim))
+	for h := 0; h < hidden; h++ {
+		m.W1[h] = make([]float64, dim)
+		for i := range m.W1[h] {
+			m.W1[h][i] = rng.NormFloat64() * scale
+		}
+		m.B1[h] = rng.NormFloat64() * 0.1
+		m.W2[h] = rng.NormFloat64() / math.Sqrt(float64(hidden))
+	}
+	// Center the output on the target mean for faster convergence.
+	var ymean float64
+	for _, v := range y {
+		ymean += v
+	}
+	m.B2 = ymean / float64(len(y))
+
+	adam := newAdam(hidden*dim + 2*hidden + 1)
+	grads := make([]float64, hidden*dim+2*hidden+1)
+	zstd := make([][]float64, len(x)) // pre-standardized inputs
+	for r, row := range x {
+		z := make([]float64, dim)
+		for i, v := range row {
+			z[i] = (v - m.inMean[i]) / m.inStd[i]
+		}
+		zstd[r] = z
+	}
+	act := make([]float64, hidden)
+	for epoch := 0; epoch < epochs; epoch++ {
+		for i := range grads {
+			grads[i] = 0
+		}
+		for r, z := range zstd {
+			pred := m.B2
+			for h := 0; h < hidden; h++ {
+				a := m.B1[h]
+				for i, v := range z {
+					a += m.W1[h][i] * v
+				}
+				act[h] = math.Tanh(a)
+				pred += m.W2[h] * act[h]
+			}
+			e := 2 * (pred - y[r]) / float64(len(x))
+			g := grads
+			for h := 0; h < hidden; h++ {
+				g[hidden*dim+h] += e * act[h] // dW2
+				da := e * m.W2[h] * (1 - act[h]*act[h])
+				g[hidden*dim+hidden+h] += da // dB1
+				for i, v := range z {
+					g[h*dim+i] += da * v // dW1
+				}
+			}
+			g[len(g)-1] += e // dB2
+		}
+		adam.step(grads, lr)
+		u := adam.update
+		for h := 0; h < hidden; h++ {
+			for i := 0; i < dim; i++ {
+				m.W1[h][i] -= u[h*dim+i]
+			}
+			m.W2[h] -= u[hidden*dim+h]
+			m.B1[h] -= u[hidden*dim+hidden+h]
+		}
+		m.B2 -= u[len(u)-1]
+	}
+	return m, nil
+}
+
+// adam holds Adam optimizer state over a flat parameter vector.
+type adam struct {
+	m, v, update []float64
+	t            int
+}
+
+func newAdam(n int) *adam {
+	return &adam{m: make([]float64, n), v: make([]float64, n), update: make([]float64, n)}
+}
+
+func (a *adam) step(grads []float64, lr float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	a.t++
+	bc1 := 1 - math.Pow(beta1, float64(a.t))
+	bc2 := 1 - math.Pow(beta2, float64(a.t))
+	for i, g := range grads {
+		a.m[i] = beta1*a.m[i] + (1-beta1)*g
+		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
+		a.update[i] = lr * (a.m[i] / bc1) / (math.Sqrt(a.v[i]/bc2) + eps)
+	}
+}

@@ -1,0 +1,131 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMLPLearnsLinearFunction(t *testing.T) {
+	tr := NewMLPTrainer(1)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 60; i++ {
+		v := float64(i) / 10
+		x = append(x, []float64{v})
+		y = append(y, 2*v+1)
+	}
+	m, err := tr.Train(x, y)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if m.Family() != "mlp" || m.Dim() != 1 {
+		t.Fatalf("Family/Dim = %s/%d", m.Family(), m.Dim())
+	}
+	if r := RMSE(m, x, y); r > 0.25 {
+		t.Errorf("MLP train RMSE = %v, want < 0.25", r)
+	}
+	if tr.Name() != "F3" {
+		t.Errorf("Name = %s", tr.Name())
+	}
+}
+
+func TestMLPLearnsNonlinear(t *testing.T) {
+	tr := MLPTrainer{Hidden: 12, Epochs: 800, LR: 0.02, Seed: 2}
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 80; i++ {
+		v := float64(i)/40 - 1 // [-1, 1)
+		x = append(x, []float64{v})
+		y = append(y, v*v)
+	}
+	m, err := tr.Train(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := RMSE(m, x, y); r > 0.1 {
+		t.Errorf("MLP nonlinear RMSE = %v, want < 0.1", r)
+	}
+}
+
+func TestMLPDeterministicForSeed(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{0, 1, 2, 3}
+	a, err := NewMLPTrainer(5).Train(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMLPTrainer(5).Train(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b, 0) {
+		t.Error("same-seed trainings differ")
+	}
+	c, err := NewMLPTrainer(6).Train(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c, 1e-12) {
+		t.Error("different seeds produced identical networks")
+	}
+}
+
+func TestMLPPredictPanicsOnDim(t *testing.T) {
+	m, err := NewMLPTrainer(1).Train([][]float64{{1, 2}}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dim mismatch")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestMLPTrainErrors(t *testing.T) {
+	if _, err := NewMLPTrainer(1).Train(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	if _, err := NewMLPTrainer(1).Train([][]float64{{1}}, []float64{1, 2}); !errors.Is(err, ErrBadSample) {
+		t.Errorf("err = %v, want ErrBadSample", err)
+	}
+}
+
+func TestMLPNotTranslatable(t *testing.T) {
+	m, err := NewMLPTrainer(1).Train([][]float64{{0}, {1}}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Model(m).(Translatable); ok {
+		t.Error("MLP must not implement Translatable (F3 supports only y=δ sharing)")
+	}
+}
+
+func TestMLPEqualDifferentShapes(t *testing.T) {
+	a, _ := NewMLPTrainer(1).Train([][]float64{{0}, {1}}, []float64{0, 1})
+	b, _ := MLPTrainer{Hidden: 4, Epochs: 10, LR: 0.01, Seed: 1}.Train([][]float64{{0}, {1}}, []float64{0, 1})
+	if a.Equal(b, 1e9) {
+		t.Error("different hidden sizes compare equal")
+	}
+	lin := NewLinear(0, 1)
+	if a.Equal(lin, 1e9) {
+		t.Error("MLP equal to linear")
+	}
+}
+
+func TestMLPConstantFeature(t *testing.T) {
+	// A zero-variance feature must not produce NaNs (std clamps to 1).
+	x := [][]float64{{5, 0}, {5, 1}, {5, 2}, {5, 3}}
+	y := []float64{0, 1, 2, 3}
+	m, err := NewMLPTrainer(3).Train(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x {
+		if math.IsNaN(m.Predict(row)) {
+			t.Fatal("NaN prediction with constant feature")
+		}
+	}
+}

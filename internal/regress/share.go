@@ -1,0 +1,82 @@
+package regress
+
+import "math"
+
+// ShareResult is the outcome of the data-based model-sharing test of
+// Algorithm 1 Line 7 / Proposition 6.
+type ShareResult struct {
+	// Delta0 is the residual midpoint δ0 = (max r + min r)/2, the optimal
+	// output shift under the max-error criterion (Proposition 6).
+	Delta0 float64
+	// MaxErr is the maximum absolute error after shifting by Delta0,
+	// i.e. (max r − min r)/2.
+	MaxErr float64
+	// OK reports whether MaxErr ≤ ρ_M, i.e. whether f can be shared on this
+	// data part with built-in predicate y = δ0.
+	OK bool
+	// FitFraction is |{t : |t.Y − (f(t.X)+δ0)| ≤ ρ_M}| / |D_C| — the
+	// ingredient of the sharing index ind(C) (Algorithm 1 Line 12).
+	FitFraction float64
+}
+
+// ShareTest evaluates whether model f can be shared over the sample (x, y)
+// within maximum bias rhoM, per Proposition 6: compute residuals
+// rᵢ = yᵢ − f(xᵢ), the midpoint shift δ0, and check the post-shift maximum
+// error. The midpoint is the *minimax-optimal* shift, so failing at δ0 means
+// no shift succeeds — exactly the "only if" of the proposition.
+func ShareTest(f Model, x [][]float64, y []float64, rhoM float64) ShareResult {
+	if len(x) == 0 {
+		return ShareResult{OK: true, FitFraction: 1}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	res := make([]float64, len(x))
+	for i, row := range x {
+		r := y[i] - f.Predict(row)
+		res[i] = r
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	d0 := (lo + hi) / 2
+	maxErr := (hi - lo) / 2
+	fit := 0
+	for _, r := range res {
+		if math.Abs(r-d0) <= rhoM {
+			fit++
+		}
+	}
+	return ShareResult{
+		Delta0:      d0,
+		MaxErr:      maxErr,
+		OK:          maxErr <= rhoM,
+		FitFraction: float64(fit) / float64(len(x)),
+	}
+}
+
+// MaxAbsError returns max_i |yᵢ − f(xᵢ)| — the bias ρ a freshly trained
+// model earns on its own data part (Algorithm 1 Lines 14–15).
+func MaxAbsError(f Model, x [][]float64, y []float64) float64 {
+	var m float64
+	for i, row := range x {
+		if d := math.Abs(y[i] - f.Predict(row)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RMSE returns the root-mean-square prediction error of f on (x, y).
+func RMSE(f Model, x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for i, row := range x {
+		d := y[i] - f.Predict(row)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

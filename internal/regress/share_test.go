@@ -1,0 +1,137 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShareTestExactShift(t *testing.T) {
+	// f(x) = x; data is y = x + 3: share with δ0 = 3, zero residual spread.
+	f := NewLinear(0, 1)
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{3, 4, 5}
+	r := ShareTest(f, x, y, 0.5)
+	if !r.OK || r.Delta0 != 3 || r.MaxErr != 0 || r.FitFraction != 1 {
+		t.Errorf("ShareTest = %+v", r)
+	}
+}
+
+func TestShareTestRejectsWideSpread(t *testing.T) {
+	// Residuals {0, 10}: midpoint 5, max error 5 > ρ_M = 1.
+	f := NewLinear(0, 1)
+	x := [][]float64{{0}, {1}}
+	y := []float64{0, 11}
+	r := ShareTest(f, x, y, 1)
+	if r.OK {
+		t.Error("sharing accepted with residual spread 10")
+	}
+	if r.Delta0 != 5 || r.MaxErr != 5 {
+		t.Errorf("δ0/MaxErr = %v/%v, want 5/5", r.Delta0, r.MaxErr)
+	}
+	if r.FitFraction != 0 {
+		t.Errorf("FitFraction = %v, want 0 (both residuals 5 from midpoint, ρ=1)", r.FitFraction)
+	}
+}
+
+func TestShareTestFitFraction(t *testing.T) {
+	// Three residuals 0, 0, 4 ⇒ δ0 = 2; |r−δ0| = 2,2,2; with ρ_M = 2 all fit.
+	f := NewLinear(0, 1)
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{0, 1, 6}
+	r := ShareTest(f, x, y, 2)
+	if !r.OK || r.FitFraction != 1 {
+		t.Errorf("ShareTest = %+v", r)
+	}
+	// With ρ_M = 1 none fit at the midpoint.
+	r = ShareTest(f, x, y, 1)
+	if r.OK || r.FitFraction != 0 {
+		t.Errorf("ShareTest = %+v", r)
+	}
+}
+
+func TestShareTestEmpty(t *testing.T) {
+	r := ShareTest(NewLinear(0), nil, nil, 1)
+	if !r.OK || r.FitFraction != 1 {
+		t.Errorf("empty sample ShareTest = %+v", r)
+	}
+}
+
+// Property (Proposition 6): δ0 is minimax-optimal — no other shift achieves
+// smaller maximum absolute error than the residual midpoint.
+func TestDelta0MinimaxOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		model := NewLinear(rng.NormFloat64(), rng.NormFloat64())
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64() * 5}
+			y[i] = model.Predict(x[i]) + rng.NormFloat64()*3
+		}
+		r := ShareTest(model, x, y, 1)
+		// Any alternative shift must do no better on max error.
+		for trial := 0; trial < 20; trial++ {
+			alt := r.Delta0 + rng.NormFloat64()
+			var m float64
+			for i := range x {
+				if d := math.Abs(y[i] - (model.Predict(x[i]) + alt)); d > m {
+					m = d
+				}
+			}
+			if m < r.MaxErr-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ShareTest.OK ⇔ the semantics hold, i.e. all residuals are within
+// ρ_M of δ0.
+func TestShareTestConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		model := NewLinear(rng.NormFloat64())
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{}
+			y[i] = rng.NormFloat64() * 2
+		}
+		rhoM := rng.Float64() * 3
+		r := ShareTest(model, x, y, rhoM)
+		all := true
+		for i := range x {
+			if math.Abs(y[i]-(model.Predict(x[i])+r.Delta0)) > rhoM {
+				all = false
+			}
+		}
+		return r.OK == all
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAbsErrorAndRMSE(t *testing.T) {
+	f := NewLinear(0, 1)
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{0, 2, 2}
+	if got := MaxAbsError(f, x, y); got != 1 {
+		t.Errorf("MaxAbsError = %v, want 1", got)
+	}
+	want := math.Sqrt((0 + 1 + 0) / 3.0)
+	if got := RMSE(f, x, y); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if RMSE(f, nil, nil) != 0 {
+		t.Error("RMSE of empty sample should be 0")
+	}
+}

@@ -1,0 +1,100 @@
+// Package stats provides the small statistical kernel behind rule
+// post-pruning: normal and chi-squared quantiles and an F-style
+// equality-of-models test on sums of squared errors. It exists so the
+// chi-squared pruning the paper leaves as future work (§VII) can be
+// implemented without external dependencies.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDomain is returned for out-of-range probabilities or degrees of
+// freedom.
+var ErrDomain = errors.New("stats: argument out of domain")
+
+// NormalQuantile returns z with Φ(z) = p for p ∈ (0, 1), using the
+// Beasley–Springer–Moro rational approximation (|error| < 1e-8 over the
+// central range, adequate for test thresholds).
+func NormalQuantile(p float64) (float64, error) {
+	if !(p > 0 && p < 1) {
+		return 0, ErrDomain
+	}
+	// Coefficients of the BSM approximation.
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	c := [9]float64{
+		0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+	}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		num := y * (((a[3]*r+a[2])*r+a[1])*r + a[0])
+		den := (((b[3]*r+b[2])*r+b[1])*r+b[0])*r + 1
+		return num / den, nil
+	}
+	r := p
+	if y > 0 {
+		r = 1 - p
+	}
+	r = math.Log(-math.Log(r))
+	x := c[0]
+	pow := 1.0
+	for i := 1; i < len(c); i++ {
+		pow *= r
+		x += c[i] * pow
+	}
+	if y < 0 {
+		x = -x
+	}
+	return x, nil
+}
+
+// ChiSquareQuantile returns the (1−alpha) quantile of the chi-squared
+// distribution with df degrees of freedom via the Wilson–Hilferty cube
+// approximation.
+func ChiSquareQuantile(alpha float64, df int) (float64, error) {
+	if df <= 0 || !(alpha > 0 && alpha < 1) {
+		return 0, ErrDomain
+	}
+	z, err := NormalQuantile(1 - alpha)
+	if err != nil {
+		return 0, err
+	}
+	k := float64(df)
+	t := 1 - 2/(9*k) + z*math.Sqrt(2/(9*k))
+	return k * t * t * t, nil
+}
+
+// ModelEqualityTest decides whether two data parts plausibly follow the same
+// regression model, from sums of squared errors: sseJoint for one model fit
+// on the merged part, sseSplit = sse₁ + sse₂ for the two per-part fits, with
+// p parameters per model and n total observations. It computes the Chow-style
+// statistic
+//
+//	F = ((sseJoint − sseSplit)/p) / (sseSplit/(n − 2p))
+//
+// and compares p·F against the chi-squared (1−alpha) quantile with p degrees
+// of freedom (the large-denominator approximation). reject reports whether
+// equality is rejected — i.e. the parts genuinely need separate models.
+func ModelEqualityTest(sseJoint, sseSplit float64, p, n int, alpha float64) (reject bool, stat float64, err error) {
+	if p <= 0 || n <= 2*p {
+		return false, 0, ErrDomain
+	}
+	if sseSplit <= 0 {
+		// Perfect per-part fits: any joint excess is evidence of difference.
+		return sseJoint > 1e-12, math.Inf(1), nil
+	}
+	f := ((sseJoint - sseSplit) / float64(p)) / (sseSplit / float64(n-2*p))
+	if f < 0 {
+		f = 0
+	}
+	crit, err := ChiSquareQuantile(alpha, p)
+	if err != nil {
+		return false, 0, err
+	}
+	return float64(p)*f > crit, f, nil
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.025, -1.959964},
+		{0.8413447, 1.0}, // Φ(1) ≈ 0.8413
+	}
+	for _, c := range cases {
+		got, err := NormalQuantile(c.p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%v): %v", c.p, err)
+		}
+		if math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		if _, err := NormalQuantile(p); !errors.Is(err, ErrDomain) {
+			t.Errorf("NormalQuantile(%v) err = %v", p, err)
+		}
+	}
+}
+
+// Property: the quantile is monotone increasing and antisymmetric around 0.5.
+func TestNormalQuantileProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p1 := 0.01 + rng.Float64()*0.98
+		p2 := 0.01 + rng.Float64()*0.98
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		q1, err1 := NormalQuantile(p1)
+		q2, err2 := NormalQuantile(p2)
+		if err1 != nil || err2 != nil || q1 > q2+1e-9 {
+			return false
+		}
+		qc, err := NormalQuantile(1 - p1)
+		return err == nil && math.Abs(qc+q1) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		df    int
+		want  float64
+	}{
+		{0.05, 1, 3.841},
+		{0.05, 2, 5.991},
+		{0.05, 10, 18.307},
+		{0.01, 5, 15.086},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareQuantile(c.alpha, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wilson–Hilferty is a few percent off at low df; accept 5%.
+		if math.Abs(got-c.want)/c.want > 0.05 {
+			t.Errorf("ChiSquareQuantile(%v, %d) = %v, want ≈ %v", c.alpha, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareQuantileDomain(t *testing.T) {
+	if _, err := ChiSquareQuantile(0.05, 0); !errors.Is(err, ErrDomain) {
+		t.Error("df=0 accepted")
+	}
+	if _, err := ChiSquareQuantile(0, 3); !errors.Is(err, ErrDomain) {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestModelEqualityTestSameModel(t *testing.T) {
+	// Two parts from the same line: the joint fit barely degrades.
+	reject, _, err := ModelEqualityTest(10.2, 10.0, 2, 200, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reject {
+		t.Error("near-identical SSEs rejected equality")
+	}
+}
+
+func TestModelEqualityTestDifferentModels(t *testing.T) {
+	// The joint fit is far worse than the split fits.
+	reject, stat, err := ModelEqualityTest(100, 10, 2, 200, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reject {
+		t.Errorf("clearly different models not rejected (stat=%v)", stat)
+	}
+}
+
+func TestModelEqualityTestPerfectFits(t *testing.T) {
+	reject, _, err := ModelEqualityTest(1.0, 0, 2, 100, 0.05)
+	if err != nil || !reject {
+		t.Errorf("perfect split fits with joint excess should reject: %v, %v", reject, err)
+	}
+	reject, _, err = ModelEqualityTest(0, 0, 2, 100, 0.05)
+	if err != nil || reject {
+		t.Errorf("both perfect should not reject: %v, %v", reject, err)
+	}
+}
+
+func TestModelEqualityTestDomain(t *testing.T) {
+	if _, _, err := ModelEqualityTest(1, 1, 0, 100, 0.05); !errors.Is(err, ErrDomain) {
+		t.Error("p=0 accepted")
+	}
+	if _, _, err := ModelEqualityTest(1, 1, 2, 4, 0.05); !errors.Is(err, ErrDomain) {
+		t.Error("n ≤ 2p accepted")
+	}
+}
+
+// Property: the test is monotone in the joint SSE — a worse joint fit can
+// only move the decision toward rejection.
+func TestModelEqualityMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sseSplit := rng.Float64()*50 + 1
+		j1 := sseSplit + rng.Float64()*20
+		j2 := j1 + rng.Float64()*50
+		r1, _, err1 := ModelEqualityTest(j1, sseSplit, 2, 150, 0.05)
+		r2, _, err2 := ModelEqualityTest(j2, sseSplit, 2, 150, 0.05)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return !r1 || r2 // r1 → r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
