@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-full fuzz vet fmt experiments examples clean
+.PHONY: all build test race race-core bench bench-full fuzz vet fmt experiments examples clean
 
 all: build test
 
@@ -14,6 +14,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The CI race job: discovery/compaction engines + telemetry under the detector.
+race-core:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/experiments/...
 
 # Every paper table/figure as a Go benchmark, at 0.1 scale.
 bench:

@@ -12,6 +12,7 @@ package crr_test
 // quality show up next to ns/op.
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"testing"
@@ -42,7 +43,7 @@ func runExperiment(b *testing.B, id string, crrPrefix string) {
 	var rows []experiments.Row
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err = e.Run(scale)
+		rows, err = e.Run(context.Background(), scale)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,22 +7,34 @@
 //	crrbench -exp all             # everything (EXPERIMENTS.md source data)
 //	crrbench -exp fig3 -scale 0.2 # shrink instance sizes for a quick look
 //	crrbench -list                # show experiment ids
+//
+// Long sweeps can be bounded with -timeout (every in-flight discovery stops
+// within one queue iteration) and profiled with -pprof ADDR. Each experiment
+// table carries per-row discovery telemetry (models trained/shared,
+// conditions expanded) and is followed by a summary line totaling them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"time"
 
 	"github.com/crrlab/crr/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		scale  = flag.Float64("scale", 1.0, "instance-size scale in (0, 1]")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		format = flag.String("format", "table", "output format: table or csv")
+		exp     = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale   = flag.Float64("scale", 1.0, "instance-size scale in (0, 1]")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		format  = flag.String("format", "table", "output format: table or csv")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 5m; 0 = no limit)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -32,19 +44,34 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *scale, *format); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "crrbench: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprof)
+	}
+	if err := run(ctx, *exp, *scale, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "crrbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale float64, format string) error {
+func run(ctx context.Context, exp string, scale float64, format string) error {
 	if format != "table" && format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", format)
 	}
 	if exp == "all" {
 		for _, e := range experiments.Registry() {
-			if err := runOne(e, scale, format); err != nil {
+			if err := runOne(ctx, e, scale, format); err != nil {
 				return err
 			}
 		}
@@ -54,20 +81,29 @@ func run(exp string, scale float64, format string) error {
 	if err != nil {
 		return err
 	}
-	return runOne(e, scale, format)
+	return runOne(ctx, e, scale, format)
 }
 
-func runOne(e experiments.Experiment, scale float64, format string) error {
-	rows, err := e.Run(scale)
+func runOne(ctx context.Context, e experiments.Experiment, scale float64, format string) error {
+	start := time.Now()
+	rows, err := e.Run(ctx, scale)
 	if err != nil {
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
+	elapsed := time.Since(start)
 	if format == "csv" {
 		return experiments.WriteRowsCSV(os.Stdout, rows)
 	}
 	if err := experiments.RenderRows(os.Stdout, fmt.Sprintf("[%s] %s", e.ID, e.Artifact), rows); err != nil {
 		return err
 	}
-	fmt.Println()
+	var trained, shared, expanded int
+	for _, r := range rows {
+		trained += r.Trained
+		shared += r.Shared
+		expanded += r.Expanded
+	}
+	fmt.Printf("telemetry: models trained=%d, models shared=%d, conditions expanded=%d, wall=%s\n\n",
+		trained, shared, expanded, elapsed.Round(time.Millisecond))
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -33,10 +34,10 @@ func fixture(t *testing.T) (string, string) {
 	status := rel.Schema.MustIndex("MaritalStatus")
 	tax := rel.Schema.MustIndex("Tax")
 	preds := predicate.Generate(rel, []int{state, status}, predicate.GeneratorConfig{})
-	res, err := core.Discover(rel, core.DiscoverConfig{
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
 		XAttrs: []int{salary}, YAttr: tax, RhoM: 60,
 		Preds: preds, Trainer: regress.LinearTrainer{},
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}

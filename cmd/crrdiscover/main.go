@@ -8,18 +8,31 @@
 //
 // The CSV needs a header row; column kinds are inferred (numeric when every
 // non-empty cell parses as a float). Empty cells are treated as missing.
+//
+// Long mines can be bounded with -timeout (the run stops within one queue
+// iteration and reports the cancellation) and profiled with -pprof ADDR
+// (serves net/http/pprof). A telemetry summary — conditions expanded, models
+// trained vs. shared, wall time per phase — is printed after every run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/crrlab/crr/internal/core"
 	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/eval"
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
 )
 
 func main() {
@@ -34,16 +47,27 @@ func main() {
 		compact  = flag.Bool("compact", false, "run Algorithm 2 compaction after discovery")
 		tol      = flag.Float64("compact-tol", 0, "model tolerance for compaction (0 = exact)")
 		prune    = flag.Bool("prune", false, "merge statistically indistinguishable adjacent windows before compaction")
-		parallel = flag.Int("parallel", 1, "discovery worker count (1 = sequential)")
+		workers  = flag.Int("workers", 1, "discovery worker count (1 = sequential, <0 = one per CPU)")
+		parallel = flag.Int("parallel", 0, "deprecated alias for -workers")
+		seed     = flag.Int64("seed", 0, "random seed (predicate generation, random queue order)")
+		timeout  = flag.Duration("timeout", 0, "abort discovery after this duration (e.g. 30s; 0 = no limit)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		save     = flag.String("save", "", "write the final rule set as JSON to this path")
 		mergeWin = flag.Float64("merge-windows", 0, "collapse touching windows whose y=δ agree within this tolerance (widens ρ accordingly)")
 	)
 	flag.Parse()
-	if err := run(runConfig{
+	w := *workers
+	if *parallel != 0 {
+		fmt.Fprintln(os.Stderr, "crrdiscover: -parallel is deprecated, use -workers")
+		w = *parallel
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, runConfig{
 		input: *input, yName: *yName, xNames: *xNames, condCols: *condCols,
 		rhoM: *rhoM, predSize: *predSize, family: *family,
-		compact: *compact, tol: *tol, prune: *prune, parallel: *parallel, save: *save,
-		mergeWindows: *mergeWin,
+		compact: *compact, tol: *tol, prune: *prune, workers: w, save: *save,
+		mergeWindows: *mergeWin, seed: *seed, timeout: *timeout, pprofAddr: *pprof,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "crrdiscover:", err)
 		os.Exit(1)
@@ -58,17 +82,40 @@ type runConfig struct {
 	compact                        bool
 	tol                            float64
 	prune                          bool
-	parallel                       int
+	workers                        int
 	save                           string
 	mergeWindows                   float64
+	seed                           int64
+	timeout                        time.Duration
+	pprofAddr                      string
 }
 
-func run(rc runConfig) error {
+func run(ctx context.Context, rc runConfig) error {
+	return runTo(ctx, os.Stdout, rc)
+}
+
+func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 	input, yName, xNames, condCols := rc.input, rc.yName, rc.xNames, rc.condCols
 	rhoM, predSize, family, compact, tol := rc.rhoM, rc.predSize, rc.family, rc.compact, rc.tol
 	if input == "" || yName == "" || xNames == "" {
 		return fmt.Errorf("-input, -y and -x are required (see -h)")
 	}
+	if rc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.timeout)
+		defer cancel()
+	}
+	if rc.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(rc.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "crrdiscover: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(w, "pprof listening on http://%s/debug/pprof/\n", rc.pprofAddr)
+	}
+	reg := telemetry.New()
+
+	stopLoad := reg.Time(telemetry.PhaseLoad)
 	f, err := os.Open(input)
 	if err != nil {
 		return err
@@ -127,16 +174,24 @@ func run(rc runConfig) error {
 	default:
 		return fmt.Errorf("unknown family %q (want F1, F2 or F3)", family)
 	}
+	stopLoad()
 
-	preds := predicate.Generate(rel, cond, predicate.GeneratorConfig{Size: predSize})
-	dcfg := core.DiscoverConfig{
-		XAttrs:  xattrs,
-		YAttr:   yattr,
-		RhoM:    rhoM,
-		Preds:   preds,
-		Trainer: trainer,
-	}
-	res, err := core.DiscoverParallel(rel, dcfg, rc.parallel)
+	stopPreds := reg.Time(telemetry.PhasePredicates)
+	preds := predicate.Generate(rel, cond, predicate.GeneratorConfig{Size: predSize, Seed: rc.seed})
+	stopPreds()
+
+	stopDiscover := reg.Time(telemetry.PhaseDiscover)
+	res, err := core.Discover(ctx, rel, core.WithConfig(core.DiscoverConfig{
+		XAttrs:    xattrs,
+		YAttr:     yattr,
+		RhoM:      rhoM,
+		Preds:     preds,
+		Trainer:   trainer,
+		Seed:      rc.seed,
+		Workers:   rc.workers,
+		Telemetry: reg,
+	}))
+	stopDiscover()
 	if err != nil {
 		return err
 	}
@@ -146,26 +201,34 @@ func run(rc runConfig) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("pruned to %d rules (%d of %d adjacent pairs merged)\n",
+		fmt.Fprintf(w, "pruned to %d rules (%d of %d adjacent pairs merged)\n",
 			pruned.NumRules(), pst.Merged, pst.Tested)
 		rules = pruned
 	}
-	fmt.Printf("discovered %d rules (%d models trained, %d shared, %d nodes)\n",
+	fmt.Fprintf(w, "discovered %d rules (%d models trained, %d shared, %d nodes)\n",
 		rules.NumRules(), res.Stats.ModelsTrained, res.Stats.ShareHits, res.Stats.NodesExpanded)
+	stopCompact := reg.Time(telemetry.PhaseCompact)
 	if compact {
-		compacted, stats := core.CompactOpts(rules, core.CompactOptions{ModelTol: tol})
-		fmt.Printf("compacted to %d rules (%d translations, %d fusions, %d implied)\n",
+		compacted, stats, err := core.CompactCtx(ctx, rules, core.CompactOptions{ModelTol: tol, Telemetry: reg})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "compacted to %d rules (%d translations, %d fusions, %d implied)\n",
 			compacted.NumRules(), stats.Translations, stats.Fusions, stats.Implied)
 		rules = compacted
 	}
 	if rc.mergeWindows > 0 {
 		rules = core.MergeWindows(rules, rc.mergeWindows)
-		fmt.Printf("window merging (tol %g): %d rules remain\n", rc.mergeWindows, rules.NumRules())
+		fmt.Fprintf(w, "window merging (tol %g): %d rules remain\n", rc.mergeWindows, rules.NumRules())
 	}
-	fmt.Println(core.Summarize(rules))
-	fmt.Printf("coverage %.3f, training RMSE %.6g\n\n", rules.Coverage(rel), rules.RMSE(rel))
+	stopCompact()
+
+	stopEval := reg.Time(telemetry.PhaseEvaluate)
+	rules.SetTelemetry(reg)
+	fmt.Fprintln(w, core.Summarize(rules))
+	fmt.Fprintf(w, "coverage %.3f, training RMSE %.6g\n\n", rules.Coverage(rel), rules.RMSE(rel))
 	for i := range rules.Rules {
-		fmt.Printf("φ%d: %s\n", i+1, rules.Rules[i].Format(rel.Schema))
+		fmt.Fprintf(w, "φ%d: %s\n", i+1, rules.Rules[i].Format(rel.Schema))
 	}
 	if rc.save != "" {
 		out, err := os.Create(rc.save)
@@ -176,7 +239,13 @@ func run(rc runConfig) error {
 		if err := core.WriteRuleSet(out, rules); err != nil {
 			return err
 		}
-		fmt.Printf("\nsaved %d rules to %s\n", rules.NumRules(), rc.save)
+		fmt.Fprintf(w, "\nsaved %d rules to %s\n", rules.NumRules(), rc.save)
+	}
+	stopEval()
+
+	fmt.Fprintln(w)
+	for _, line := range eval.TelemetrySummary(reg.Snapshot()) {
+		fmt.Fprintln(w, line)
 	}
 	return nil
 }

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/crrlab/crr/internal/dataset"
 )
@@ -29,9 +34,9 @@ func writeTaxCSV(t *testing.T, rows int) string {
 func TestRunDiscoverEndToEnd(t *testing.T) {
 	input := writeTaxCSV(t, 800)
 	save := filepath.Join(t.TempDir(), "rules.json")
-	err := run(runConfig{
+	err := run(context.Background(), runConfig{
 		input: input, yName: "Tax", xNames: "Salary", condCols: "State,MaritalStatus",
-		rhoM: 60, family: "F1", compact: true, tol: 0.002, parallel: 2, save: save,
+		rhoM: 60, family: "F1", compact: true, tol: 0.002, workers: 2, save: save,
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -42,11 +47,51 @@ func TestRunDiscoverEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunPrintsTelemetrySummary asserts the acceptance-criteria output: a
+// telemetry line with models trained/shared and conditions expanded, and a
+// phases line with per-phase wall time.
+func TestRunPrintsTelemetrySummary(t *testing.T) {
+	input := writeTaxCSV(t, 600)
+	var buf bytes.Buffer
+	err := runTo(context.Background(), &buf, runConfig{
+		input: input, yName: "Tax", xNames: "Salary", rhoM: 60, family: "F1", compact: true, workers: 1,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"telemetry: ",
+		"conditions expanded=",
+		"models trained=",
+		"models shared=",
+		"phases: ",
+		"discover=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTimeout: an immediately expiring -timeout aborts the mine and
+// surfaces a context error.
+func TestRunTimeout(t *testing.T) {
+	input := writeTaxCSV(t, 800)
+	err := run(context.Background(), runConfig{
+		input: input, yName: "Tax", xNames: "Salary", rhoM: 60, family: "F1",
+		workers: 1, timeout: time.Nanosecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
 func TestRunDiscoverPrune(t *testing.T) {
 	input := writeTaxCSV(t, 600)
-	err := run(runConfig{
+	err := run(context.Background(), runConfig{
 		input: input, yName: "Tax", xNames: "Salary",
-		rhoM: 60, family: "F2", prune: true, parallel: 1,
+		rhoM: 60, family: "F2", prune: true, workers: 1,
 	})
 	if err != nil {
 		t.Fatalf("run with prune: %v", err)
@@ -65,8 +110,8 @@ func TestRunDiscoverValidation(t *testing.T) {
 		{input: "/does/not/exist.csv", yName: "Tax", xNames: "Salary", family: "F1", rhoM: 1},
 	}
 	for i, rc := range cases {
-		rc.parallel = 1
-		if err := run(rc); err == nil {
+		rc.workers = 1
+		if err := run(context.Background(), rc); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
 	}
@@ -75,8 +120,8 @@ func TestRunDiscoverValidation(t *testing.T) {
 func TestRunDiscoverDefaultCondAttrs(t *testing.T) {
 	input := writeTaxCSV(t, 400)
 	// No -cond: categorical columns must be picked up automatically.
-	err := run(runConfig{
-		input: input, yName: "Tax", xNames: "Salary", rhoM: 60, family: "F1", parallel: 1,
+	err := run(context.Background(), runConfig{
+		input: input, yName: "Tax", xNames: "Salary", rhoM: 60, family: "F1", workers: 1,
 	})
 	if err != nil {
 		t.Fatalf("run without -cond: %v", err)

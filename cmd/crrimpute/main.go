@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"github.com/crrlab/crr/internal/core"
@@ -32,15 +34,19 @@ func main() {
 		rhoM     = flag.Float64("rho", 1.0, "maximum bias ρ_M")
 		fallback = flag.Bool("fallback", false, "fill uncovered cells with the training mean")
 		rulesIn  = flag.String("rules", "", "load a saved rule set (crrdiscover -save) instead of discovering")
+		workers  = flag.Int("workers", 1, "discovery worker count (1 = sequential, <0 = one per CPU)")
+		seed     = flag.Int64("seed", 0, "random seed (predicate generation)")
 	)
 	flag.Parse()
-	if err := run(*input, *output, *yName, *xNames, *rhoM, *fallback, *rulesIn); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *input, *output, *yName, *xNames, *rhoM, *fallback, *rulesIn, *workers, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "crrimpute:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, output, yName, xNames string, rhoM float64, fallback bool, rulesIn string) error {
+func run(ctx context.Context, input, output, yName, xNames string, rhoM float64, fallback bool, rulesIn string, workers int, seed int64) error {
 	if input == "" || yName == "" || xNames == "" {
 		return fmt.Errorf("-input, -y and -x are required (see -h)")
 	}
@@ -84,18 +90,24 @@ func run(input, output, yName, xNames string, rhoM float64, fallback bool, rules
 			return err
 		}
 	} else {
-		preds := predicate.Generate(rel, cond, predicate.GeneratorConfig{})
-		res, err := core.Discover(rel, core.DiscoverConfig{
+		preds := predicate.Generate(rel, cond, predicate.GeneratorConfig{Seed: seed})
+		res, err := core.Discover(ctx, rel, core.WithConfig(core.DiscoverConfig{
 			XAttrs:  xattrs,
 			YAttr:   yattr,
 			RhoM:    rhoM,
 			Preds:   preds,
 			Trainer: regress.LinearTrainer{},
-		})
+			Seed:    seed,
+			Workers: workers,
+		}))
 		if err != nil {
 			return err
 		}
-		rules, _ = core.Compact(res.Rules)
+		var cerr error
+		rules, _, cerr = core.CompactCtx(ctx, res.Rules, core.CompactOptions{})
+		if cerr != nil {
+			return cerr
+		}
 	}
 
 	stats, err := impute.Fill(rel, yattr, impute.RuleSetPredictor{Rules: rules, UseFallback: fallback})

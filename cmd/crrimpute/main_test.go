@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -34,10 +35,10 @@ func discoverAndSave(csvPath, rulesPath string) error {
 		return err
 	}
 	preds := predicate.Generate(rel, []int{timeIdx}, predicate.GeneratorConfig{})
-	res, err := core.Discover(rel, core.DiscoverConfig{
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
 		XAttrs: []int{timeIdx}, YAttr: coIdx, RhoM: 1.0,
 		Preds: preds, Trainer: regress.LinearTrainer{},
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -74,7 +75,7 @@ func writeAirCSV(t *testing.T, rows int, maskFrac float64) string {
 func TestRunImputeEndToEnd(t *testing.T) {
 	input := writeAirCSV(t, 600, 0.1)
 	output := filepath.Join(t.TempDir(), "filled.csv")
-	if err := run(input, output, "CO", "Time", 1.0, true, ""); err != nil {
+	if err := run(context.Background(), input, output, "CO", "Time", 1.0, true, "", 1, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(output)
@@ -106,23 +107,23 @@ func TestRunImputeWithSavedRules(t *testing.T) {
 	}
 	masked := writeAirCSV(t, 600, 0.1)
 	output := filepath.Join(t.TempDir(), "filled.csv")
-	if err := run(masked, output, "CO", "Time", 1.0, true, rules); err != nil {
+	if err := run(context.Background(), masked, output, "CO", "Time", 1.0, true, rules, 1, 0); err != nil {
 		t.Fatalf("run with -rules: %v", err)
 	}
 }
 
 func TestRunImputeValidation(t *testing.T) {
 	input := writeAirCSV(t, 100, 0.1)
-	if err := run("", "", "CO", "Time", 1, false, ""); err == nil {
+	if err := run(context.Background(), "", "", "CO", "Time", 1, false, "", 1, 0); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(input, "", "Nope", "Time", 1, false, ""); err == nil {
+	if err := run(context.Background(), input, "", "Nope", "Time", 1, false, "", 1, 0); err == nil {
 		t.Error("unknown column accepted")
 	}
-	if err := run(input, "", "CO", "Nope", 1, false, ""); err == nil {
+	if err := run(context.Background(), input, "", "CO", "Nope", 1, false, "", 1, 0); err == nil {
 		t.Error("unknown x accepted")
 	}
-	if err := run(input, "", "CO", "Time", 1, false, "/does/not/exist.json"); err == nil {
+	if err := run(context.Background(), input, "", "CO", "Time", 1, false, "/does/not/exist.json", 1, 0); err == nil {
 		t.Error("missing rules file accepted")
 	}
 }

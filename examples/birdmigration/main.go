@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,13 +33,13 @@ func main() {
 	// Conditions range over the observation date and the bird identity.
 	preds := predicate.Generate(rel, []int{dateAttr, birdAttr}, predicate.GeneratorConfig{})
 
-	res, err := core.Discover(rel, core.DiscoverConfig{
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
 		XAttrs:  []int{dateAttr},
 		YAttr:   latAttr,
 		RhoM:    1.0,
 		Preds:   preds,
 		Trainer: regress.LinearTrainer{},
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,13 +31,13 @@ func main() {
 	fmt.Printf("masked %d of %d CO readings\n\n", len(holes), original.Len())
 
 	preds := predicate.Generate(masked, []int{timeAttr}, predicate.GeneratorConfig{})
-	res, err := core.Discover(masked, core.DiscoverConfig{
+	res, err := core.Discover(context.Background(), masked, core.WithConfig(core.DiscoverConfig{
 		XAttrs:  []int{timeAttr},
 		YAttr:   co,
 		RhoM:    1.0,
 		Preds:   preds,
 		Trainer: regress.LinearTrainer{},
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

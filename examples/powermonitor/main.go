@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -55,7 +56,7 @@ func main() {
 		Trainer:    regress.LinearTrainer{},
 		FuseShared: true, // regimes sharing a model merge into one DNF rule
 	}
-	res, err := core.Discover(warm, dcfg)
+	res, err := core.Discover(context.Background(), warm, core.WithConfig(dcfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func main() {
 				newIdx = append(newIdx, i)
 			}
 		}
-		updated, st, err := core.Maintain(stream, rules, newIdx, dcfg)
+		updated, st, err := core.Maintain(context.Background(), stream, rules, newIdx, dcfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -47,13 +48,13 @@ func main() {
 	preds := predicate.Generate(rel, []int{0}, predicate.GeneratorConfig{})
 
 	// Algorithm 1: CRR searching with model sharing.
-	res, err := core.Discover(rel, core.DiscoverConfig{
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
 		XAttrs:  []int{0},
 		YAttr:   1,
 		RhoM:    0.5,
 		Preds:   preds,
 		Trainer: regress.LinearTrainer{},
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

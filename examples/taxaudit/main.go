@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,13 +29,13 @@ func main() {
 	tax := schema.MustIndex("Tax")
 
 	preds := predicate.Generate(rel, []int{state, status}, predicate.GeneratorConfig{})
-	res, err := core.Discover(rel, core.DiscoverConfig{
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
 		XAttrs:  []int{salary},
 		YAttr:   tax,
 		RhoM:    60,
 		Preds:   preds,
 		Trainer: regress.LinearTrainer{},
-	})
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,7 +20,7 @@ func BenchmarkDiscoverSequential(b *testing.B) {
 	cfg := discoverCfg(rel, 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Discover(rel, cfg); err != nil {
+		if _, err := DiscoverWithConfig(rel, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -43,7 +43,7 @@ func BenchmarkDiscoverNoSharing(b *testing.B) {
 	cfg.DisableSharing = true
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Discover(rel, cfg); err != nil {
+		if _, err := DiscoverWithConfig(rel, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,7 +51,7 @@ func BenchmarkDiscoverNoSharing(b *testing.B) {
 
 func BenchmarkCompact(b *testing.B) {
 	rel := benchRelation(b, 4000)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func BenchmarkCompact(b *testing.B) {
 
 func BenchmarkPredictIndexed(b *testing.B) {
 	rel := benchRelation(b, 4000)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func BenchmarkPredictIndexed(b *testing.B) {
 
 func BenchmarkPredictLinearScan(b *testing.B) {
 	rel := benchRelation(b, 4000)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func BenchmarkPredictLinearScan(b *testing.B) {
 
 func BenchmarkPrune(b *testing.B) {
 	rel := overRefinedRelation(2000, 0.3, 1)
-	res, err := Discover(rel, discoverCfg(rel, 0.1))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.1))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -13,7 +13,7 @@ import (
 
 func TestRuleSetCodecRoundTrip(t *testing.T) {
 	rel := piecewiseRelation(400, 0.2, 3)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

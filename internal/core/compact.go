@@ -2,10 +2,12 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"math"
 
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
 )
 
 // CompactStats reports the inference applications Algorithm 2 performed.
@@ -30,6 +32,9 @@ type CompactOptions struct {
 	// to the data's slope-estimation error, trading a bounded semantic
 	// drift for the rule-count reduction the paper reports.
 	ModelTol float64
+	// Telemetry receives compaction metrics (translations, fusions, implied
+	// drops, solver attempts); nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // Compact implements Algorithm 2 (CRR compaction with inference). It first
@@ -44,13 +49,27 @@ func Compact(rules *RuleSet) (*RuleSet, CompactStats) {
 	return CompactOpts(rules, CompactOptions{ModelTol: modelTol})
 }
 
-// CompactOpts is Compact with explicit options.
+// CompactOpts is Compact with explicit options and no cancellation.
 func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
+	out, stats, _ := CompactCtx(context.Background(), rules, opts)
+	return out, stats
+}
+
+// CompactCtx is Compact with explicit options and cancellation: ctx is
+// checked once per translation pivot and once per fusion candidate, so large
+// rule sets stop compacting within one iteration of cancellation. The error
+// matches both ErrCanceled and the context's own sentinel; the partial rule
+// set is not returned.
+func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats, error) {
 	tol := opts.ModelTol
 	if tol <= 0 {
 		tol = modelTol
 	}
 	var stats CompactStats
+	translations := opts.Telemetry.Counter(telemetry.MetricTranslations)
+	fusions := opts.Telemetry.Counter(telemetry.MetricFusions)
+	implied := opts.Telemetry.Counter(telemetry.MetricImplied)
+	solverAttempts := opts.Telemetry.Counter(telemetry.MetricSolverAttempts)
 	out := &RuleSet{
 		Schema:   rules.Schema,
 		XAttrs:   append([]int(nil), rules.XAttrs...),
@@ -79,6 +98,9 @@ func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
 		inQueue[i] = true
 	}
 	for queue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, canceled(err)
+		}
 		front := queue.Front()
 		queue.Remove(front)
 		pi := front.Value.(int)
@@ -92,6 +114,7 @@ func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
 			if !sameSignature(pivot, other) || pivot.Model.Equal(other.Model, tol) {
 				continue
 			}
+			solverAttempts.Inc()
 			tr, ok := solveTranslationTol(pivot.Model, other.Model, tol)
 			if !ok {
 				continue
@@ -116,6 +139,7 @@ func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
 				YAttr:  other.YAttr,
 			}
 			stats.Translations++
+			translations.Inc()
 			// φ' need not pivot again: its class is unified already.
 			if inQueue[qi] {
 				removeFromList(queue, qi)
@@ -129,6 +153,9 @@ func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
 	// Generalization + Fusion merges each class into a single rule.
 	var fused []CRR
 	for i := range work {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, canceled(err)
+		}
 		merged := false
 		for j := range fused {
 			if sameSignature(&fused[j], &work[i]) && fused[j].Model.Equal(work[i].Model, tol) {
@@ -147,6 +174,7 @@ func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
 					YAttr:  fused[j].YAttr,
 				}
 				stats.Fusions++
+				fusions.Inc()
 				merged = true
 				break
 			}
@@ -179,6 +207,7 @@ func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
 			if Implies(&fused[i], &fused[j]) {
 				keep[j] = false
 				stats.Implied++
+				implied.Inc()
 			}
 		}
 	}
@@ -187,7 +216,7 @@ func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
 			out.Rules = append(out.Rules, fused[i])
 		}
 	}
-	return out, stats
+	return out, stats, nil
 }
 
 // anchoredShift computes the y = δ builtin for rewriting other onto pivot's

@@ -210,7 +210,7 @@ func TestCompactPreservesSemanticsProperty(t *testing.T) {
 
 func TestCompactAfterDiscover(t *testing.T) {
 	rel := piecewiseRelation(600, 0.2, 12)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
 )
 
 // CRR is a conditional regression rule φ : (f, ρ, ℂ). The regression
@@ -123,11 +124,26 @@ type RuleSet struct {
 
 	idx   atomic.Pointer[ruleIndex]
 	idxMu sync.Mutex
+
+	lookups, misses *telemetry.Counter
 }
 
 // Invalidate discards the lazily built prediction index; call it after
 // mutating Rules.
 func (s *RuleSet) Invalidate() { s.idx.Store(nil) }
+
+// SetTelemetry attaches a metrics registry to the prediction path: every
+// Predict increments predict.index_lookups, and lookups that fall back to
+// the training mean increment predict.index_misses. A nil registry detaches
+// (nil counters no-op, so Predict stays branch-free).
+func (s *RuleSet) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		s.lookups, s.misses = nil, nil
+		return
+	}
+	s.lookups = r.Counter(telemetry.MetricIndexLookups)
+	s.misses = r.Counter(telemetry.MetricIndexMisses)
+}
 
 // index returns the prediction index, building it once under a mutex so
 // concurrent Predict calls are safe.
@@ -149,8 +165,10 @@ func (s *RuleSet) index() *ruleIndex {
 // the training mean when no rule covers t. covered reports which case
 // applied. First-rule/first-conjunction semantics match a linear scan.
 func (s *RuleSet) Predict(t dataset.Tuple) (pred float64, covered bool) {
+	s.lookups.Inc()
 	e, ok := s.index().lookup(s, t)
 	if !ok {
+		s.misses.Inc()
 		return s.Fallback, false
 	}
 	rule := &s.Rules[e.rule]

@@ -2,16 +2,18 @@ package core
 
 import (
 	"container/heap"
-	"errors"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
 )
 
 // QueueOrder selects how Algorithm 1's priority queue orders conjunctions by
@@ -42,18 +44,21 @@ func (o QueueOrder) String() string {
 	}
 }
 
-// DiscoverConfig parameterizes Algorithm 1.
+// DiscoverConfig parameterizes Algorithm 1. Zero values select sane
+// defaults through Validate; the options API (Discover with
+// DiscoverOption values) is the preferred way to build one.
 type DiscoverConfig struct {
 	// XAttrs and YAttr define the regression signature f : X → Y. YAttr must
 	// be numeric and must not appear in XAttrs (Reflexivity, Proposition 1).
 	XAttrs []int
 	YAttr  int
-	// RhoM is the maximum bias ρ_M.
+	// RhoM is the maximum bias ρ_M; non-positive selects DefaultMaxBias.
 	RhoM float64
 	// Preds is the predicate space ℙ; it must not mention YAttr
 	// (Definition 1).
 	Preds []predicate.Predicate
-	// Trainer fits new models when no existing model can be shared.
+	// Trainer fits new models when no existing model can be shared; nil
+	// selects OLS (family F1) under the options API.
 	Trainer regress.Trainer
 	// Order is the ind(C) queue ordering; Decrease is the paper's default.
 	Order QueueOrder
@@ -86,6 +91,14 @@ type DiscoverConfig struct {
 	// children cost queue work; the default single best cut matches the
 	// binary searching of the paper's complexity analysis (§V-A4).
 	Prop8Splits bool
+	// Workers is the discovery worker count: 0 or 1 selects the sequential
+	// engine, n > 1 the parallel engine with n workers, negative one worker
+	// per CPU. The parallel engine trades exact ind(C) ordering for
+	// throughput (see the engine comment in parallel.go).
+	Workers int
+	// Telemetry receives hot-path metrics (see internal/telemetry's metric
+	// schema); nil disables instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // DiscoverStats reports the work Algorithm 1 performed.
@@ -107,49 +120,94 @@ type DiscoverResult struct {
 // is already overwhelmingly likely.
 const prop8MaxGroups = 3
 
-var (
-	errTrivial   = errors.New("core: Y ∈ X would only yield trivial rules (Reflexivity)")
-	errPredOnY   = errors.New("core: predicate space mentions the target attribute")
-	errNonNumY   = errors.New("core: regression target must be numeric")
-	errNoTrainer = errors.New("core: DiscoverConfig.Trainer is nil")
-)
+// Discover mines conditional regression rules from rel with Algorithm 1
+// (CRR searching with model sharing). It is the single context-first
+// entrypoint of the discovery engine: cancellation and deadlines on ctx are
+// honored at every condition-queue pop (not just at entry), so long mines
+// stop within one queue iteration and return an error matching both
+// ErrCanceled and the context's own sentinel.
+//
+// The configuration is assembled from functional options over sane
+// defaults: OLS trainer, ρ_M = DefaultMaxBias, a paper-default predicate
+// space generated over the X attributes plus every categorical attribute,
+// and the sequential engine. WithWorkers(n > 1) switches to the parallel
+// engine; WithTelemetry attaches hot-path metrics.
+//
+//	res, err := core.Discover(ctx, rel,
+//	    core.WithSignature([]int{salary}, tax),
+//	    core.WithMaxBias(60),
+//	    core.WithWorkers(4),
+//	    core.WithTelemetry(reg))
+func Discover(ctx context.Context, rel *dataset.Relation, opts ...DiscoverOption) (*DiscoverResult, error) {
+	var cfg DiscoverConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if rel.Len() == 0 {
+		return nil, ErrEmptyRelation
+	}
+	if cfg.Preds == nil {
+		cfg.Preds = predicate.Generate(rel,
+			defaultPredicateAttrs(rel.Schema, cfg.XAttrs, cfg.YAttr),
+			predicate.GeneratorConfig{Seed: cfg.Seed})
+	}
+	if len(cfg.Preds) == 0 {
+		return nil, ErrNoPredicates
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return discoverFor(ctx, rel, cfg)
+}
 
-// Discover implements Algorithm 1 (CRR searching with model sharing): a
-// top-down refinement over conjunctions that first tries to share an
-// existing model via the δ0 test of Proposition 6, trains a new model only
-// when sharing fails, and splits the condition on the best variance-reducing
-// predicate group from ℙ otherwise. Conjunctions are processed in the
-// configured ind(C) order.
-func Discover(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
+// discoverFor dispatches a validated configuration to the sequential or
+// parallel engine by Workers.
+func discoverFor(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
+	if cfg.Workers > 1 || cfg.Workers < 0 {
+		return discoverParallel(ctx, rel, cfg)
+	}
+	return discoverSeq(ctx, rel, cfg)
+}
+
+// DiscoverWithConfig runs the sequential engine with an explicit
+// configuration and no cancellation — the pre-options API.
+//
+// Deprecated: use Discover with a context and options (wrap an existing
+// configuration with WithConfig).
+func DiscoverWithConfig(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
+	return discoverSeq(context.Background(), rel, cfg)
+}
+
+// discoverPrep validates cfg against rel and builds the shared discovery
+// prelude: effective MinSupport/MaxNodes, the trainable tuple indices (rows
+// with non-null X and Y — null rows cannot be fit or checked and are the
+// imputation targets, not the training data) and the result skeleton with
+// the mean-of-Y fallback.
+func discoverPrep(rel *dataset.Relation, cfg *DiscoverConfig) (all []int, out *DiscoverResult, err error) {
 	if cfg.Trainer == nil {
-		return nil, errNoTrainer
+		return nil, nil, ErrNoTrainer
 	}
 	if rel.Schema.Attr(cfg.YAttr).Kind != dataset.Numeric {
-		return nil, errNonNumY
+		return nil, nil, ErrNonNumericTarget
 	}
 	for _, a := range cfg.XAttrs {
 		if a == cfg.YAttr {
-			return nil, errTrivial
+			return nil, nil, ErrTrivialTarget
 		}
 	}
 	for _, p := range cfg.Preds {
 		if p.Attr == cfg.YAttr {
-			return nil, errPredOnY
+			return nil, nil, ErrPredicateOnTarget
 		}
 	}
-	minSupport := cfg.MinSupport
-	if minSupport <= 0 {
-		minSupport = len(cfg.XAttrs) + 2
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = len(cfg.XAttrs) + 2
 	}
-	maxNodes := cfg.MaxNodes
-	if maxNodes <= 0 {
-		maxNodes = 64*rel.Len() + 4096
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 64*rel.Len() + 4096
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// D restricted to tuples with non-null X and Y; null rows cannot be fit
-	// or checked and are the imputation targets, not the training data.
-	all := make([]int, 0, rel.Len())
+	all = make([]int, 0, rel.Len())
 	for i, t := range rel.Tuples {
 		if t[cfg.YAttr].Null {
 			continue
@@ -165,21 +223,59 @@ func Discover(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error
 			all = append(all, i)
 		}
 	}
-
-	out := &DiscoverResult{Rules: &RuleSet{
+	out = &DiscoverResult{Rules: &RuleSet{
 		Schema: rel.Schema,
 		XAttrs: append([]int(nil), cfg.XAttrs...),
 		YAttr:  cfg.YAttr,
 	}}
+	if len(all) > 0 {
+		var ysum float64
+		for _, i := range all {
+			ysum += rel.Tuples[i][cfg.YAttr].Num
+		}
+		out.Rules.Fallback = ysum / float64(len(all))
+	}
+	return all, out, nil
+}
+
+// discTel holds the pre-resolved metric handles of one discovery run, so
+// the hot loop pays one atomic op per event and nothing at all when no
+// registry is attached (nil handles no-op).
+type discTel struct {
+	nodes, trained, shared, shareTests, forced *telemetry.Counter
+	queueDepth                                 *telemetry.Gauge
+	trainTime, shareTime                       *telemetry.Histogram
+}
+
+func newDiscTel(r *telemetry.Registry) discTel {
+	return discTel{
+		nodes:      r.Counter(telemetry.MetricConditionsExpanded),
+		trained:    r.Counter(telemetry.MetricModelsTrained),
+		shared:     r.Counter(telemetry.MetricModelsShared),
+		shareTests: r.Counter(telemetry.MetricShareTests),
+		forced:     r.Counter(telemetry.MetricForcedRules),
+		queueDepth: r.Gauge(telemetry.MetricQueueDepth),
+		trainTime:  r.Histogram(telemetry.MetricTrainTime),
+		shareTime:  r.Histogram(telemetry.MetricShareTestTime),
+	}
+}
+
+// discoverSeq implements Algorithm 1 (CRR searching with model sharing): a
+// top-down refinement over conjunctions that first tries to share an
+// existing model via the δ0 test of Proposition 6, trains a new model only
+// when sharing fails, and splits the condition on the best variance-reducing
+// predicate group from ℙ otherwise. Conjunctions are processed in the
+// configured ind(C) order. ctx is checked once per queue pop.
+func discoverSeq(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
+	all, out, err := discoverPrep(rel, &cfg)
+	if err != nil {
+		return nil, err
+	}
 	if len(all) == 0 {
 		return out, nil
 	}
-	// Fallback constant: training mean of Y.
-	var ysum float64
-	for _, i := range all {
-		ysum += rel.Tuples[i][cfg.YAttr].Num
-	}
-	out.Rules.Fallback = ysum / float64(len(all))
+	tel := newDiscTel(cfg.Telemetry)
+	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	shared := append([]regress.Model(nil), cfg.SeedModels...) // the model set F (Line 2)
 	ruleOf := make(map[regress.Model]int)
@@ -213,41 +309,57 @@ func Discover(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error
 		})
 	}
 
-	for q.Len() > 0 && out.Stats.NodesExpanded < maxNodes {
+	for q.Len() > 0 && out.Stats.NodesExpanded < cfg.MaxNodes {
+		// The cancellation point of the search loop: a canceled or expired
+		// context stops the mine within one queue iteration.
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
 		item := heap.Pop(q).(*condItem)
+		tel.queueDepth.Set(float64(q.Len()))
 		if len(item.idxs) == 0 {
 			continue
 		}
 		out.Stats.NodesExpanded++
+		tel.nodes.Inc()
 		x, y, _ := FeatureRows(rel, item.idxs, cfg.XAttrs, cfg.YAttr)
 
 		// Lines 7–10: model sharing via the δ0 test.
 		if !cfg.DisableSharing {
-			if model, res, ok := findShare(shared, x, y, cfg.RhoM); ok {
+			start := time.Now()
+			model, res, tried, hit := findShare(shared, x, y, cfg.RhoM)
+			tel.shareTime.Observe(time.Since(start))
+			tel.shareTests.Add(int64(tried))
+			if hit {
 				conj := item.conj.Clone()
 				conj.Builtin = conj.Builtin.WithYShift(res.Delta0)
 				emit(model, res.MaxErr, conj)
 				out.Stats.ShareHits++
+				tel.shared.Inc()
 				continue
 			}
 		}
 
 		// Line 12: the sharing index of this part.
 		ind := shareIndex(shared, x, y, cfg.RhoM)
+		tel.shareTests.Add(int64(len(shared)))
 
 		// Line 13: train a new model.
+		start := time.Now()
 		model, err := cfg.Trainer.Train(x, y)
+		tel.trainTime.Observe(time.Since(start))
 		if err != nil {
 			return nil, fmt.Errorf("core: training on %d tuples: %w", len(x), err)
 		}
 		out.Stats.ModelsTrained++
+		tel.trained.Inc()
 		maxErr := regress.MaxAbsError(model, x, y)
 
 		accept := maxErr <= cfg.RhoM
 		forced := false
 		var children []childPart
 		if !accept {
-			if len(item.idxs) <= minSupport {
+			if len(item.idxs) <= cfg.MinSupport {
 				accept, forced = true, true
 			} else {
 				// Line 19: the number of split predicates. The default is
@@ -278,6 +390,7 @@ func Discover(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error
 			shared = append(shared, model)
 			if forced {
 				out.Stats.ForcedRules++
+				tel.forced.Inc()
 			}
 			continue
 		}
@@ -300,11 +413,15 @@ func Discover(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error
 			}
 			heap.Push(q, &condItem{conj: conj, idxs: ch.idxs, prio: prio, seq: q.nextSeq()})
 		}
+		tel.queueDepth.Set(float64(q.Len()))
 	}
 	// If the MaxNodes guard tripped, force-accept a model for every part
 	// still queued — Problem 1 requires Σ to cover D, so abandoned parts are
 	// not an option.
 	for q.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
 		item := heap.Pop(q).(*condItem)
 		if len(item.idxs) == 0 {
 			continue
@@ -316,21 +433,27 @@ func Discover(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error
 		}
 		out.Stats.ModelsTrained++
 		out.Stats.ForcedRules++
+		tel.trained.Inc()
+		tel.forced.Inc()
 		emit(model, regress.MaxAbsError(model, x, y), item.conj)
 	}
 	return out, nil
 }
 
-// DiscoverTargets runs Discover once per target column, sharing the config.
-// It returns a rule set per target (the column-scalability workload of the
-// paper's Figure 7). cfg.YAttr is overridden per target; targets appearing
-// in cfg.XAttrs are rejected by the per-run Reflexivity check.
-func DiscoverTargets(rel *dataset.Relation, targets []int, cfg DiscoverConfig) (map[int]*RuleSet, error) {
+// DiscoverTargets runs the discovery engine once per target column, sharing
+// the config (the column-scalability workload of the paper's Figure 7).
+// cfg.YAttr is overridden per target; targets appearing in cfg.XAttrs are
+// rejected by the per-run Reflexivity check. Cancellation is checked between
+// targets and inside each mine.
+func DiscoverTargets(ctx context.Context, rel *dataset.Relation, targets []int, cfg DiscoverConfig) (map[int]*RuleSet, error) {
 	out := make(map[int]*RuleSet, len(targets))
 	for _, y := range targets {
+		if err := ctx.Err(); err != nil {
+			return nil, canceled(err)
+		}
 		c := cfg
 		c.YAttr = y
-		res, err := Discover(rel, c)
+		res, err := discoverFor(ctx, rel, c)
 		if err != nil {
 			return nil, fmt.Errorf("core: target %d: %w", y, err)
 		}
@@ -339,16 +462,17 @@ func DiscoverTargets(rel *dataset.Relation, targets []int, cfg DiscoverConfig) (
 	return out, nil
 }
 
-// findShare scans the model set F for a shareable model (Line 7). Models are
-// tried newest-first: recently learned local models are the most likely to
-// recur in neighboring parts.
-func findShare(shared []regress.Model, x [][]float64, y []float64, rhoM float64) (regress.Model, regress.ShareResult, bool) {
+// findShare scans the model set F for a shareable model (Line 7), returning
+// also the number of δ0 tests attempted. Models are tried newest-first:
+// recently learned local models are the most likely to recur in neighboring
+// parts.
+func findShare(shared []regress.Model, x [][]float64, y []float64, rhoM float64) (regress.Model, regress.ShareResult, int, bool) {
 	for i := len(shared) - 1; i >= 0; i-- {
 		if res := regress.ShareTest(shared[i], x, y, rhoM); res.OK {
-			return shared[i], res, true
+			return shared[i], res, len(shared) - i, true
 		}
 	}
-	return nil, regress.ShareResult{}, false
+	return nil, regress.ShareResult{}, len(shared), false
 }
 
 // shareIndex computes ind(C) = max_f |{t : |t.Y−(f(t.X)+δ0)| ≤ ρ_M}| / |D_C|

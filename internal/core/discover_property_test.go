@@ -56,7 +56,7 @@ func TestDiscoverInvariantsProperty(t *testing.T) {
 			FuseShared:     rng.Intn(2) == 0,
 			Prop8Splits:    rng.Intn(2) == 0,
 		}
-		res, err := Discover(rel, cfg)
+		res, err := DiscoverWithConfig(rel, cfg)
 		if err != nil {
 			return false
 		}
@@ -76,7 +76,7 @@ func TestCompactIdempotentProperty(t *testing.T) {
 		preds := predicate.Generate(rel, []int{0}, predicate.GeneratorConfig{
 			Kind: predicate.Binary, Size: 32,
 		})
-		res, err := Discover(rel, DiscoverConfig{
+		res, err := DiscoverWithConfig(rel, DiscoverConfig{
 			XAttrs: []int{0}, YAttr: 1, RhoM: 2*noise + 0.2,
 			Preds: preds, Trainer: regress.LinearTrainer{},
 		})
@@ -105,12 +105,12 @@ func TestCompactIdempotentProperty(t *testing.T) {
 func TestDiscoverProp8Splits(t *testing.T) {
 	rel := piecewiseRelation(600, 0.2, 9)
 	cfg := discoverCfg(rel, 0.5)
-	plain, err := Discover(rel, cfg)
+	plain, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Prop8Splits = true
-	multi, err := Discover(rel, cfg)
+	multi, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

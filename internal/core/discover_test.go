@@ -52,7 +52,7 @@ func discoverCfg(rel *dataset.Relation, rhoM float64) DiscoverConfig {
 
 func TestDiscoverCoversData(t *testing.T) {
 	rel := piecewiseRelation(600, 0.2, 1)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatalf("Discover: %v", err)
 	}
@@ -69,7 +69,7 @@ func TestDiscoverCoversData(t *testing.T) {
 
 func TestDiscoverSharesModels(t *testing.T) {
 	rel := piecewiseRelation(600, 0.2, 1)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,12 +87,12 @@ func TestDiscoverSharesModels(t *testing.T) {
 func TestDiscoverSharingAblation(t *testing.T) {
 	rel := piecewiseRelation(600, 0.2, 1)
 	cfg := discoverCfg(rel, 0.5)
-	with, err := Discover(rel, cfg)
+	with, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.DisableSharing = true
-	without, err := Discover(rel, cfg)
+	without, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestDiscoverSharingAblation(t *testing.T) {
 func TestDiscoverShareBuiltinDelta(t *testing.T) {
 	// The shared-regime rule must carry a y = δ builtin with δ ≈ 30.
 	rel := piecewiseRelation(600, 0.1, 1)
-	res, err := Discover(rel, discoverCfg(rel, 0.3))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestDiscoverShareBuiltinDelta(t *testing.T) {
 
 func TestDiscoverRespectsRhoM(t *testing.T) {
 	rel := piecewiseRelation(400, 0.2, 2)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,30 +145,30 @@ func TestDiscoverValidation(t *testing.T) {
 	rel := piecewiseRelation(50, 0.1, 3)
 	cfg := discoverCfg(rel, 0.5)
 	cfg.Trainer = nil
-	if _, err := Discover(rel, cfg); !errors.Is(err, errNoTrainer) {
+	if _, err := DiscoverWithConfig(rel, cfg); !errors.Is(err, ErrNoTrainer) {
 		t.Errorf("nil trainer err = %v", err)
 	}
 	cfg = discoverCfg(rel, 0.5)
 	cfg.XAttrs = []int{1}
-	if _, err := Discover(rel, cfg); !errors.Is(err, errTrivial) {
+	if _, err := DiscoverWithConfig(rel, cfg); !errors.Is(err, ErrTrivialTarget) {
 		t.Errorf("Y∈X err = %v (Reflexivity must reject)", err)
 	}
 	cfg = discoverCfg(rel, 0.5)
 	cfg.Preds = append(cfg.Preds, predicate.NumPred(1, predicate.Gt, 0))
-	if _, err := Discover(rel, cfg); !errors.Is(err, errPredOnY) {
+	if _, err := DiscoverWithConfig(rel, cfg); !errors.Is(err, ErrPredicateOnTarget) {
 		t.Errorf("pred-on-Y err = %v", err)
 	}
 	cfg = discoverCfg(rel, 0.5)
 	cfg.YAttr = 2 // categorical
 	cfg.Preds = nil
-	if _, err := Discover(rel, cfg); !errors.Is(err, errNonNumY) {
+	if _, err := DiscoverWithConfig(rel, cfg); !errors.Is(err, ErrNonNumericTarget) {
 		t.Errorf("categorical target err = %v", err)
 	}
 }
 
 func TestDiscoverEmptyRelation(t *testing.T) {
 	rel := dataset.NewRelation(lineSchema())
-	res, err := Discover(rel, DiscoverConfig{
+	res, err := DiscoverWithConfig(rel, DiscoverConfig{
 		XAttrs: []int{0}, YAttr: 1, RhoM: 1, Trainer: regress.LinearTrainer{},
 	})
 	if err != nil {
@@ -182,7 +182,7 @@ func TestDiscoverEmptyRelation(t *testing.T) {
 func TestDiscoverAllNullTarget(t *testing.T) {
 	rel := dataset.NewRelation(lineSchema())
 	rel.MustAppend(dataset.Tuple{dataset.Num(1), dataset.Null(), dataset.Str("a")})
-	res, err := Discover(rel, DiscoverConfig{
+	res, err := DiscoverWithConfig(rel, DiscoverConfig{
 		XAttrs: []int{0}, YAttr: 1, RhoM: 1, Trainer: regress.LinearTrainer{},
 	})
 	if err != nil || res.Rules.NumRules() != 0 {
@@ -194,7 +194,7 @@ func TestDiscoverSingleTuple(t *testing.T) {
 	// The paper's edge case: the smallest data part learns its own model.
 	rel := dataset.NewRelation(lineSchema())
 	rel.MustAppend(lineTuple(3, 10, "a"))
-	res, err := Discover(rel, DiscoverConfig{
+	res, err := DiscoverWithConfig(rel, DiscoverConfig{
 		XAttrs: []int{0}, YAttr: 1, RhoM: 0.1, Trainer: regress.LinearTrainer{},
 	})
 	if err != nil {
@@ -223,7 +223,7 @@ func TestDiscoverCategoricalSplit(t *testing.T) {
 		})
 	}
 	preds := predicate.Generate(rel, []int{2}, predicate.GeneratorConfig{Kind: predicate.Binary, Size: 8})
-	res, err := Discover(rel, DiscoverConfig{
+	res, err := DiscoverWithConfig(rel, DiscoverConfig{
 		XAttrs: []int{0}, YAttr: 1, RhoM: 0.5, Preds: preds, Trainer: regress.LinearTrainer{},
 	})
 	if err != nil {
@@ -240,12 +240,12 @@ func TestDiscoverCategoricalSplit(t *testing.T) {
 func TestDiscoverFuseShared(t *testing.T) {
 	rel := piecewiseRelation(600, 0.2, 1)
 	cfg := discoverCfg(rel, 0.5)
-	plain, err := Discover(rel, cfg)
+	plain, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.FuseShared = true
-	fused, err := Discover(rel, cfg)
+	fused, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +276,7 @@ func TestDiscoverOrderings(t *testing.T) {
 		cfg := discoverCfg(rel, 0.5)
 		cfg.Order = ord
 		cfg.Seed = 11
-		res, err := Discover(rel, cfg)
+		res, err := DiscoverWithConfig(rel, cfg)
 		if err != nil {
 			t.Fatalf("order %v: %v", ord, err)
 		}
@@ -289,11 +289,11 @@ func TestDiscoverOrderings(t *testing.T) {
 func TestDiscoverDeterministic(t *testing.T) {
 	rel := piecewiseRelation(400, 0.2, 6)
 	cfg := discoverCfg(rel, 0.5)
-	a, err := Discover(rel, cfg)
+	a, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Discover(rel, cfg)
+	b, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestDiscoverConstantRegime(t *testing.T) {
 		y := 60.10 + 0.1*(2*rng.Float64()-1)
 		rel.MustAppend(dataset.Tuple{dataset.Num(x), dataset.Num(y), dataset.Str("a")})
 	}
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/crrlab/crr/internal/core"
@@ -25,14 +26,11 @@ func ExampleDiscover() {
 		}
 		rel.MustAppend(dataset.Tuple{dataset.Num(x), dataset.Num(y)})
 	}
-	preds := predicate.Generate(rel, []int{0}, predicate.GeneratorConfig{})
-	res, err := core.Discover(rel, core.DiscoverConfig{
-		XAttrs:  []int{0},
-		YAttr:   1,
-		RhoM:    0.5,
-		Preds:   preds,
-		Trainer: regress.LinearTrainer{},
-	})
+	res, err := core.Discover(context.Background(), rel,
+		core.WithSignature([]int{0}, 1),
+		core.WithMaxBias(0.5),
+		core.WithTrainer(regress.LinearTrainer{}),
+	)
 	if err != nil {
 		panic(err)
 	}

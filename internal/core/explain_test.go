@@ -75,7 +75,7 @@ func TestExplainNullTarget(t *testing.T) {
 
 func TestExplainAgreesWithPredictAndViolations(t *testing.T) {
 	rel := piecewiseRelation(300, 0.2, 13)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -32,7 +33,7 @@ func TestDiscoverPropagatesTrainerError(t *testing.T) {
 	rel := piecewiseRelation(300, 0.2, 31)
 	cfg := discoverCfg(rel, 0.5)
 	cfg.Trainer = &failingTrainer{inner: regress.LinearTrainer{}, failAfter: 0}
-	_, err := Discover(rel, cfg)
+	_, err := DiscoverWithConfig(rel, cfg)
 	if !errors.Is(err, errInjected) {
 		t.Fatalf("err = %v, want the injected failure", err)
 	}
@@ -45,7 +46,7 @@ func TestDiscoverMidRunTrainerError(t *testing.T) {
 	rel := piecewiseRelation(300, 0.2, 32)
 	cfg := discoverCfg(rel, 0.5)
 	cfg.Trainer = &failingTrainer{inner: regress.LinearTrainer{}, failAfter: 2}
-	if _, err := Discover(rel, cfg); !errors.Is(err, errInjected) {
+	if _, err := DiscoverWithConfig(rel, cfg); !errors.Is(err, errInjected) {
 		t.Fatalf("mid-run err = %v, want the injected failure", err)
 	}
 }
@@ -65,7 +66,7 @@ func TestDiscoverParallelPropagatesTrainerError(t *testing.T) {
 func TestMaintainPropagatesTrainerError(t *testing.T) {
 	rel := piecewiseRelation(300, 0.2, 34)
 	cfg := discoverCfg(rel, 0.5)
-	res, err := Discover(rel, cfg)
+	res, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestMaintainPropagatesTrainerError(t *testing.T) {
 	rel.MustAppend(lineTuple(500, 9999, "t"))
 	rel.MustAppend(lineTuple(500.5, -9999, "t"))
 	cfg.Trainer = &failingTrainer{inner: regress.LinearTrainer{}, failAfter: 0}
-	_, _, err = Maintain(rel, res.Rules, []int{rel.Len() - 2, rel.Len() - 1}, cfg)
+	_, _, err = Maintain(context.Background(), rel, res.Rules, []int{rel.Len() - 2, rel.Len() - 1}, cfg)
 	if !errors.Is(err, errInjected) {
 		t.Fatalf("maintain err = %v, want the injected failure", err)
 	}
@@ -83,7 +84,7 @@ func TestMaintainPropagatesTrainerError(t *testing.T) {
 
 func TestPrunePropagatesTrainerError(t *testing.T) {
 	rel := overRefinedRelation(600, 0.3, 35)
-	res, err := Discover(rel, discoverCfg(rel, 0.1))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestDiscoverTargetsPropagatesTrainerError(t *testing.T) {
 	rel := piecewiseRelation(200, 0.2, 36)
 	cfg := discoverCfg(rel, 0.5)
 	cfg.Trainer = &failingTrainer{inner: regress.LinearTrainer{}, failAfter: 0}
-	if _, err := DiscoverTargets(rel, []int{1}, cfg); !errors.Is(err, errInjected) {
+	if _, err := DiscoverTargets(context.Background(), rel, []int{1}, cfg); !errors.Is(err, errInjected) {
 		t.Fatalf("targets err = %v, want the injected failure", err)
 	}
 }

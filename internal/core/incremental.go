@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/crrlab/crr/internal/dataset"
@@ -41,8 +42,9 @@ type MaintainStats struct {
 // Maintain ingests the tuples of rel at positions newIdx into rule set s and
 // returns the updated set (the input set is not modified). cfg supplies the
 // discovery parameters for the tuples that need new rules; cfg.SeedModels is
-// overwritten with the existing rules' models.
-func Maintain(rel *dataset.Relation, s *RuleSet, newIdx []int, cfg DiscoverConfig) (*RuleSet, MaintainStats, error) {
+// overwritten with the existing rules' models. ctx cancels the inner
+// discovery at its queue-pop granularity.
+func Maintain(ctx context.Context, rel *dataset.Relation, s *RuleSet, newIdx []int, cfg DiscoverConfig) (*RuleSet, MaintainStats, error) {
 	var st MaintainStats
 	out := &RuleSet{
 		Schema:   s.Schema,
@@ -91,7 +93,7 @@ func Maintain(rel *dataset.Relation, s *RuleSet, newIdx []int, cfg DiscoverConfi
 	for i := range out.Rules {
 		cfg.SeedModels = append(cfg.SeedModels, out.Rules[i].Model)
 	}
-	res, err := Discover(sub, cfg)
+	res, err := discoverFor(ctx, sub, cfg)
 	if err != nil {
 		return nil, st, err
 	}

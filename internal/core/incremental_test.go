@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestMaintainSatisfiedTuplesNoChange(t *testing.T) {
 	rel := piecewiseRelation(400, 0.2, 1)
 	cfg := discoverCfg(rel, 0.5)
-	res, err := Discover(rel, cfg)
+	res, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestMaintainSatisfiedTuplesNoChange(t *testing.T) {
 	for i := start; i < rel.Len(); i++ {
 		newIdx = append(newIdx, i)
 	}
-	out, st, err := Maintain(rel, res.Rules, newIdx, cfg)
+	out, st, err := Maintain(context.Background(), rel, res.Rules, newIdx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestMaintainSatisfiedTuplesNoChange(t *testing.T) {
 func TestMaintainWidensWithinRhoM(t *testing.T) {
 	rel := piecewiseRelation(400, 0.1, 3)
 	cfg := discoverCfg(rel, 0.5)
-	res, err := Discover(rel, cfg)
+	res, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestMaintainWidensWithinRhoM(t *testing.T) {
 	for i := range res.Rules.Rules {
 		rhoBefore[i] = res.Rules.Rules[i].Rho
 	}
-	out, st, err := Maintain(rel, res.Rules, []int{rel.Len() - 1}, cfg)
+	out, st, err := Maintain(context.Background(), rel, res.Rules, []int{rel.Len() - 1}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestMaintainWidensWithinRhoM(t *testing.T) {
 func TestMaintainDiscoversNewRegime(t *testing.T) {
 	rel := piecewiseRelation(400, 0.2, 4)
 	cfg := discoverCfg(rel, 0.5)
-	res, err := Discover(rel, cfg)
+	res, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestMaintainDiscoversNewRegime(t *testing.T) {
 	}
 	// Regenerate predicates over the extended domain for the retrain run.
 	cfg2 := discoverCfg(rel, 0.5)
-	out, st, err := Maintain(rel, res.Rules, newIdx, cfg2)
+	out, st, err := Maintain(context.Background(), rel, res.Rules, newIdx, cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestMaintainDiscoversNewRegime(t *testing.T) {
 func TestMaintainSharesSeedModels(t *testing.T) {
 	rel := piecewiseRelation(400, 0.2, 6)
 	cfg := discoverCfg(rel, 0.5)
-	res, err := Discover(rel, cfg)
+	res, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestMaintainSharesSeedModels(t *testing.T) {
 		newIdx = append(newIdx, i)
 	}
 	cfg2 := discoverCfg(rel, 0.5)
-	_, st, err := Maintain(rel, res.Rules, newIdx, cfg2)
+	_, st, err := Maintain(context.Background(), rel, res.Rules, newIdx, cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +162,12 @@ func TestMaintainSharesSeedModels(t *testing.T) {
 func TestMaintainNullTargetSkipped(t *testing.T) {
 	rel := piecewiseRelation(200, 0.2, 8)
 	cfg := discoverCfg(rel, 0.5)
-	res, err := Discover(rel, cfg)
+	res, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rel.MustAppend(dataset.Tuple{dataset.Num(10), dataset.Null(), dataset.Str("t")})
-	_, st, err := Maintain(rel, res.Rules, []int{rel.Len() - 1}, cfg)
+	_, st, err := Maintain(context.Background(), rel, res.Rules, []int{rel.Len() - 1}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,7 +116,7 @@ func TestRuleIndexEmptyXAttrs(t *testing.T) {
 
 func TestRuleSetPredictConcurrent(t *testing.T) {
 	rel := piecewiseRelation(400, 0.2, 11)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -40,7 +41,7 @@ func multiXRelation(n int, noise float64, seed int64) *dataset.Relation {
 func TestDiscoverMultiFeature(t *testing.T) {
 	rel := multiXRelation(800, 0.2, 1)
 	preds := predicate.Generate(rel, []int{2}, predicate.GeneratorConfig{})
-	res, err := Discover(rel, DiscoverConfig{
+	res, err := DiscoverWithConfig(rel, DiscoverConfig{
 		XAttrs:  []int{0, 1}, // A, B
 		YAttr:   3,
 		RhoM:    0.5,
@@ -83,7 +84,7 @@ func TestDiscoverMultiFeature(t *testing.T) {
 func TestDiscoverMultiFeatureCompactionAndCodec(t *testing.T) {
 	rel := multiXRelation(600, 0.2, 2)
 	preds := predicate.Generate(rel, []int{2}, predicate.GeneratorConfig{})
-	res, err := Discover(rel, DiscoverConfig{
+	res, err := DiscoverWithConfig(rel, DiscoverConfig{
 		XAttrs: []int{0, 1}, YAttr: 3, RhoM: 0.5,
 		Preds: preds, Trainer: regress.LinearTrainer{},
 	})
@@ -110,7 +111,7 @@ func TestDiscoverMultiFeatureCompactionAndCodec(t *testing.T) {
 func TestDiscoverTargets(t *testing.T) {
 	rel := multiXRelation(400, 0.2, 3)
 	preds := predicate.Generate(rel, []int{2}, predicate.GeneratorConfig{})
-	sets, err := DiscoverTargets(rel, []int{3, 0}, DiscoverConfig{
+	sets, err := DiscoverTargets(context.Background(), rel, []int{3, 0}, DiscoverConfig{
 		XAttrs: []int{1}, // B predicts both Y and A (A poorly, but covered)
 		RhoM:   20,
 		Preds:  preds, Trainer: regress.LinearTrainer{},
@@ -127,7 +128,7 @@ func TestDiscoverTargets(t *testing.T) {
 		}
 	}
 	// A target clashing with X is rejected.
-	if _, err := DiscoverTargets(rel, []int{1}, DiscoverConfig{
+	if _, err := DiscoverTargets(context.Background(), rel, []int{1}, DiscoverConfig{
 		XAttrs: []int{1}, RhoM: 1, Trainer: regress.LinearTrainer{},
 	}); err == nil {
 		t.Error("Y ∈ X accepted by DiscoverTargets")

@@ -1,86 +1,66 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
 )
 
-// DiscoverParallel runs Algorithm 1 with a worker pool: independent
+// DiscoverParallel runs the parallel discovery engine with an explicit
+// configuration and no cancellation — the pre-options API.
+//
+// Deprecated: use Discover with a context and WithWorkers(workers).
+func DiscoverParallel(rel *dataset.Relation, cfg DiscoverConfig, workers int) (*DiscoverResult, error) {
+	cfg.Workers = workers
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Workers == 1 {
+		return discoverSeq(context.Background(), rel, cfg)
+	}
+	return discoverParallel(context.Background(), rel, cfg)
+}
+
+// discoverParallel runs Algorithm 1 with a worker pool: independent
 // condition parts are processed concurrently and the shared model set F is
-// guarded by a mutex. Compared to Discover:
+// guarded by a mutex. Compared to the sequential engine:
 //
 //   - the ind(C) queue ordering becomes best-effort (workers race), so the
-//     Table IV ordering experiments require the sequential Discover;
+//     Table IV ordering experiments require the sequential engine;
 //   - the discovered rule set is deterministic as a *coverage* (every part is
 //     processed exactly once) but rule order, share attributions and exact
 //     rule count can vary run-to-run when different workers win the race to
 //     publish a shareable model.
 //
 // All Problem 1 invariants hold: the output covers D and every rule holds on
-// its part. workers ≤ 0 selects runtime.NumCPU().
-func DiscoverParallel(rel *dataset.Relation, cfg DiscoverConfig, workers int) (*DiscoverResult, error) {
-	if workers <= 0 {
+// its part. cfg.Workers < 0 selects runtime.NumCPU().
+//
+// Cancellation: a watcher goroutine aborts the pool when ctx is done, so
+// every worker returns within one queue iteration and no goroutine outlives
+// the call — wg.Wait() runs before returning on every path.
+func discoverParallel(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
+	workers := cfg.Workers
+	if workers < 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers == 1 {
-		return Discover(rel, cfg)
+	if workers <= 1 {
+		return discoverSeq(ctx, rel, cfg)
 	}
-	if cfg.Trainer == nil {
-		return nil, errNoTrainer
+	all, out, err := discoverPrep(rel, &cfg)
+	if err != nil {
+		return nil, err
 	}
-	if rel.Schema.Attr(cfg.YAttr).Kind != dataset.Numeric {
-		return nil, errNonNumY
-	}
-	for _, a := range cfg.XAttrs {
-		if a == cfg.YAttr {
-			return nil, errTrivial
-		}
-	}
-	for _, p := range cfg.Preds {
-		if p.Attr == cfg.YAttr {
-			return nil, errPredOnY
-		}
-	}
-	minSupport := cfg.MinSupport
-	if minSupport <= 0 {
-		minSupport = len(cfg.XAttrs) + 2
-	}
-
-	all := make([]int, 0, rel.Len())
-	for i, t := range rel.Tuples {
-		if t[cfg.YAttr].Null {
-			continue
-		}
-		ok := true
-		for _, a := range cfg.XAttrs {
-			if t[a].Null {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			all = append(all, i)
-		}
-	}
-	out := &DiscoverResult{Rules: &RuleSet{
-		Schema: rel.Schema,
-		XAttrs: append([]int(nil), cfg.XAttrs...),
-		YAttr:  cfg.YAttr,
-	}}
 	if len(all) == 0 {
 		return out, nil
 	}
-	var ysum float64
-	for _, i := range all {
-		ysum += rel.Tuples[i][cfg.YAttr].Num
-	}
-	out.Rules.Fallback = ysum / float64(len(all))
+	tel := newDiscTel(cfg.Telemetry)
 
 	si := newSplitIndex(cfg.Preds)
 	st := &parState{
@@ -91,13 +71,27 @@ func DiscoverParallel(rel *dataset.Relation, cfg DiscoverConfig, workers int) (*
 	}
 	st.queue = append(st.queue, &condItem{conj: predicate.NewConjunction(), idxs: all})
 
+	// The watcher turns context cancellation into a pool abort; doneCh is
+	// closed after wg.Wait so the watcher never leaks either.
+	doneCh := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		select {
+		case <-ctx.Done():
+			st.abort()
+		case <-doneCh:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := parWorker(rel, cfg, si, minSupport, st, out); err != nil {
+			if err := parWorker(ctx, rel, cfg, si, st, out, tel); err != nil {
 				select {
 				case errs <- err:
 				default:
@@ -107,9 +101,14 @@ func DiscoverParallel(rel *dataset.Relation, cfg DiscoverConfig, workers int) (*
 		}()
 	}
 	wg.Wait()
+	close(doneCh)
+	watchWG.Wait()
 	close(errs)
 	if err := <-errs; err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(err)
 	}
 	// Stable output order: sort rules by their first conjunction rendering.
 	sort.SliceStable(out.Rules.Rules, func(i, j int) bool {
@@ -181,9 +180,15 @@ func (st *parState) done(children []*condItem) {
 	st.cond.Broadcast()
 }
 
-func parWorker(rel *dataset.Relation, cfg DiscoverConfig, si *splitIndex, minSupport int,
-	st *parState, out *DiscoverResult) error {
+func parWorker(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig, si *splitIndex,
+	st *parState, out *DiscoverResult, tel discTel) error {
 	for {
+		// Per-iteration cancellation point, mirroring the sequential
+		// engine's queue-pop check (the watcher also aborts st, but this
+		// keeps the bound at one iteration even mid-burst).
+		if ctx.Err() != nil {
+			return nil
+		}
 		item, ok := st.next()
 		if !ok {
 			return nil
@@ -196,39 +201,49 @@ func parWorker(rel *dataset.Relation, cfg DiscoverConfig, si *splitIndex, minSup
 			st.cond.L.Lock()
 			out.Stats.NodesExpanded++
 			st.cond.L.Unlock()
+			tel.nodes.Inc()
 			x, y, _ := FeatureRows(rel, item.idxs, cfg.XAttrs, cfg.YAttr)
 
 			if !cfg.DisableSharing {
 				st.cond.L.Lock()
 				pool := append([]regress.Model(nil), st.shared...)
 				st.cond.L.Unlock()
-				if model, res, hit := findShare(pool, x, y, cfg.RhoM); hit {
+				start := time.Now()
+				model, res, tried, hit := findShare(pool, x, y, cfg.RhoM)
+				tel.shareTime.Observe(time.Since(start))
+				tel.shareTests.Add(int64(tried))
+				if hit {
 					conj := item.conj.Clone()
 					conj.Builtin = conj.Builtin.WithYShift(res.Delta0)
 					st.cond.L.Lock()
 					out.Stats.ShareHits++
 					st.cond.L.Unlock()
+					tel.shared.Inc()
 					emitPar(out, st, cfg, model, res.MaxErr, conj)
 					return nil
 				}
 			}
+			start := time.Now()
 			model, err := cfg.Trainer.Train(x, y)
+			tel.trainTime.Observe(time.Since(start))
 			if err != nil {
 				return fmt.Errorf("core: parallel training on %d tuples: %w", len(x), err)
 			}
 			st.cond.L.Lock()
 			out.Stats.ModelsTrained++
 			st.cond.L.Unlock()
+			tel.trained.Inc()
 			maxErr := regress.MaxAbsError(model, x, y)
 			accept := maxErr <= cfg.RhoM
+			forced := false
 			var parts []childPart
 			if !accept {
-				if len(item.idxs) <= minSupport {
-					accept = true
+				if len(item.idxs) <= cfg.MinSupport {
+					accept, forced = true, true
 				} else {
 					parts = bestSplit(rel, item.idxs, si, cfg.YAttr)
 					if len(parts) == 0 {
-						accept = true
+						accept, forced = true, true
 					}
 				}
 			}
@@ -236,7 +251,13 @@ func parWorker(rel *dataset.Relation, cfg DiscoverConfig, si *splitIndex, minSup
 				emitPar(out, st, cfg, model, maxErr, item.conj)
 				st.cond.L.Lock()
 				st.shared = append(st.shared, model)
+				if forced {
+					out.Stats.ForcedRules++
+				}
 				st.cond.L.Unlock()
+				if forced {
+					tel.forced.Inc()
+				}
 				return nil
 			}
 			for _, ch := range parts {
@@ -245,6 +266,10 @@ func parWorker(rel *dataset.Relation, cfg DiscoverConfig, si *splitIndex, minSup
 			return nil
 		}()
 		st.done(children)
+		st.cond.L.Lock()
+		depth := len(st.queue)
+		st.cond.L.Unlock()
+		tel.queueDepth.Set(float64(depth))
 		if err != nil {
 			return err
 		}

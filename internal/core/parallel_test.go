@@ -18,7 +18,7 @@ func TestDiscoverParallelInvariants(t *testing.T) {
 		t.Error("parallel rules violated on training data")
 	}
 	// Quality matches the sequential result within a generous band.
-	seq, err := Discover(rel, cfg)
+	seq, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestDiscoverParallelOneWorkerIsSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := Discover(rel, cfg)
+	seq, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

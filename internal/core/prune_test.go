@@ -24,7 +24,7 @@ func overRefinedRelation(n int, noise float64, seed int64) *dataset.Relation {
 func TestPruneMergesOverRefinedWindows(t *testing.T) {
 	rel := overRefinedRelation(800, 0.3, 1)
 	cfg := discoverCfg(rel, 0.1) // ρ_M below the noise: heavy over-refinement
-	res, err := Discover(rel, cfg)
+	res, err := DiscoverWithConfig(rel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestPruneKeepsDistinctRegimes(t *testing.T) {
 		}
 		rel.MustAppend(lineTuple(x, y+0.1*(2*rng.Float64()-1), "a"))
 	}
-	res, err := Discover(rel, discoverCfg(rel, 0.3))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestPruneRespectsContext(t *testing.T) {
 		rel.MustAppend(lineTuple(x, y+0.05*(2*rng.Float64()-1), "c"+tag))
 	}
 	preds := predicate.Generate(rel, []int{0, 2}, predicate.GeneratorConfig{})
-	res, err := Discover(rel, DiscoverConfig{
+	res, err := DiscoverWithConfig(rel, DiscoverConfig{
 		XAttrs: []int{0}, YAttr: 1, RhoM: 0.02, Preds: preds, Trainer: regress.LinearTrainer{},
 	})
 	if err != nil {
@@ -146,7 +146,7 @@ func TestPruneMergesSharedBuiltinWindows(t *testing.T) {
 	// Discovery with sharing emits windows carrying y=δ0 builtins; they must
 	// still merge when one model explains adjacent windows.
 	rel := overRefinedRelation(800, 0.3, 2)
-	res, err := Discover(rel, discoverCfg(rel, 0.1))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,7 +66,7 @@ func TestRepair(t *testing.T) {
 
 func TestViolationsAgreeWithHolds(t *testing.T) {
 	rel := piecewiseRelation(300, 0.2, 5)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

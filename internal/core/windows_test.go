@@ -127,7 +127,7 @@ func TestMergeWindowsEndToEnd(t *testing.T) {
 	// Quickstart scenario: after compaction + window merging with tol ρ_M/10
 	// the two-slope dataset collapses to the ideal two-window-per-rule form.
 	rel := piecewiseRelation(900, 0.1, 23)
-	res, err := Discover(rel, discoverCfg(rel, 0.5))
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

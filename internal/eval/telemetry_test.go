@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+func TestTelemetrySummaryEmpty(t *testing.T) {
+	if lines := TelemetrySummary(telemetry.New().Snapshot()); lines != nil {
+		t.Errorf("empty snapshot rendered %q, want nil", lines)
+	}
+}
+
+func TestTelemetrySummaryDiscoveryOnly(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter(telemetry.MetricConditionsExpanded).Add(12)
+	reg.Counter(telemetry.MetricModelsTrained).Add(7)
+	reg.Counter(telemetry.MetricModelsShared).Add(5)
+	stop := reg.Time(telemetry.PhaseDiscover)
+	stop()
+
+	lines := TelemetrySummary(reg.Snapshot())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines %q, want telemetry + phases", len(lines), lines)
+	}
+	for _, want := range []string{"telemetry: ", "conditions expanded=12", "models trained=7", "models shared=5"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("line %q missing %q", lines[0], want)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "phases: ") || !strings.Contains(lines[1], "discover=") {
+		t.Errorf("phases line = %q", lines[1])
+	}
+	// No compaction or prediction metrics recorded → no such lines.
+	for _, l := range lines {
+		if strings.HasPrefix(l, "compaction") || strings.HasPrefix(l, "prediction") {
+			t.Errorf("unexpected line %q", l)
+		}
+	}
+}
+
+func TestTelemetrySummaryAllSections(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter(telemetry.MetricModelsTrained).Inc()
+	reg.Counter(telemetry.MetricTranslations).Add(3)
+	reg.Counter(telemetry.MetricIndexLookups).Add(9)
+	reg.Counter(telemetry.MetricIndexMisses).Add(2)
+
+	lines := TelemetrySummary(reg.Snapshot())
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"telemetry: models trained=1",
+		"compaction: translations=3",
+		"prediction: index lookups=9, index misses=2",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("summary missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestTelemetrySummaryPhaseOrder: phases render in pipeline order regardless
+// of recording order.
+func TestTelemetrySummaryPhaseOrder(t *testing.T) {
+	reg := telemetry.New()
+	for _, p := range []string{telemetry.PhaseEvaluate, telemetry.PhaseLoad, telemetry.PhaseDiscover} {
+		stop := reg.Time(p)
+		stop()
+	}
+	lines := TelemetrySummary(reg.Snapshot())
+	if len(lines) != 1 {
+		t.Fatalf("lines = %q", lines)
+	}
+	line := lines[0]
+	iLoad := strings.Index(line, "load=")
+	iDisc := strings.Index(line, "discover=")
+	iEval := strings.Index(line, "evaluate=")
+	if iLoad < 0 || iDisc < 0 || iEval < 0 || !(iLoad < iDisc && iDisc < iEval) {
+		t.Errorf("phases out of pipeline order: %q", line)
+	}
+}

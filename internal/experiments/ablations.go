@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"github.com/crrlab/crr/internal/core"
@@ -11,7 +12,7 @@ import (
 // model sharing (Lines 7–10) against the same search with sharing disabled.
 // Sharing should cut models trained, rules emitted and learning time at
 // equal RMSE (§VI-B1).
-func AblationSharing(scale float64) ([]Row, error) {
+func AblationSharing(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{BirdMapSpec(), ElectricitySpec()} {
 		n := scaled(4000, scale, 800)
@@ -27,7 +28,7 @@ func AblationSharing(scale float64) ([]Row, error) {
 			m := crrFor(spec)
 			m.DisplayName = variant.name
 			m.DisableSharing = variant.disable
-			row, err := runMethod("ablation-sharing", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "variant", 0)
+			row, err := runMethod(ctx, "ablation-sharing", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "variant", 0)
 			if err != nil {
 				return nil, err
 			}
@@ -44,7 +45,7 @@ func AblationSharing(scale float64) ([]Row, error) {
 // it must accept sharing at least as often as the LS shift under the ρ_M
 // gate. The experiment reports, per dataset, how many candidate parts each
 // shift rule would accept for sharing against a reference model.
-func AblationDelta0(scale float64) ([]Row, error) {
+func AblationDelta0(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{BirdMapSpec(), AbaloneSpec()} {
 		rel := spec.Gen(scaled(3000, scale, 600))

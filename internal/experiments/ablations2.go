@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"github.com/crrlab/crr/internal/core"
 	"github.com/crrlab/crr/internal/eval"
 	"github.com/crrlab/crr/internal/predicate"
@@ -11,7 +12,7 @@ import (
 // rule counts and evaluation time with the fusion applied during search
 // versus rules emitted per part. Predictions are identical by construction;
 // the fused set should be much smaller and no slower to evaluate.
-func AblationFuse(scale float64) ([]Row, error) {
+func AblationFuse(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{BirdMapSpec(), ElectricitySpec()} {
 		rel := spec.Gen(scaled(4000, scale, 800))
@@ -27,7 +28,7 @@ func AblationFuse(scale float64) ([]Row, error) {
 			m.DisplayName = variant.name
 			m.FuseShared = variant.fuse
 			m.Compact = false // isolate the in-search fusion effect
-			row, err := runMethod("ablation-fuse", spec.Name, m, train, test,
+			row, err := runMethod(ctx, "ablation-fuse", spec.Name, m, train, test,
 				spec.XAttrs, spec.YAttr, "variant", 0)
 			if err != nil {
 				return nil, err
@@ -43,7 +44,7 @@ func AblationFuse(scale float64) ([]Row, error) {
 // ρ_M below the noise floor fragments a dataset into many windows; pruning
 // should merge statistically indistinguishable neighbors with little RMSE
 // cost.
-func AblationPrune(scale float64) ([]Row, error) {
+func AblationPrune(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{AirQualitySpec(), AbaloneSpec()} {
 		rel := spec.Gen(scaled(3000, scale, 600))
@@ -52,13 +53,13 @@ func AblationPrune(scale float64) ([]Row, error) {
 			ExpertCuts: spec.ExpertCuts,
 		})
 		// Deliberately over-refine: a quarter of the dataset's ρ_M.
-		res, err := core.Discover(train, core.DiscoverConfig{
+		res, err := core.Discover(ctx, train, core.WithConfig(core.DiscoverConfig{
 			XAttrs:  spec.XAttrs,
 			YAttr:   spec.YAttr,
 			RhoM:    spec.RhoM / 4,
 			Preds:   preds,
 			Trainer: regress.LinearTrainer{},
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}

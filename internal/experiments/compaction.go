@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -32,7 +33,7 @@ func familyRoster() []struct {
 // compaction (purple bars), and from CRR searching (Algorithm 1) directly —
 // for F1/F2/F3 leaf models on BirdMap and Abalone. The Rules field carries
 // the bar height.
-func Fig9RuleCompaction(scale float64) ([]Row, error) {
+func Fig9RuleCompaction(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{BirdMapSpec(), AbaloneSpec()} {
 		rel := spec.Gen(scaled(3000, scale, 600))
@@ -77,7 +78,7 @@ func Fig9RuleCompaction(scale float64) ([]Row, error) {
 // searching for reference), at 10% missing cells, on BirdMap and Abalone.
 // Compaction must keep RMSE essentially unchanged while reducing imputation
 // time (fewer rules to locate).
-func Fig10Imputation(scale float64) ([]Row, error) {
+func Fig10Imputation(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{BirdMapSpec(), AbaloneSpec()} {
 		original := spec.Gen(scaled(3000, scale, 600))

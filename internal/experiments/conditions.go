@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"github.com/crrlab/crr/internal/core"
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
@@ -10,7 +11,7 @@ import (
 // predicate-space sizes |ℙ| on BirdMap, for CRR with F1/F2/F3. Larger ℙ
 // refines conditions further; past a point F1's cost flattens because "a
 // small size of ℙ is enough to generate reliable CRRs".
-func Fig6PredicateScalability(scale float64) ([]Row, error) {
+func Fig6PredicateScalability(ctx context.Context, scale float64) ([]Row, error) {
 	spec := BirdMapSpec()
 	rel := spec.Gen(scaled(4000, scale, 800))
 	train, test := splitInterleaved(rel, 5)
@@ -29,7 +30,7 @@ func Fig6PredicateScalability(scale float64) ([]Row, error) {
 			m.DisplayName = "CRR-" + fam.tag
 			m.Trainer = fam.trainer
 			m.PredSize = ps
-			row, err := runMethod("fig6", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "predicates", float64(ps))
+			row, err := runMethod(ctx, "fig6", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "predicates", float64(ps))
 			if err != nil {
 				return nil, err
 			}
@@ -43,7 +44,7 @@ func Fig6PredicateScalability(scale float64) ([]Row, error) {
 // BirdMap and Abalone. RMSE is U-shaped in ρ_M — tiny ρ_M over-refines
 // conditions, large ρ_M accepts sloppy models ("ρ_M = 5 for Latitude" is the
 // paper's bad case).
-func Fig8BiasSensitivity(scale float64) ([]Row, error) {
+func Fig8BiasSensitivity(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{BirdMapSpec(), AbaloneSpec()} {
 		rel := spec.Gen(scaled(4000, scale, 800))
@@ -51,7 +52,7 @@ func Fig8BiasSensitivity(scale float64) ([]Row, error) {
 		for _, rho := range []float64{0.1, 0.5, 1, 2, 5} {
 			m := crrFor(spec)
 			m.RhoM = rho
-			row, err := runMethod("fig8", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "rho", rho)
+			row, err := runMethod(ctx, "fig8", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "rho", rho)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +66,7 @@ func Fig8BiasSensitivity(scale float64) ([]Row, error) {
 // time, RMSE and #rules under the three predicate generators (expert
 // knowledge, binary separation, random separation) at equal |ℙ|, on BirdMap
 // and Abalone.
-func Table3PredicateGenerators(scale float64) ([]Row, error) {
+func Table3PredicateGenerators(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{BirdMapSpec(), AbaloneSpec()} {
 		rel := spec.Gen(scaled(4000, scale, 800))
@@ -85,7 +86,7 @@ func Table3PredicateGenerators(scale float64) ([]Row, error) {
 			// every-value default they would all coincide.
 			m.PredSize = 24
 			m.Seed = 7
-			row, err := runMethod("tab3", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "generator", 0)
+			row, err := runMethod(ctx, "tab3", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "generator", 0)
 			if err != nil {
 				return nil, err
 			}
@@ -101,7 +102,7 @@ func Table3PredicateGenerators(scale float64) ([]Row, error) {
 // and Abalone. Decreasing order front-loads the parts most likely to share
 // an existing model (Proposition 8) and should show the lowest learning
 // time.
-func Table4ConjunctionOrdering(scale float64) ([]Row, error) {
+func Table4ConjunctionOrdering(ctx context.Context, scale float64) ([]Row, error) {
 	var rows []Row
 	for _, spec := range []DatasetSpec{BirdMapSpec(), AbaloneSpec()} {
 		rel := spec.Gen(scaled(4000, scale, 800))
@@ -118,7 +119,7 @@ func Table4ConjunctionOrdering(scale float64) ([]Row, error) {
 			m.DisplayName = ord.name
 			m.Order = ord.order
 			m.Seed = 13
-			row, err := runMethod("tab4", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "order", 0)
+			row, err := runMethod(ctx, "tab4", spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "order", 0)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"github.com/crrlab/crr/internal/eval"
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
 )
 
 // Row is one measurement: a method evaluated at one parameter point of one
@@ -29,13 +31,21 @@ type Row struct {
 	Eval       time.Duration
 	RMSE       float64
 	Rules      int
+	// Discovery telemetry, populated for methods exposing core.DiscoverStats
+	// (zero for baselines): models trained, Proposition 6 share hits, and
+	// conditions expanded.
+	Trained  int
+	Shared   int
+	Expanded int
 }
 
 // RenderRows writes rows as an aligned table, the output of cmd/crrbench.
 func RenderRows(w io.Writer, title string, rows []Row) error {
-	t := eval.NewTable(title, "dataset", "method", "param", "value", "learn", "eval", "rmse", "#rules")
+	t := eval.NewTable(title, "dataset", "method", "param", "value", "learn", "eval", "rmse", "#rules",
+		"trained", "shared", "expanded")
 	for _, r := range rows {
-		t.AddRowf(r.Dataset, r.Method, r.Param, r.Value, r.Learn, r.Eval, r.RMSE, r.Rules)
+		t.AddRowf(r.Dataset, r.Method, r.Param, r.Value, r.Learn, r.Eval, r.RMSE, r.Rules,
+			r.Trained, r.Shared, r.Expanded)
 	}
 	return t.Render(w)
 }
@@ -72,10 +82,20 @@ type CRRMethod struct {
 	DisableSharing bool
 	// Seed drives random predicate generation and RandomOrder.
 	Seed int64
+	// Workers selects the parallel discovery engine when > 1.
+	Workers int
+	// Telemetry is passed through to the discovery engine.
+	Telemetry *telemetry.Registry
 
+	ctx   context.Context
 	rules *core.RuleSet
 	stats core.DiscoverStats
 }
+
+// SetContext attaches a context to the next Fit, which propagates it into
+// the discovery engine. runMethod calls this for every method implementing
+// it; baseline.Method.Fit itself stays context-free.
+func (m *CRRMethod) SetContext(ctx context.Context) { m.ctx = ctx }
 
 // Name implements baseline.Method.
 func (m *CRRMethod) Name() string {
@@ -105,7 +125,11 @@ func (m *CRRMethod) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
 		ExpertCuts: m.ExpertCuts,
 		Seed:       m.Seed,
 	})
-	res, err := core.Discover(rel, core.DiscoverConfig{
+	ctx := m.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := core.Discover(ctx, rel, core.WithConfig(core.DiscoverConfig{
 		XAttrs:         xattrs,
 		YAttr:          yattr,
 		RhoM:           rhoM,
@@ -115,13 +139,24 @@ func (m *CRRMethod) Fit(rel *dataset.Relation, xattrs []int, yattr int) error {
 		Seed:           m.Seed,
 		DisableSharing: m.DisableSharing,
 		FuseShared:     m.FuseShared,
-	})
+		Workers:        m.Workers,
+		Telemetry:      m.Telemetry,
+	}))
 	if err != nil {
 		return err
 	}
 	m.rules, m.stats = res.Rules, res.Stats
+	m.rules.SetTelemetry(m.Telemetry)
 	if m.Compact {
-		m.rules, _ = core.CompactOpts(m.rules, core.CompactOptions{ModelTol: m.CompactTol})
+		var cerr error
+		m.rules, _, cerr = core.CompactCtx(ctx, m.rules, core.CompactOptions{
+			ModelTol:  m.CompactTol,
+			Telemetry: m.Telemetry,
+		})
+		if cerr != nil {
+			return cerr
+		}
+		m.rules.SetTelemetry(m.Telemetry)
 	}
 	return nil
 }
@@ -236,9 +271,18 @@ func (m *RRMethod) NumRules() int {
 	return 1
 }
 
-// runMethod fits method on train, scores on test, and returns the row.
-func runMethod(exp, ds string, method baseline.Method, train, test *dataset.Relation,
+// runMethod fits method on train, scores on test, and returns the row. The
+// context reaches methods that implement SetContext (CRRMethod does), so
+// canceling it stops a discovery-backed fit mid-mine; discovery statistics
+// are copied into the row for methods exposing them.
+func runMethod(ctx context.Context, exp, ds string, method baseline.Method, train, test *dataset.Relation,
 	xattrs []int, yattr int, param string, value float64) (Row, error) {
+	if err := ctx.Err(); err != nil {
+		return Row{}, fmt.Errorf("%s/%s %s: %w", exp, ds, method.Name(), err)
+	}
+	if sc, ok := method.(interface{ SetContext(context.Context) }); ok {
+		sc.SetContext(ctx)
+	}
 	var fitErr error
 	learn := eval.Timed(func() { fitErr = method.Fit(train, xattrs, yattr) })
 	if fitErr != nil {
@@ -251,7 +295,7 @@ func runMethod(exp, ds string, method baseline.Method, train, test *dataset.Rela
 	_, y, _ := core.FeatureRows(train, idxs, xattrs, yattr)
 	fallback := mean(y)
 	rmse, evalTime := eval.Score(method, test, yattr, fallback)
-	return Row{
+	row := Row{
 		Experiment: exp,
 		Dataset:    ds,
 		Method:     method.Name(),
@@ -261,7 +305,14 @@ func runMethod(exp, ds string, method baseline.Method, train, test *dataset.Rela
 		Eval:       evalTime,
 		RMSE:       rmse,
 		Rules:      method.NumRules(),
-	}, nil
+	}
+	if sp, ok := method.(interface{ Stats() core.DiscoverStats }); ok {
+		st := sp.Stats()
+		row.Trained = st.ModelsTrained
+		row.Shared = st.ShareHits
+		row.Expanded = st.NodesExpanded
+	}
+	return row, nil
 }
 
 func mean(v []float64) float64 {
@@ -291,13 +342,14 @@ func scaled(n int, scale float64, min int) int {
 // WriteRowsCSV writes rows in machine-readable CSV (one header row), for
 // plotting the figures outside Go. Durations are emitted in seconds.
 func WriteRowsCSV(w io.Writer, rows []Row) error {
-	if _, err := io.WriteString(w, "experiment,dataset,method,param,value,learn_s,eval_s,rmse,rules\n"); err != nil {
+	if _, err := io.WriteString(w, "experiment,dataset,method,param,value,learn_s,eval_s,rmse,rules,trained,shared,expanded\n"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%g,%g,%g,%g,%d\n",
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%g,%g,%g,%g,%d,%d,%d,%d\n",
 			r.Experiment, r.Dataset, r.Method, r.Param, r.Value,
-			r.Learn.Seconds(), r.Eval.Seconds(), r.RMSE, r.Rules)
+			r.Learn.Seconds(), r.Eval.Seconds(), r.RMSE, r.Rules,
+			r.Trained, r.Shared, r.Expanded)
 		if err != nil {
 			return err
 		}

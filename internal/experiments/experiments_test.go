@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -50,7 +51,7 @@ func TestLookup(t *testing.T) {
 }
 
 func TestFig2Shapes(t *testing.T) {
-	rows, err := Fig2AirQuality(testScale)
+	rows, err := Fig2AirQuality(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestFig2Shapes(t *testing.T) {
 }
 
 func TestFig4TaxShapes(t *testing.T) {
-	rows, err := Fig4Tax(testScale)
+	rows, err := Fig4Tax(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFig4TaxShapes(t *testing.T) {
 }
 
 func TestFig5CRRBeatsRR(t *testing.T) {
-	rows, err := Fig5InstanceScalability(testScale)
+	rows, err := Fig5InstanceScalability(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFig5CRRBeatsRR(t *testing.T) {
 }
 
 func TestFig6MorePredicatesLowerRMSE(t *testing.T) {
-	rows, err := Fig6PredicateScalability(testScale)
+	rows, err := Fig6PredicateScalability(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestFig6MorePredicatesLowerRMSE(t *testing.T) {
 }
 
 func TestFig8UShapeEndpointsWorse(t *testing.T) {
-	rows, err := Fig8BiasSensitivity(testScale)
+	rows, err := Fig8BiasSensitivity(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestFig8UShapeEndpointsWorse(t *testing.T) {
 }
 
 func TestTable3AllGeneratorsCoverAndFit(t *testing.T) {
-	rows, err := Table3PredicateGenerators(testScale)
+	rows, err := Table3PredicateGenerators(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestTable3AllGeneratorsCoverAndFit(t *testing.T) {
 }
 
 func TestTable4AllOrdersAgreeOnQuality(t *testing.T) {
-	rows, err := Table4ConjunctionOrdering(testScale)
+	rows, err := Table4ConjunctionOrdering(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestTable4AllOrdersAgreeOnQuality(t *testing.T) {
 }
 
 func TestFig9CompactionReducesLinearTrees(t *testing.T) {
-	rows, err := Fig9RuleCompaction(testScale)
+	rows, err := Fig9RuleCompaction(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestFig9CompactionReducesLinearTrees(t *testing.T) {
 }
 
 func TestFig10CompactionKeepsRMSE(t *testing.T) {
-	rows, err := Fig10Imputation(testScale)
+	rows, err := Fig10Imputation(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestAblationSharingTrainsFewerModels(t *testing.T) {
 }
 
 func TestAblationDelta0MidpointAtLeastLS(t *testing.T) {
-	rows, err := AblationDelta0(testScale)
+	rows, err := AblationDelta0(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestScaledHelper(t *testing.T) {
 }
 
 func TestFig3ElectricityShapes(t *testing.T) {
-	rows, err := Fig3Electricity(testScale)
+	rows, err := Fig3Electricity(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +395,7 @@ func TestFig3ElectricityShapes(t *testing.T) {
 }
 
 func TestFig7ColumnShapes(t *testing.T) {
-	rows, err := Fig7ColumnScalability(testScale)
+	rows, err := Fig7ColumnScalability(context.Background(), testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +414,7 @@ func TestAblationRegistryRunsAll(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rows, err := e.Run(testScale)
+		rows, err := e.Run(context.Background(), testScale)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -433,7 +434,7 @@ func TestWriteRowsCSV(t *testing.T) {
 	if !strings.HasPrefix(out, "experiment,dataset,method") {
 		t.Errorf("missing header: %q", out)
 	}
-	if !strings.Contains(out, "x,D,M,size,10,0,0,0.5,3") {
+	if !strings.Contains(out, "x,D,M,size,10,0,0,0.5,3,0,0,0") {
 		t.Errorf("row not rendered: %q", out)
 	}
 }
@@ -461,7 +462,7 @@ func TestExtraExperiments(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rows, err := e.Run(testScale)
+		rows, err := e.Run(context.Background(), testScale)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"github.com/crrlab/crr/internal/baseline"
 )
 
@@ -10,7 +11,7 @@ import (
 
 // ExtraBirdMap runs the Figure 2 roster on the BirdMap stand-in (time
 // series: all methods apply).
-func ExtraBirdMap(scale float64) ([]Row, error) {
+func ExtraBirdMap(ctx context.Context, scale float64) ([]Row, error) {
 	spec := BirdMapSpec()
 	sizes := []int{
 		scaled(1000, scale, 200), scaled(2000, scale, 400),
@@ -29,12 +30,12 @@ func ExtraBirdMap(scale float64) ([]Row, error) {
 			&baseline.Recur{},
 		}
 	}
-	return scalabilitySweep("extra-birdmap", spec, sizes, roster)
+	return scalabilitySweep(ctx, "extra-birdmap", spec, sizes, roster)
 }
 
 // ExtraAbalone runs the Figure 4 roster on the Abalone stand-in
 // (relational: CRR, RegTree, SampLR, MCLR, as in the paper's Figure 4).
-func ExtraAbalone(scale float64) ([]Row, error) {
+func ExtraAbalone(ctx context.Context, scale float64) ([]Row, error) {
 	spec := AbaloneSpec()
 	sizes := []int{
 		scaled(1000, scale, 200), scaled(2000, scale, 400), scaled(4200, scale, 800),
@@ -47,5 +48,5 @@ func ExtraAbalone(scale float64) ([]Row, error) {
 			&baseline.MCLR{},
 		}
 	}
-	return scalabilitySweep("extra-abalone", spec, sizes, roster)
+	return scalabilitySweep(ctx, "extra-abalone", spec, sizes, roster)
 }

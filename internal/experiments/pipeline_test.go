@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,13 +28,13 @@ func TestFullPipelinePerDataset(t *testing.T) {
 			preds := predicate.Generate(rel, spec.CondAttrs, predicate.GeneratorConfig{
 				ExpertCuts: spec.ExpertCuts,
 			})
-			res, err := core.Discover(rel, core.DiscoverConfig{
+			res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
 				XAttrs:  spec.XAttrs,
 				YAttr:   spec.YAttr,
 				RhoM:    spec.RhoM,
 				Preds:   preds,
 				Trainer: regress.LinearTrainer{},
-			})
+			}))
 			if err != nil {
 				t.Fatalf("discover: %v", err)
 			}
@@ -98,7 +99,7 @@ func TestParallelMatchesSequentialQuality(t *testing.T) {
 			XAttrs: spec.XAttrs, YAttr: spec.YAttr, RhoM: spec.RhoM,
 			Preds: preds, Trainer: regress.LinearTrainer{},
 		}
-		seq, err := core.Discover(rel, cfg)
+		seq, err := core.DiscoverWithConfig(rel, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,11 +140,11 @@ func TestMaintainOnGrowingBirdMap(t *testing.T) {
 		XAttrs: spec.XAttrs, YAttr: spec.YAttr, RhoM: spec.RhoM,
 		Preds: preds, Trainer: regress.LinearTrainer{},
 	}
-	res, err := core.Discover(train, cfg)
+	res, err := core.DiscoverWithConfig(train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, st, err := core.Maintain(full, res.Rules, newIdx, cfg)
+	out, st, err := core.Maintain(context.Background(), full, res.Rules, newIdx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestMaintainOnGrowingBirdMap(t *testing.T) {
 	}
 	if st.Conflicts > 0 {
 		// The escape hatch must work: re-discovery over the full track.
-		res2, err := core.Discover(full, cfg)
+		res2, err := core.DiscoverWithConfig(full, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,16 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
 
 // Experiment couples an experiment id with its runner and the paper artifact
-// it regenerates.
+// it regenerates. Runners honor context cancellation between method fits and
+// inside every discovery they launch.
 type Experiment struct {
 	ID       string
 	Artifact string // the table/figure in the paper
-	Run      func(scale float64) ([]Row, error)
+	Run      func(ctx context.Context, scale float64) ([]Row, error)
 }
 
 // Registry returns every experiment keyed by id, in a stable order.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"github.com/crrlab/crr/internal/baseline"
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/regress"
@@ -31,13 +32,13 @@ func fastMLP(seed int64) regress.MLPTrainer {
 }
 
 // scalabilitySweep runs one method roster over increasing instance sizes.
-func scalabilitySweep(exp string, spec DatasetSpec, sizes []int, roster func() []baseline.Method) ([]Row, error) {
+func scalabilitySweep(ctx context.Context, exp string, spec DatasetSpec, sizes []int, roster func() []baseline.Method) ([]Row, error) {
 	var rows []Row
 	for _, n := range sizes {
 		rel := spec.Gen(n)
 		train, test := splitInterleaved(rel, 5)
 		for _, m := range roster() {
-			row, err := runMethod(exp, spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "size", float64(n))
+			row, err := runMethod(ctx, exp, spec.Name, m, train, test, spec.XAttrs, spec.YAttr, "size", float64(n))
 			if err != nil {
 				return nil, err
 			}
@@ -63,7 +64,7 @@ func crrFor(spec DatasetSpec) *CRRMethod {
 // Fig2AirQuality reproduces Figure 2: training time, evaluation time,
 // #rules and RMSE versus instance size on AirQuality, CRR against all seven
 // baselines.
-func Fig2AirQuality(scale float64) ([]Row, error) {
+func Fig2AirQuality(ctx context.Context, scale float64) ([]Row, error) {
 	spec := AirQualitySpec()
 	sizes := []int{
 		scaled(1000, scale, 200), scaled(2000, scale, 400),
@@ -82,12 +83,12 @@ func Fig2AirQuality(scale float64) ([]Row, error) {
 			&baseline.Recur{},
 		}
 	}
-	return scalabilitySweep("fig2", spec, sizes, roster)
+	return scalabilitySweep(ctx, "fig2", spec, sizes, roster)
 }
 
 // Fig3Electricity reproduces Figure 3 on the Electricity stand-in (row
 // counts scaled down from 2M; DESIGN.md records the substitution).
-func Fig3Electricity(scale float64) ([]Row, error) {
+func Fig3Electricity(ctx context.Context, scale float64) ([]Row, error) {
 	spec := ElectricitySpec()
 	sizes := []int{
 		scaled(5000, scale, 500), scaled(10000, scale, 1000),
@@ -106,13 +107,13 @@ func Fig3Electricity(scale float64) ([]Row, error) {
 			&baseline.Recur{},
 		}
 	}
-	return scalabilitySweep("fig3", spec, sizes, roster)
+	return scalabilitySweep(ctx, "fig3", spec, sizes, roster)
 }
 
 // Fig4Tax reproduces Figure 4 on the relational Tax stand-in; only the
 // relational-capable methods participate (CRR, RegTree, SampLR, MCLR), as in
 // the paper.
-func Fig4Tax(scale float64) ([]Row, error) {
+func Fig4Tax(ctx context.Context, scale float64) ([]Row, error) {
 	spec := TaxSpec()
 	sizes := []int{
 		scaled(2000, scale, 400), scaled(4000, scale, 800),
@@ -126,13 +127,13 @@ func Fig4Tax(scale float64) ([]Row, error) {
 			&baseline.MCLR{},
 		}
 	}
-	return scalabilitySweep("fig4", spec, sizes, roster)
+	return scalabilitySweep(ctx, "fig4", spec, sizes, roster)
 }
 
 // Fig5InstanceScalability reproduces Figure 5: RMSE and time versus instance
 // size for CRR against the unconditioned RR models, each with the three
 // basic families F1/F2/F3, on BirdMap.
-func Fig5InstanceScalability(scale float64) ([]Row, error) {
+func Fig5InstanceScalability(ctx context.Context, scale float64) ([]Row, error) {
 	spec := BirdMapSpec()
 	sizes := []int{
 		scaled(1000, scale, 200), scaled(2000, scale, 400),
@@ -156,14 +157,14 @@ func Fig5InstanceScalability(scale float64) ([]Row, error) {
 		}
 		return methods
 	}
-	return scalabilitySweep("fig5", spec, sizes, roster)
+	return scalabilitySweep(ctx, "fig5", spec, sizes, roster)
 }
 
 // Fig7ColumnScalability reproduces Figure 7: RMSE stability and (near-linear)
 // time growth as the number of regression target columns grows, on
 // AirQuality. For k target columns the discovery runs once per target; the
 // row reports total learning time and mean RMSE.
-func Fig7ColumnScalability(scale float64) ([]Row, error) {
+func Fig7ColumnScalability(ctx context.Context, scale float64) ([]Row, error) {
 	spec := AirQualitySpec()
 	rel := spec.Gen(scaled(4000, scale, 800))
 	train, test := splitInterleaved(rel, 5)
@@ -179,7 +180,7 @@ func Fig7ColumnScalability(scale float64) ([]Row, error) {
 		var total Row
 		for _, y := range targets[:k] {
 			m := crrFor(spec)
-			row, err := runMethod("fig7", spec.Name, m, train, test, spec.XAttrs, y, "columns", float64(k))
+			row, err := runMethod(ctx, "fig7", spec.Name, m, train, test, spec.XAttrs, y, "columns", float64(k))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,41 @@
+package telemetry
+
+// Canonical metric names. Every producer (core discovery, compaction, the
+// prediction index) and every consumer (CLI summary lines, internal/eval
+// columns, tests) refers to these constants so the schema cannot drift.
+const (
+	// Discovery (Algorithm 1) hot-path metrics.
+	MetricConditionsExpanded = "discover.conditions_expanded" // queue pops with a non-empty part
+	MetricModelsTrained      = "discover.models_trained"      // Line 13 executions
+	MetricModelsShared       = "discover.models_shared"       // Proposition 6 share hits (Lines 7–10)
+	MetricShareTests         = "discover.share_tests"         // δ0 tests attempted against the model set F
+	MetricForcedRules        = "discover.forced_rules"        // rules accepted at the MinSupport floor
+	MetricQueueDepth         = "discover.queue_depth"         // condition-queue depth gauge (Max = high-water mark)
+	MetricTrainTime          = "discover.train_time"          // per-model training durations
+	MetricShareTestTime      = "discover.share_test_time"     // per-node share-scan durations
+
+	// Compaction (Algorithm 2) metrics.
+	MetricTranslations   = "compact.translations"    // rules rewritten via Translation
+	MetricFusions        = "compact.fusions"         // Fusion merges
+	MetricImplied        = "compact.implied"         // rules dropped as implied
+	MetricSolverAttempts = "compact.solver_attempts" // translation-solver invocations
+
+	// Prediction-index metrics (RuleSet.Predict).
+	MetricIndexLookups = "predict.index_lookups" // prediction-index lookups
+	MetricIndexMisses  = "predict.index_misses"  // lookups that fell back to the training mean
+)
+
+// Phase names for wall-clock phase timing (duration histograms). CLIs time
+// their pipeline phases under these names and print them in this order.
+const (
+	PhaseLoad       = "phase.load"       // input parsing
+	PhasePredicates = "phase.predicates" // predicate-space generation
+	PhaseDiscover   = "phase.discover"   // Algorithm 1
+	PhaseCompact    = "phase.compact"    // Algorithm 2 (+ pruning/window merging)
+	PhaseEvaluate   = "phase.evaluate"   // scoring / output rendering
+)
+
+// Phases lists the phase names in pipeline order, for stable summary lines.
+func Phases() []string {
+	return []string{PhaseLoad, PhasePredicates, PhaseDiscover, PhaseCompact, PhaseEvaluate}
+}
