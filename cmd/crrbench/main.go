@@ -6,6 +6,7 @@
 //	crrbench -exp fig2            # one experiment
 //	crrbench -exp all             # everything (EXPERIMENTS.md source data)
 //	crrbench -exp fig3 -scale 0.2 # shrink instance sizes for a quick look
+//	crrbench -compare             # hot-path before/after (stats vs full pass)
 //	crrbench -list                # show experiment ids
 //
 // Long sweeps can be bounded with -timeout (every in-flight discovery stops
@@ -33,6 +34,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "instance-size scale in (0, 1]")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		format  = flag.String("format", "table", "output format: table or csv")
+		compare = flag.Bool("compare", false, "run the hot-path before/after comparison (sufficient statistics vs full pass) and exit")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 5m; 0 = no limit)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
@@ -59,10 +61,38 @@ func main() {
 		}()
 		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprof)
 	}
+	if *compare {
+		if err := runCompare(ctx, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "crrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(ctx, *exp, *scale, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "crrbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare renders the hot-path before/after table: the same sequential
+// mine with the sufficient-statistics fast path on (default) and off
+// (regress.FullPass), per dataset, with a speedup column and the output
+// identity verdict. A divergent output is an error — the fast path must not
+// change what discovery finds.
+func runCompare(ctx context.Context, scale float64) error {
+	rows, err := experiments.HotPathCompare(ctx, scale)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderCompareRows(os.Stdout, rows); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			return fmt.Errorf("compare %s: fast and full-pass output diverged", r.Dataset)
+		}
+	}
+	return nil
 }
 
 func run(ctx context.Context, exp string, scale float64, format string) error {

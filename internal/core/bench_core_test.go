@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/regress"
 )
 
 func benchRelation(b *testing.B, n int) *dataset.Relation {
@@ -32,6 +33,22 @@ func BenchmarkDiscoverParallel4(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := DiscoverParallel(rel, cfg, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiscoverFullPass is the before side of the hot-path comparison:
+// the same sequential mine with the sufficient-statistics fast path disabled,
+// so every Line-13 fit re-passes the design matrix. The gap to
+// BenchmarkDiscoverSequential is the Gram path's contribution alone.
+func BenchmarkDiscoverFullPass(b *testing.B) {
+	rel := benchRelation(b, 4000)
+	cfg := discoverCfg(rel, 0.5)
+	cfg.Trainer = regress.FullPass{T: regress.LinearTrainer{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DiscoverWithConfig(rel, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,7 +8,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/predicate"
@@ -143,8 +142,20 @@ func Discover(ctx context.Context, rel *dataset.Relation, opts ...DiscoverOption
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if err := applyDefaults(rel, &cfg); err != nil {
+		return nil, err
+	}
+	return discoverFor(ctx, rel, cfg)
+}
+
+// applyDefaults fills cfg's open slots against rel the way the options API
+// promises — the paper-default predicate space over the X attributes plus
+// every categorical attribute when ℙ is unset, then Validate's trainer and
+// ρ_M defaulting — and rejects empty relations. Discover and DiscoverTargets
+// share it, so both entrypoints accept the same minimal configurations.
+func applyDefaults(rel *dataset.Relation, cfg *DiscoverConfig) error {
 	if rel.Len() == 0 {
-		return nil, ErrEmptyRelation
+		return ErrEmptyRelation
 	}
 	if cfg.Preds == nil {
 		cfg.Preds = predicate.Generate(rel,
@@ -152,12 +163,9 @@ func Discover(ctx context.Context, rel *dataset.Relation, opts ...DiscoverOption
 			predicate.GeneratorConfig{Seed: cfg.Seed})
 	}
 	if len(cfg.Preds) == 0 {
-		return nil, ErrNoPredicates
+		return ErrNoPredicates
 	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	return discoverFor(ctx, rel, cfg)
+	return cfg.Validate()
 }
 
 // discoverFor dispatches a validated configuration to the sequential or
@@ -243,8 +251,10 @@ func discoverPrep(rel *dataset.Relation, cfg *DiscoverConfig) (all []int, out *D
 // registry is attached (nil handles no-op).
 type discTel struct {
 	nodes, trained, shared, shareTests, forced *telemetry.Counter
+	statReuse, cacheHits                       *telemetry.Counter
 	queueDepth                                 *telemetry.Gauge
 	trainTime, shareTime                       *telemetry.Histogram
+	scanWidth                                  *telemetry.Distribution
 }
 
 func newDiscTel(r *telemetry.Registry) discTel {
@@ -254,9 +264,12 @@ func newDiscTel(r *telemetry.Registry) discTel {
 		shared:     r.Counter(telemetry.MetricModelsShared),
 		shareTests: r.Counter(telemetry.MetricShareTests),
 		forced:     r.Counter(telemetry.MetricForcedRules),
+		statReuse:  r.Counter(telemetry.MetricStatReuse),
+		cacheHits:  r.Counter(telemetry.MetricCacheHits),
 		queueDepth: r.Gauge(telemetry.MetricQueueDepth),
 		trainTime:  r.Histogram(telemetry.MetricTrainTime),
 		shareTime:  r.Histogram(telemetry.MetricShareTestTime),
+		scanWidth:  r.Distribution(telemetry.MetricShareScanWidth),
 	}
 }
 
@@ -265,7 +278,9 @@ func newDiscTel(r *telemetry.Registry) discTel {
 // existing model via the δ0 test of Proposition 6, trains a new model only
 // when sharing fails, and splits the condition on the best variance-reducing
 // predicate group from ℙ otherwise. Conjunctions are processed in the
-// configured ind(C) order. ctx is checked once per queue pop.
+// configured ind(C) order. ctx is checked once per queue pop. The per-node
+// work — part gathering, the single-pass share scan and Line-13 training —
+// runs on the hot path shared with the parallel engine (hotpath.go).
 func discoverSeq(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
 	all, out, err := discoverPrep(rel, &cfg)
 	if err != nil {
@@ -280,10 +295,13 @@ func discoverSeq(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig)
 	shared := append([]regress.Model(nil), cfg.SeedModels...) // the model set F (Line 2)
 	ruleOf := make(map[regress.Model]int)
 	si := newSplitIndex(cfg.Preds)
+	hl := newHotLoop(rel, &cfg, si, all, tel, true)
+	ws := hl.workspace()
 	q := &condQueue{}
 	heap.Init(q)
-	heap.Push(q, &condItem{conj: predicate.NewConjunction(), idxs: all})
-	visited := map[string]bool{conjKey(predicate.NewConjunction()): true}
+	root := &condItem{conj: predicate.NewConjunction(), idxs: all, gram: hl.rootGram(all)}
+	heap.Push(q, root)
+	visited := map[string]bool{conjKey(root.conj.Normalize()): true}
 
 	emit := func(model regress.Model, rho float64, conj predicate.Conjunction) {
 		// Refinement accumulates one predicate per split; normalizing
@@ -322,73 +340,26 @@ func discoverSeq(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig)
 		}
 		out.Stats.NodesExpanded++
 		tel.nodes.Inc()
-		x, y, _ := FeatureRows(rel, item.idxs, cfg.XAttrs, cfg.YAttr)
 
-		// Lines 7–10: model sharing via the δ0 test.
-		if !cfg.DisableSharing {
-			start := time.Now()
-			model, res, tried, hit := findShare(shared, x, y, cfg.RhoM)
-			tel.shareTime.Observe(time.Since(start))
-			tel.shareTests.Add(int64(tried))
-			if hit {
-				conj := item.conj.Clone()
-				conj.Builtin = conj.Builtin.WithYShift(res.Delta0)
-				emit(model, res.MaxErr, conj)
-				out.Stats.ShareHits++
-				tel.shared.Inc()
-				continue
-			}
-		}
-
-		// Line 12: the sharing index of this part.
-		ind := shareIndex(shared, x, y, cfg.RhoM)
-		tel.shareTests.Add(int64(len(shared)))
-
-		// Line 13: train a new model.
-		start := time.Now()
-		model, err := cfg.Trainer.Train(x, y)
-		tel.trainTime.Observe(time.Since(start))
+		ev, err := ws.evaluate(item, shared)
 		if err != nil {
-			return nil, fmt.Errorf("core: training on %d tuples: %w", len(x), err)
+			return nil, err
+		}
+		if ev.hit {
+			// Lines 7–10: model sharing via the δ0 test.
+			conj := item.conj.Clone()
+			conj.Builtin = conj.Builtin.WithYShift(ev.share.Delta0)
+			emit(ev.model, ev.share.MaxErr, conj)
+			out.Stats.ShareHits++
+			tel.shared.Inc()
+			continue
 		}
 		out.Stats.ModelsTrained++
 		tel.trained.Inc()
-		maxErr := regress.MaxAbsError(model, x, y)
-
-		accept := maxErr <= cfg.RhoM
-		forced := false
-		var children []childPart
-		if !accept {
-			if len(item.idxs) <= cfg.MinSupport {
-				accept, forced = true, true
-			} else {
-				// Line 19: the number of split predicates. The default is
-				// the single best cut; Prop8Splits takes the top
-				// ⌈(1−ind(C))·|D_C|⌉ groups (Proposition 8), capped to keep
-				// the overlap bounded. With ind(C) = 0 nothing is close to
-				// shareable and the proposition is vacuous, so the single
-				// best cut is used.
-				k := 1
-				if cfg.Prop8Splits && ind > 0 {
-					k = int((1-ind)*float64(len(item.idxs))) + 1
-					if k > prop8MaxGroups {
-						k = prop8MaxGroups
-					}
-				}
-				for _, group := range topSplits(rel, item.idxs, si, cfg.YAttr, k) {
-					children = append(children, group...)
-				}
-				if len(children) == 0 {
-					// No applicable predicate can split this part: accept to
-					// guarantee coverage (§V-A2).
-					accept, forced = true, true
-				}
-			}
-		}
-		if accept {
-			emit(model, maxErr, item.conj)
-			shared = append(shared, model)
-			if forced {
+		if ev.accept {
+			emit(ev.model, ev.maxErr, item.conj)
+			shared = append(shared, ev.model)
+			if ev.forced {
 				out.Stats.ForcedRules++
 				tel.forced.Inc()
 			}
@@ -396,22 +367,26 @@ func discoverSeq(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig)
 		}
 
 		// Lines 19–22: refine the condition; children carry the parent's
-		// ind(C) as queue priority (Line 22).
-		for _, ch := range children {
+		// ind(C) as queue priority (Line 22). The visited set keys on the
+		// normalized conjunction, so syntactically different but equivalent
+		// refinements (a≤5 ∧ a≤3 vs a≤3, overlapping Prop8 paths) expand
+		// once — equivalent conjunctions select the same part, so coverage
+		// is preserved by whichever spelling was queued first.
+		for _, ch := range ev.children {
 			conj := item.conj.And(ch.pred)
-			key := conjKey(conj)
+			key := conjKey(conj.Normalize())
 			if visited[key] {
 				continue
 			}
 			visited[key] = true
-			prio := ind
+			prio := ev.ind
 			switch cfg.Order {
 			case Increase:
-				prio = -ind
+				prio = -ev.ind
 			case RandomOrder:
 				prio = rng.Float64()
 			}
-			heap.Push(q, &condItem{conj: conj, idxs: ch.idxs, prio: prio, seq: q.nextSeq()})
+			heap.Push(q, &condItem{conj: conj, idxs: ch.idxs, gram: ch.gram, prio: prio, seq: q.nextSeq()})
 		}
 		tel.queueDepth.Set(float64(q.Len()))
 	}
@@ -426,10 +401,10 @@ func discoverSeq(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig)
 		if len(item.idxs) == 0 {
 			continue
 		}
-		x, y, _ := FeatureRows(rel, item.idxs, cfg.XAttrs, cfg.YAttr)
-		model, err := cfg.Trainer.Train(x, y)
+		x, y := ws.part(item.idxs)
+		model, _, err := ws.trainPart(item, x, y)
 		if err != nil {
-			return nil, fmt.Errorf("core: training on %d tuples: %w", len(x), err)
+			return nil, err
 		}
 		out.Stats.ModelsTrained++
 		out.Stats.ForcedRules++
@@ -442,9 +417,13 @@ func discoverSeq(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig)
 
 // DiscoverTargets runs the discovery engine once per target column, sharing
 // the config (the column-scalability workload of the paper's Figure 7).
-// cfg.YAttr is overridden per target; targets appearing in cfg.XAttrs are
-// rejected by the per-run Reflexivity check. Cancellation is checked between
-// targets and inside each mine.
+// cfg.YAttr is overridden per target, and each target goes through the same
+// defaulting as Discover: a nil ℙ derives the paper-default predicate space
+// for that target (the space depends on which column is the target, via
+// Reflexivity), and a nil Trainer or non-positive ρ_M take the documented
+// defaults. Targets appearing in cfg.XAttrs are rejected by the per-run
+// Reflexivity check. Cancellation is checked between targets and inside each
+// mine.
 func DiscoverTargets(ctx context.Context, rel *dataset.Relation, targets []int, cfg DiscoverConfig) (map[int]*RuleSet, error) {
 	out := make(map[int]*RuleSet, len(targets))
 	for _, y := range targets {
@@ -453,6 +432,9 @@ func DiscoverTargets(ctx context.Context, rel *dataset.Relation, targets []int, 
 		}
 		c := cfg
 		c.YAttr = y
+		if err := applyDefaults(rel, &c); err != nil {
+			return nil, fmt.Errorf("core: target %d: %w", y, err)
+		}
 		res, err := discoverFor(ctx, rel, c)
 		if err != nil {
 			return nil, fmt.Errorf("core: target %d: %w", y, err)
@@ -460,31 +442,6 @@ func DiscoverTargets(ctx context.Context, rel *dataset.Relation, targets []int, 
 		out[y] = res.Rules
 	}
 	return out, nil
-}
-
-// findShare scans the model set F for a shareable model (Line 7), returning
-// also the number of δ0 tests attempted. Models are tried newest-first:
-// recently learned local models are the most likely to recur in neighboring
-// parts.
-func findShare(shared []regress.Model, x [][]float64, y []float64, rhoM float64) (regress.Model, regress.ShareResult, int, bool) {
-	for i := len(shared) - 1; i >= 0; i-- {
-		if res := regress.ShareTest(shared[i], x, y, rhoM); res.OK {
-			return shared[i], res, len(shared) - i, true
-		}
-	}
-	return nil, regress.ShareResult{}, len(shared), false
-}
-
-// shareIndex computes ind(C) = max_f |{t : |t.Y−(f(t.X)+δ0)| ≤ ρ_M}| / |D_C|
-// (Line 12).
-func shareIndex(shared []regress.Model, x [][]float64, y []float64, rhoM float64) float64 {
-	var best float64
-	for _, f := range shared {
-		if fr := regress.ShareTest(f, x, y, rhoM).FitFraction; fr > best {
-			best = fr
-		}
-	}
-	return best
 }
 
 // childPart is one refinement C ∧ p with the tuple indices it selects.
@@ -744,9 +701,11 @@ func sse(rel *dataset.Relation, idxs []int, yattr int) float64 {
 	return s
 }
 
-// conjKey canonicalizes a conjunction for the visited set: the sorted
-// multiset of its predicates, rendered without fmt (this sits on the hot
-// path of every queue push).
+// conjKey renders a conjunction for the visited set: the sorted multiset of
+// its predicates, rendered without fmt (this sits on the hot path of every
+// queue push). Callers pass the Normalize()d conjunction so that equivalent
+// spellings — redundant bounds accumulated along different refinement paths
+// — map to the same key.
 func conjKey(c predicate.Conjunction) string {
 	parts := make([]string, len(c.Preds))
 	for i, p := range c.Preds {
@@ -764,10 +723,12 @@ func conjKey(c predicate.Conjunction) string {
 	return strings.Join(parts, "&")
 }
 
-// condItem is a queue entry (C, priority).
+// condItem is a queue entry (C, priority). gram carries the part's
+// sufficient statistics when the fast path applies (see hotpath.go).
 type condItem struct {
 	conj predicate.Conjunction
 	idxs []int
+	gram *regress.Gram
 	prio float64
 	seq  int
 }

@@ -1,0 +1,317 @@
+package core
+
+// The part-workspace performance layer under both discovery engines.
+//
+// Algorithm 1's cost is dominated by three per-node re-computations: the
+// FeatureRows materialization of the part, the two ShareTest scans over the
+// model set F (Line 7's hit test, then Line 12's sharing index), and the
+// from-scratch OLS fit of Line 13. This file removes all three:
+//
+//   - colCache materializes the X columns and Y once per discovery, so queue
+//     pops gather dense cached rows instead of walking dataset tuples;
+//   - regress.ShareScanner computes each model's residual envelope and fit
+//     fraction in a single sweep, returning the Proposition-6 share hit and
+//     ind(C) together;
+//   - queue items carry regress.Gram sufficient statistics, accumulated when
+//     a split's children are materialized (the largest child for free as
+//     parent − siblings), so Line-13 training is an O(d³) normal-equation
+//     solve instead of an O(n·d²) re-pass. Trainers without the fast path
+//     (the MLP) and degenerate parts keep the exact full-pass fit.
+//
+// The sequential and parallel engines share this hot loop (evaluate), so
+// they cannot drift behaviorally: accept/force/split decisions, Proposition
+// 8 split sizing and MinSupport handling are decided in exactly one place.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// colCache is the per-discovery column cache: the feature rows and target
+// values of every trainable tuple, materialized once. Parts are subsets of
+// the trainable indices, so per-node access is a dense-array gather with no
+// null checks. All rows share one backing allocation.
+type colCache struct {
+	rows [][]float64 // relation tuple index → cached feature row (nil ⇒ untrainable)
+	y    []float64   // relation tuple index → target value
+	dim  int
+}
+
+func newColCache(rel *dataset.Relation, all []int, xattrs []int, yattr int) *colCache {
+	c := &colCache{
+		rows: make([][]float64, rel.Len()),
+		y:    make([]float64, rel.Len()),
+		dim:  len(xattrs),
+	}
+	backing := make([]float64, len(all)*len(xattrs))
+	for _, ti := range all {
+		t := rel.Tuples[ti]
+		row := backing[:len(xattrs):len(xattrs)]
+		backing = backing[len(xattrs):]
+		for i, a := range xattrs {
+			row[i] = t[a].Num
+		}
+		c.rows[ti] = row
+		c.y[ti] = t[yattr].Num
+	}
+	return c
+}
+
+// gram accumulates a part's sufficient statistics from the cached columns,
+// in part order — the same order a full-pass fit would consume the rows, so
+// the resulting fit is bitwise identical to it.
+func (c *colCache) gram(idxs []int) *regress.Gram {
+	g := regress.NewGram(c.dim)
+	for _, ti := range idxs {
+		g.Add(c.rows[ti], c.y[ti])
+	}
+	return g
+}
+
+// hotLoop is the shared, read-only state of one discovery run's hot path.
+// Workers share it; per-worker scratch lives in partWorkspace.
+type hotLoop struct {
+	rel   *dataset.Relation
+	cfg   *DiscoverConfig
+	si    *splitIndex
+	cache *colCache
+	tel   discTel
+	// gram is non-nil when the sufficient-statistics fast path applies
+	// (trainer implements regress.GramTrainer and the signature has
+	// features; a width-0 fit needs the full pass for its minimax constant).
+	gram regress.GramTrainer
+	// needInd reports that the engine consumes ind(C) even when the share
+	// scan cannot provide it (sequential queue priority, Proposition 8 split
+	// sizing) — the DisableSharing ablation then still pays for Line 12.
+	needInd bool
+	// exact requires bitwise-reproducible fits: every child Gram is
+	// accumulated fresh in row order, making the fast path's output
+	// byte-identical to the full pass. The sequential engine sets it (its
+	// output is a determinism contract); the parallel engine, whose rule
+	// order already varies run-to-run, trades it for the cheaper
+	// sibling = parent − child derivation, which drifts by ulps.
+	exact bool
+}
+
+func newHotLoop(rel *dataset.Relation, cfg *DiscoverConfig, si *splitIndex, all []int, tel discTel, exact bool) *hotLoop {
+	hl := &hotLoop{
+		rel:     rel,
+		cfg:     cfg,
+		si:      si,
+		cache:   newColCache(rel, all, cfg.XAttrs, cfg.YAttr),
+		tel:     tel,
+		needInd: exact || cfg.Prop8Splits,
+		exact:   exact,
+	}
+	if gt, ok := cfg.Trainer.(regress.GramTrainer); ok && len(cfg.XAttrs) > 0 {
+		hl.gram = gt
+	}
+	return hl
+}
+
+// rootGram builds the root part's statistics (nil when the fast path does
+// not apply); children derive theirs incrementally from it.
+func (hl *hotLoop) rootGram(all []int) *regress.Gram {
+	if hl.gram == nil {
+		return nil
+	}
+	return hl.cache.gram(all)
+}
+
+// workspace returns a fresh per-worker scratch workspace.
+func (hl *hotLoop) workspace() *partWorkspace {
+	return &partWorkspace{loop: hl}
+}
+
+// partWorkspace is one worker's reusable scratch: the gathered part view and
+// the share scanner's residual buffer. Steady-state node evaluation does not
+// allocate. The gathered x shares the cache's row storage and the outer
+// slice is recycled on the next gather, so trainers must not retain x beyond
+// Train (the built-in families copy or consume it inside the call).
+type partWorkspace struct {
+	loop    *hotLoop
+	x       [][]float64
+	y       []float64
+	scanner regress.ShareScanner
+}
+
+// part gathers the cached feature rows and targets of a part.
+func (ws *partWorkspace) part(idxs []int) ([][]float64, []float64) {
+	if cap(ws.x) < len(idxs) {
+		ws.x = make([][]float64, 0, len(idxs))
+		ws.y = make([]float64, 0, len(idxs))
+	}
+	x, y := ws.x[:0], ws.y[:0]
+	cache := ws.loop.cache
+	for _, ti := range idxs {
+		x = append(x, cache.rows[ti])
+		y = append(y, cache.y[ti])
+	}
+	ws.x, ws.y = x, y
+	ws.loop.tel.cacheHits.Inc()
+	return x, y
+}
+
+// trainPart runs Line 13 for one part: the Gram fast path when the item
+// carries statistics the trainer can consume, the exact full-pass fit
+// otherwise (including the QR/jitter handling of degenerate parts, which
+// needs the design matrix).
+func (ws *partWorkspace) trainPart(item *condItem, x [][]float64, y []float64) (regress.Model, bool, error) {
+	hl := ws.loop
+	start := time.Now()
+	if hl.gram != nil && item.gram != nil {
+		if m, err := hl.gram.TrainGram(item.gram); err == nil {
+			hl.tel.trainTime.Observe(time.Since(start))
+			hl.tel.statReuse.Inc()
+			return m, true, nil
+		}
+		// Singular or degenerate statistics: fall through to the full pass.
+	}
+	m, err := hl.cfg.Trainer.Train(x, y)
+	hl.tel.trainTime.Observe(time.Since(start))
+	if err != nil {
+		return nil, false, fmt.Errorf("core: training on %d tuples: %w", len(x), err)
+	}
+	return m, false, nil
+}
+
+// nodeEval is the outcome of evaluating one condition node: a Line-7 share
+// hit, or a freshly trained model together with the accept/force/refine
+// decision of Lines 13–22.
+type nodeEval struct {
+	hit      bool                // Lines 7–10 share hit
+	model    regress.Model       // shared model (hit) or the fresh Line-13 model
+	share    regress.ShareResult // valid when hit
+	maxErr   float64             // fresh model's bias on the part (valid when !hit)
+	ind      float64             // sharing index ind(C) (valid when !hit)
+	accept   bool                // emit the fresh model as a rule
+	forced   bool                // acceptance came from MinSupport / no-split coverage
+	children []childItem         // refinements to enqueue when !accept
+}
+
+// childItem is one refinement C ∧ p, carrying the rows it selects and (when
+// the fast path applies) its sufficient statistics.
+type childItem struct {
+	pred predicate.Predicate
+	idxs []int
+	gram *regress.Gram
+}
+
+// evaluate runs the shared hot loop for one queue item against the model
+// pool F. Both engines call it, so the Algorithm 1 semantics — newest-first
+// δ0 sharing, ind(C), ρ_M acceptance, the MinSupport floor, Proposition 8
+// split sizing and the coverage-forced acceptance — live in one place.
+func (ws *partWorkspace) evaluate(item *condItem, pool []regress.Model) (nodeEval, error) {
+	hl := ws.loop
+	cfg := hl.cfg
+	x, y := ws.part(item.idxs)
+	var ev nodeEval
+
+	// Lines 7–10 and Line 12 in one sweep: the single-pass share scan
+	// returns the Proposition-6 hit and ind(C) together.
+	if !cfg.DisableSharing {
+		start := time.Now()
+		idx, res, ind, tried := ws.scanner.Scan(pool, x, y, cfg.RhoM)
+		hl.tel.shareTime.Observe(time.Since(start))
+		hl.tel.shareTests.Add(int64(tried))
+		hl.tel.scanWidth.Observe(float64(tried))
+		if idx >= 0 {
+			ev.hit = true
+			ev.model = pool[idx]
+			ev.share = res
+			return ev, nil
+		}
+		ev.ind = ind
+	} else if hl.needInd {
+		// The ablation still orders the queue (and sizes Proposition 8
+		// splits) by ind(C), so Line 12 runs even with sharing off.
+		start := time.Now()
+		ev.ind = ws.scanner.Index(pool, x, y, cfg.RhoM)
+		hl.tel.shareTime.Observe(time.Since(start))
+		hl.tel.shareTests.Add(int64(len(pool)))
+		hl.tel.scanWidth.Observe(float64(len(pool)))
+	}
+
+	// Line 13: train a new model.
+	model, _, err := ws.trainPart(item, x, y)
+	if err != nil {
+		return ev, err
+	}
+	ev.model = model
+	ev.maxErr = regress.MaxAbsError(model, x, y)
+	if ev.maxErr <= cfg.RhoM {
+		ev.accept = true
+		return ev, nil
+	}
+	if len(item.idxs) <= cfg.MinSupport {
+		ev.accept, ev.forced = true, true
+		return ev, nil
+	}
+
+	// Line 19: the number of split predicates. The default is the single
+	// best cut; Prop8Splits takes the top ⌈(1−ind(C))·|D_C|⌉ groups
+	// (Proposition 8), capped to keep the overlap bounded. With ind(C) = 0
+	// nothing is close to shareable and the proposition is vacuous, so the
+	// single best cut is used.
+	k := 1
+	if cfg.Prop8Splits && ev.ind > 0 {
+		k = int((1-ev.ind)*float64(len(item.idxs))) + 1
+		if k > prop8MaxGroups {
+			k = prop8MaxGroups
+		}
+	}
+	for _, group := range topSplits(hl.rel, item.idxs, hl.si, cfg.YAttr, k) {
+		ev.children = append(ev.children, hl.childItems(item, group)...)
+	}
+	if len(ev.children) == 0 {
+		// No applicable predicate can split this part: accept to guarantee
+		// coverage (§V-A2).
+		ev.accept, ev.forced = true, true
+	}
+	return ev, nil
+}
+
+// childItems materializes one split group's children with their sufficient
+// statistics. Every group returned by topSplits partitions the parent
+// (numeric {>c, ≤c} pairs; categorical fans covering every present value).
+// In exact mode every child is accumulated fresh from the cached columns in
+// row order (bitwise identical to a full-pass fit); otherwise all but the
+// largest child are accumulated and the largest comes for free as
+// parent − Σ siblings, at the cost of ulp-level drift.
+func (hl *hotLoop) childItems(item *condItem, group []childPart) []childItem {
+	out := make([]childItem, len(group))
+	for i, ch := range group {
+		out[i] = childItem{pred: ch.pred, idxs: ch.idxs}
+	}
+	if hl.gram == nil || item.gram == nil {
+		return out
+	}
+	largest := 0
+	for i, ch := range group {
+		if len(ch.idxs) > len(group[largest].idxs) {
+			largest = i
+		}
+	}
+	var sibling *regress.Gram
+	if !hl.exact {
+		sibling = item.gram.Clone()
+	}
+	for i := range out {
+		if i == largest && sibling != nil {
+			continue
+		}
+		g := hl.cache.gram(out[i].idxs)
+		if sibling != nil {
+			sibling.Sub(g)
+		}
+		out[i].gram = g
+	}
+	if sibling != nil {
+		out[largest].gram = sibling
+	}
+	return out
+}

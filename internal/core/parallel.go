@@ -2,11 +2,9 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/predicate"
@@ -29,11 +27,16 @@ func DiscoverParallel(rel *dataset.Relation, cfg DiscoverConfig, workers int) (*
 }
 
 // discoverParallel runs Algorithm 1 with a worker pool: independent
-// condition parts are processed concurrently and the shared model set F is
-// guarded by a mutex. Compared to the sequential engine:
+// condition parts are processed concurrently, the shared model set F is
+// guarded by a mutex, and each worker drives the same hot path as the
+// sequential engine (hotpath.go), so accept/force/split semantics —
+// including MinSupport, Proposition 8 split sizing and the MaxNodes runaway
+// guard with its coverage-forced drain — cannot diverge between engines.
+// Compared to the sequential engine:
 //
-//   - the ind(C) queue ordering becomes best-effort (workers race), so the
-//     Table IV ordering experiments require the sequential engine;
+//   - the ind(C) queue ordering becomes best-effort (workers race over a
+//     LIFO work list), so the Table IV ordering experiments require the
+//     sequential engine;
 //   - the discovered rule set is deterministic as a *coverage* (every part is
 //     processed exactly once) but rule order, share attributions and exact
 //     rule count can vary run-to-run when different workers win the race to
@@ -63,13 +66,15 @@ func discoverParallel(ctx context.Context, rel *dataset.Relation, cfg DiscoverCo
 	tel := newDiscTel(cfg.Telemetry)
 
 	si := newSplitIndex(cfg.Preds)
+	hl := newHotLoop(rel, &cfg, si, all, tel, false)
+	root := &condItem{conj: predicate.NewConjunction(), idxs: all, gram: hl.rootGram(all)}
 	st := &parState{
 		cond:    sync.NewCond(&sync.Mutex{}),
-		visited: map[string]bool{conjKey(predicate.NewConjunction()): true},
+		visited: map[string]bool{conjKey(root.conj.Normalize()): true},
 		shared:  append([]regress.Model(nil), cfg.SeedModels...),
 		ruleOf:  map[regress.Model]int{},
 	}
-	st.queue = append(st.queue, &condItem{conj: predicate.NewConjunction(), idxs: all})
+	st.queue = append(st.queue, root)
 
 	// The watcher turns context cancellation into a pool abort; doneCh is
 	// closed after wg.Wait so the watcher never leaks either.
@@ -91,7 +96,7 @@ func discoverParallel(ctx context.Context, rel *dataset.Relation, cfg DiscoverCo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := parWorker(ctx, rel, cfg, si, st, out, tel); err != nil {
+			if err := parWorker(ctx, hl, st, out); err != nil {
 				select {
 				case errs <- err:
 				default:
@@ -165,11 +170,13 @@ func (st *parState) next() (*condItem, bool) {
 	}
 }
 
-// done publishes the children of a finished item.
+// done publishes the children of a finished item. Like the sequential
+// engine's visited set, keys are normalized conjunctions, so equivalent
+// refinements reached along different paths expand once.
 func (st *parState) done(children []*condItem) {
 	st.cond.L.Lock()
 	for _, ch := range children {
-		key := conjKey(ch.conj)
+		key := conjKey(ch.conj.Normalize())
 		if !st.visited[key] {
 			st.visited[key] = true
 			st.queue = append(st.queue, ch)
@@ -180,8 +187,10 @@ func (st *parState) done(children []*condItem) {
 	st.cond.Broadcast()
 }
 
-func parWorker(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig, si *splitIndex,
-	st *parState, out *DiscoverResult, tel discTel) error {
+func parWorker(ctx context.Context, hl *hotLoop, st *parState, out *DiscoverResult) error {
+	cfg := hl.cfg
+	tel := hl.tel
+	ws := hl.workspace()
 	for {
 		// Per-iteration cancellation point, mirroring the sequential
 		// engine's queue-pop check (the watcher also aborts st, but this
@@ -199,69 +208,70 @@ func parWorker(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig, s
 				return nil
 			}
 			st.cond.L.Lock()
-			out.Stats.NodesExpanded++
-			st.cond.L.Unlock()
-			tel.nodes.Inc()
-			x, y, _ := FeatureRows(rel, item.idxs, cfg.XAttrs, cfg.YAttr)
-
-			if !cfg.DisableSharing {
-				st.cond.L.Lock()
-				pool := append([]regress.Model(nil), st.shared...)
-				st.cond.L.Unlock()
-				start := time.Now()
-				model, res, tried, hit := findShare(pool, x, y, cfg.RhoM)
-				tel.shareTime.Observe(time.Since(start))
-				tel.shareTests.Add(int64(tried))
-				if hit {
-					conj := item.conj.Clone()
-					conj.Builtin = conj.Builtin.WithYShift(res.Delta0)
-					st.cond.L.Lock()
-					out.Stats.ShareHits++
-					st.cond.L.Unlock()
-					tel.shared.Inc()
-					emitPar(out, st, cfg, model, res.MaxErr, conj)
-					return nil
-				}
+			capped := out.Stats.NodesExpanded >= cfg.MaxNodes
+			var pool []regress.Model
+			if !capped {
+				out.Stats.NodesExpanded++
+				pool = append(pool, st.shared...)
 			}
-			start := time.Now()
-			model, err := cfg.Trainer.Train(x, y)
-			tel.trainTime.Observe(time.Since(start))
+			st.cond.L.Unlock()
+
+			if capped {
+				// The MaxNodes runaway guard tripped: stop refining and
+				// force-accept a model for every remaining part, exactly
+				// like the sequential engine's drain loop — Problem 1
+				// requires Σ to cover D, so abandoned parts are not an
+				// option. The expansion counter is checked and advanced
+				// under the lock, so it never exceeds MaxNodes.
+				x, y := ws.part(item.idxs)
+				model, _, err := ws.trainPart(item, x, y)
+				if err != nil {
+					return err
+				}
+				emitPar(out, st, *cfg, model, regress.MaxAbsError(model, x, y), item.conj)
+				st.cond.L.Lock()
+				out.Stats.ModelsTrained++
+				out.Stats.ForcedRules++
+				st.cond.L.Unlock()
+				tel.trained.Inc()
+				tel.forced.Inc()
+				return nil
+			}
+			tel.nodes.Inc()
+
+			ev, err := ws.evaluate(item, pool)
 			if err != nil {
-				return fmt.Errorf("core: parallel training on %d tuples: %w", len(x), err)
+				return err
+			}
+			if ev.hit {
+				conj := item.conj.Clone()
+				conj.Builtin = conj.Builtin.WithYShift(ev.share.Delta0)
+				st.cond.L.Lock()
+				out.Stats.ShareHits++
+				st.cond.L.Unlock()
+				tel.shared.Inc()
+				emitPar(out, st, *cfg, ev.model, ev.share.MaxErr, conj)
+				return nil
 			}
 			st.cond.L.Lock()
 			out.Stats.ModelsTrained++
 			st.cond.L.Unlock()
 			tel.trained.Inc()
-			maxErr := regress.MaxAbsError(model, x, y)
-			accept := maxErr <= cfg.RhoM
-			forced := false
-			var parts []childPart
-			if !accept {
-				if len(item.idxs) <= cfg.MinSupport {
-					accept, forced = true, true
-				} else {
-					parts = bestSplit(rel, item.idxs, si, cfg.YAttr)
-					if len(parts) == 0 {
-						accept, forced = true, true
-					}
-				}
-			}
-			if accept {
-				emitPar(out, st, cfg, model, maxErr, item.conj)
+			if ev.accept {
+				emitPar(out, st, *cfg, ev.model, ev.maxErr, item.conj)
 				st.cond.L.Lock()
-				st.shared = append(st.shared, model)
-				if forced {
+				st.shared = append(st.shared, ev.model)
+				if ev.forced {
 					out.Stats.ForcedRules++
 				}
 				st.cond.L.Unlock()
-				if forced {
+				if ev.forced {
 					tel.forced.Inc()
 				}
 				return nil
 			}
-			for _, ch := range parts {
-				children = append(children, &condItem{conj: item.conj.And(ch.pred), idxs: ch.idxs})
+			for _, ch := range ev.children {
+				children = append(children, &condItem{conj: item.conj.And(ch.pred), idxs: ch.idxs, gram: ch.gram})
 			}
 			return nil
 		}()

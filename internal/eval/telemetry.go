@@ -22,6 +22,7 @@ func TelemetrySummary(snap telemetry.Snapshot) []string {
 		{telemetry.MetricModelsShared, "models shared"},
 		{telemetry.MetricShareTests, "share tests"},
 		{telemetry.MetricForcedRules, "forced rules"},
+		{telemetry.MetricStatReuse, "stat reuse"},
 	}); line != "" {
 		lines = append(lines, line)
 	}

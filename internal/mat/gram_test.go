@@ -1,0 +1,60 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGramMatchesMul pins the bitwise contract of the one-pass kernel: for
+// any design matrix, Gram(x, y) must equal Mul(xᵀ, x) and MulVec(xᵀ, y)
+// entry for entry — same addition order, same zero-skip semantics — so the
+// normal-equation solves downstream are bit-identical either way.
+func TestGramMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n, d := 1+rng.Intn(50), 1+rng.Intn(5)
+		x := NewDense(n, d)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				v := 10 * (rng.Float64() - 0.5)
+				if rng.Intn(4) == 0 {
+					v = 0 // exercise the zero-skip path
+				}
+				x.Set(i, j, v)
+			}
+			y[i] = rng.NormFloat64()
+		}
+
+		xtx, xty, err := Gram(x, y)
+		if err != nil {
+			t.Fatalf("Gram: %v", err)
+		}
+		xt := x.T()
+		wantXtX, err := Mul(xt, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantXtY, err := MulVec(xt, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				if xtx.At(i, j) != wantXtX.At(i, j) {
+					t.Fatalf("trial %d: XtX[%d,%d] = %v, want %v (must be bitwise equal)",
+						trial, i, j, xtx.At(i, j), wantXtX.At(i, j))
+				}
+			}
+			if xty[i] != wantXtY[i] {
+				t.Fatalf("trial %d: XtY[%d] = %v, want %v", trial, i, xty[i], wantXtY[i])
+			}
+		}
+	}
+}
+
+func TestGramShapeMismatch(t *testing.T) {
+	if _, _, err := Gram(NewDense(3, 2), make([]float64, 2)); err == nil {
+		t.Error("Gram accepted mismatched y length")
+	}
+}

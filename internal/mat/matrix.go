@@ -199,6 +199,37 @@ func SolveSPD(a *Dense, b []float64) ([]float64, error) {
 	return SolveCholesky(l, b)
 }
 
+// Gram computes XᵀX and Xᵀy in a single pass over the rows of x, without
+// materializing the transpose. Per Gram-matrix entry the accumulation order
+// is the row order of x, exactly the order Mul(x.T(), x) produces, so the
+// result is bitwise identical to the two-matrix formulation — discovery's
+// sufficient-statistics fast path relies on that equivalence.
+func Gram(x *Dense, y []float64) (xtx *Dense, xty []float64, err error) {
+	if x.Rows != len(y) {
+		return nil, nil, fmt.Errorf("%w: design %dx%d vs target %d", ErrShape, x.Rows, x.Cols, len(y))
+	}
+	d := x.Cols
+	xtx = NewDense(d, d)
+	xty = make([]float64, d)
+	for k := 0; k < x.Rows; k++ {
+		row := x.Row(k)
+		yk := y[k]
+		for i, vi := range row {
+			// The zero skip mirrors Mul's, so entries agree bitwise even for
+			// non-finite operands; xty takes every term like Dot does.
+			xty[i] += vi * yk
+			if vi == 0 {
+				continue
+			}
+			grow := xtx.Row(i)
+			for j, vj := range row {
+				grow[j] += vi * vj
+			}
+		}
+	}
+	return xtx, xty, nil
+}
+
 // LeastSquares solves min_w ‖X·w − y‖² (+ lambda‖w‖² when lambda > 0) via the
 // normal equations (Xᵀ X + λI) w = Xᵀ y. When the Gram matrix is singular it
 // falls back to Householder QR (condition number enters once, not squared);
@@ -206,11 +237,7 @@ func SolveSPD(a *Dense, b []float64) ([]float64, error) {
 // jitter so discovery on degenerate parts (e.g. a single tuple) still yields
 // a covering model.
 func LeastSquares(x *Dense, y []float64, lambda float64) ([]float64, error) {
-	if x.Rows != len(y) {
-		return nil, fmt.Errorf("%w: design %dx%d vs target %d", ErrShape, x.Rows, x.Cols, len(y))
-	}
-	xt := x.T()
-	gram, err := Mul(xt, x)
+	gram, rhs, err := Gram(x, y)
 	if err != nil {
 		return nil, err
 	}
@@ -218,10 +245,6 @@ func LeastSquares(x *Dense, y []float64, lambda float64) ([]float64, error) {
 		if err := AddDiag(gram, lambda); err != nil {
 			return nil, err
 		}
-	}
-	rhs, err := MulVec(xt, y)
-	if err != nil {
-		return nil, err
 	}
 	w, err := SolveSPD(gram, rhs)
 	if err == nil {

@@ -1,0 +1,95 @@
+package regress
+
+import (
+	"errors"
+
+	"github.com/crrlab/crr/internal/mat"
+)
+
+// Gram holds the sufficient statistics of a least-squares fit over one data
+// part: the Gram matrix XᵀX of the intercept-augmented design, the moment
+// vector Xᵀy and the target second moment yᵀy, plus the row count. They are
+// everything OLS/ridge training needs, so a part whose Gram is known trains
+// in O(d³) (one normal-equation solve) instead of the O(n·d²) design pass.
+//
+// Discovery maintains Grams incrementally: a part's statistics are
+// accumulated while its rows are filtered during splitting, and a sibling's
+// come for free as parent − child (Sub). Accumulation order is the part's
+// row order, matching mat.Gram over the materialized design bitwise, so the
+// fast path reproduces the full-pass fit exactly whenever no subtraction was
+// involved (and to ~ulp precision when one was).
+type Gram struct {
+	// N is the number of accumulated rows.
+	N int
+	// XtX is the (d+1)×(d+1) Gram matrix of the intercept-augmented design.
+	XtX *mat.Dense
+	// XtY is the (d+1)-vector Xᵀy of the augmented design.
+	XtY []float64
+	// YtY is Σ y².
+	YtY float64
+}
+
+// ErrGramUnsupported is returned by TrainGram when the statistics cannot
+// serve the requested fit (degenerate width, empty part, singular system);
+// callers fall back to the full-pass Train.
+var ErrGramUnsupported = errors.New("regress: sufficient statistics cannot serve this fit")
+
+// NewGram allocates empty statistics for a dim-feature design (the intercept
+// column is added internally).
+func NewGram(dim int) *Gram {
+	return &Gram{
+		XtX: mat.NewDense(dim+1, dim+1),
+		XtY: make([]float64, dim+1),
+	}
+}
+
+// Dim returns the feature width (excluding the intercept).
+func (g *Gram) Dim() int { return len(g.XtY) - 1 }
+
+// Add accumulates one observation. row must have length Dim().
+func (g *Gram) Add(row []float64, y float64) {
+	d1 := len(row) + 1
+	data := g.XtX.Data
+	// Intercept terms: the augmented row is (1, row...).
+	data[0]++
+	for j, v := range row {
+		data[j+1] += v
+		data[(j+1)*d1] += v
+	}
+	for i, vi := range row {
+		base := (i+1)*d1 + 1
+		for j, vj := range row {
+			data[base+j] += vi * vj
+		}
+	}
+	g.XtY[0] += y
+	for i, v := range row {
+		g.XtY[i+1] += v * y
+	}
+	g.YtY += y * y
+	g.N++
+}
+
+// Clone deep-copies the statistics.
+func (g *Gram) Clone() *Gram {
+	return &Gram{N: g.N, XtX: g.XtX.Clone(), XtY: append([]float64(nil), g.XtY...), YtY: g.YtY}
+}
+
+// Sub removes a child part's statistics in place: g becomes parent − child,
+// the sibling of a partition. The subtraction cancels in floating point, so
+// sibling-derived fits can drift from the full-pass fit by a few ulps; the
+// engine's property test bounds the drift at 1e-9 on same-scale data. It
+// panics on mismatched widths.
+func (g *Gram) Sub(child *Gram) {
+	if len(g.XtY) != len(child.XtY) {
+		panic("regress: Gram.Sub width mismatch")
+	}
+	g.N -= child.N
+	for i := range g.XtX.Data {
+		g.XtX.Data[i] -= child.XtX.Data[i]
+	}
+	for i := range g.XtY {
+		g.XtY[i] -= child.XtY[i]
+	}
+	g.YtY -= child.YtY
+}

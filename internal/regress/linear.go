@@ -144,6 +144,45 @@ func (t LinearTrainer) Train(x [][]float64, y []float64) (Model, error) {
 	return &Linear{W: w, family: family}, nil
 }
 
+// TrainGram implements GramTrainer: the O(d³) normal-equation solve from
+// sufficient statistics, skipping the O(n·d²) design pass. The solved system
+// is exactly the one Train assembles — (XᵀX + λI) w = Xᵀy over the
+// intercept-augmented design — so when the Gram was accumulated in row order
+// the result is bitwise identical to the full pass. Degenerate widths and
+// singular systems return an error (ErrGramUnsupported, mat.ErrSingular):
+// those cases need the design matrix (midpoint constant, QR, jitter), so the
+// caller must fall back to Train.
+func (t LinearTrainer) TrainGram(g *Gram) (Model, error) {
+	if g == nil || g.N == 0 || g.Dim() == 0 {
+		// Train fits width-0 samples with the minimax midpoint, not the mean
+		// the normal equations would give; only the full pass knows min/max.
+		return nil, ErrGramUnsupported
+	}
+	if g.N <= g.Dim() {
+		// Underdetermined: the true Gram matrix is singular, but a Gram
+		// derived by subtraction (sibling = parent − child) carries
+		// cancellation noise that can slip past Cholesky and yield garbage
+		// weights. Only the full pass (QR / jitter over the design matrix)
+		// handles these parts correctly.
+		return nil, ErrGramUnsupported
+	}
+	a := g.XtX.Clone()
+	if t.Ridge > 0 {
+		if err := mat.AddDiag(a, t.Ridge); err != nil {
+			return nil, err
+		}
+	}
+	w, err := mat.SolveSPD(a, g.XtY)
+	if err != nil {
+		return nil, err
+	}
+	family := "linear"
+	if t.Ridge > 0 {
+		family = "ridge"
+	}
+	return &Linear{W: w, family: family}, nil
+}
+
 func minMax(v []float64) (lo, hi float64) {
 	lo, hi = math.Inf(1), math.Inf(-1)
 	for _, x := range v {

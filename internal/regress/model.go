@@ -29,6 +29,31 @@ type Trainer interface {
 	Name() string
 }
 
+// GramTrainer is implemented by trainers that can fit from sufficient
+// statistics alone (XᵀX, Xᵀy, yᵀy), enabling the discovery engine's O(d³)
+// stat-reuse fast path: parts whose Gram was accumulated during split
+// filtering train without another pass over their rows. TrainGram returns
+// an error (typically ErrGramUnsupported or mat.ErrSingular) when the
+// statistics cannot serve the fit; callers then fall back to Train.
+type GramTrainer interface {
+	Trainer
+	// TrainGram fits a model from sufficient statistics.
+	TrainGram(g *Gram) (Model, error)
+}
+
+// FullPass wraps a trainer so that engines cannot reach a sufficient-
+// statistics fast path through it: the wrapper deliberately does not
+// implement GramTrainer. It is the reference configuration for before/after
+// benchmarking (crrbench -compare) and for cross-checking the fast path in
+// tests.
+type FullPass struct{ T Trainer }
+
+// Train implements Trainer by delegating.
+func (f FullPass) Train(x [][]float64, y []float64) (Model, error) { return f.T.Train(x, y) }
+
+// Name implements Trainer by delegating.
+func (f FullPass) Name() string { return f.T.Name() }
+
 // ErrNoData is returned when Train receives an empty sample.
 var ErrNoData = errors.New("regress: empty training sample")
 

@@ -1,0 +1,125 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceScan is the pre-optimization two-pass semantics: newest-first
+// ShareTest until the first OK, then (independently) the full max fit
+// fraction. The single-pass scanner must reproduce both.
+func referenceScan(models []Model, x [][]float64, y []float64, rhoM float64) (idx int, res ShareResult) {
+	for i := len(models) - 1; i >= 0; i-- {
+		if r := ShareTest(models[i], x, y, rhoM); r.OK {
+			return i, r
+		}
+	}
+	return -1, ShareResult{}
+}
+
+func referenceIndex(models []Model, x [][]float64, y []float64, rhoM float64) float64 {
+	var best float64
+	for _, f := range models {
+		if fr := ShareTest(f, x, y, rhoM).FitFraction; fr > best {
+			best = fr
+		}
+	}
+	return best
+}
+
+func randomPool(rng *rand.Rand, k, d int) []Model {
+	pool := make([]Model, k)
+	for i := range pool {
+		w := make([]float64, d+1)
+		for j := range w {
+			w[j] = 4 * (rng.Float64() - 0.5)
+		}
+		pool[i] = &Linear{W: w, family: "linear"}
+	}
+	return pool
+}
+
+func TestShareScannerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sc ShareScanner
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(3)
+		x, y := randomSample(rng, 3+rng.Intn(30), d)
+		pool := randomPool(rng, rng.Intn(6), d)
+		rhoM := 0.5 + 4*rng.Float64()
+
+		wantIdx, wantRes := referenceScan(pool, x, y, rhoM)
+		idx, res, ind, tried := sc.Scan(pool, x, y, rhoM)
+		if idx != wantIdx {
+			t.Fatalf("trial %d: hit index %d, want %d", trial, idx, wantIdx)
+		}
+		if idx >= 0 {
+			if res != wantRes {
+				t.Fatalf("trial %d: result %+v, want %+v", trial, res, wantRes)
+			}
+			if tried != len(pool)-idx {
+				t.Fatalf("trial %d: tried %d, want %d (early exit)", trial, tried, len(pool)-idx)
+			}
+		} else {
+			// On a miss the scan covered all of F, so ind is exactly Line
+			// 12's sharing index.
+			if want := referenceIndex(pool, x, y, rhoM); ind != want {
+				t.Fatalf("trial %d: ind %v, want %v", trial, ind, want)
+			}
+			if tried != len(pool) {
+				t.Fatalf("trial %d: tried %d, want %d", trial, tried, len(pool))
+			}
+		}
+		if got := sc.Index(pool, x, y, rhoM); got != referenceIndex(pool, x, y, rhoM) {
+			t.Fatalf("trial %d: Index %v, want %v", trial, got, referenceIndex(pool, x, y, rhoM))
+		}
+	}
+}
+
+func TestShareScannerEmpty(t *testing.T) {
+	var sc ShareScanner
+	idx, _, ind, tried := sc.Scan(nil, [][]float64{{1}}, []float64{1}, 1)
+	if idx != -1 || ind != 0 || tried != 0 {
+		t.Errorf("empty pool scan = %d, %v, %d", idx, ind, tried)
+	}
+	// An empty part shares with any model (vacuous Proposition 6).
+	idx, res, _, _ := sc.Scan(randomPool(rand.New(rand.NewSource(1)), 2, 1), nil, nil, 1)
+	if idx != 1 || !res.OK || res.FitFraction != 1 {
+		t.Errorf("empty part scan = %d, %+v", idx, res)
+	}
+}
+
+// TestShareScannerReusesBuffer pins the zero-allocation property the hot
+// path relies on: repeated scans over same-size parts must not allocate.
+func TestShareScannerReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x, y := randomSample(rng, 64, 2)
+	pool := randomPool(rng, 4, 2)
+	var sc ShareScanner
+	sc.Scan(pool, x, y, 0.1) // warm the buffer
+	allocs := testing.AllocsPerRun(20, func() {
+		sc.Scan(pool, x, y, 0.1)
+	})
+	if allocs > 0 {
+		t.Errorf("Scan allocates %v per run after warm-up", allocs)
+	}
+}
+
+func TestShareTestIntoMatchesShareTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	buf := make([]float64, 128)
+	for trial := 0; trial < 50; trial++ {
+		x, y := randomSample(rng, 1+rng.Intn(100), 2)
+		f := randomPool(rng, 1, 2)[0]
+		rhoM := 3 * rng.Float64()
+		a := ShareTest(f, x, y, rhoM)
+		b := shareTestInto(f, x, y, rhoM, buf)
+		if a != b {
+			t.Fatalf("trial %d: %+v vs %+v", trial, a, b)
+		}
+		if math.IsNaN(a.Delta0) {
+			t.Fatalf("trial %d: NaN delta", trial)
+		}
+	}
+}

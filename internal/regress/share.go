@@ -25,11 +25,19 @@ type ShareResult struct {
 // error. The midpoint is the *minimax-optimal* shift, so failing at δ0 means
 // no shift succeeds — exactly the "only if" of the proposition.
 func ShareTest(f Model, x [][]float64, y []float64, rhoM float64) ShareResult {
+	return shareTestInto(f, x, y, rhoM, make([]float64, len(x)))
+}
+
+// shareTestInto is ShareTest over a caller-provided residual buffer (len ≥
+// len(x)), so steady-state scans allocate nothing. One sweep of model
+// predictions fills the buffer and the residual envelope; the fit count then
+// reads the buffer back instead of predicting again.
+func shareTestInto(f Model, x [][]float64, y []float64, rhoM float64, buf []float64) ShareResult {
 	if len(x) == 0 {
 		return ShareResult{OK: true, FitFraction: 1}
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
-	res := make([]float64, len(x))
+	res := buf[:len(x)]
 	for i, row := range x {
 		r := y[i] - f.Predict(row)
 		res[i] = r
@@ -54,6 +62,55 @@ func ShareTest(f Model, x [][]float64, y []float64, rhoM float64) ShareResult {
 		OK:          maxErr <= rhoM,
 		FitFraction: float64(fit) / float64(len(x)),
 	}
+}
+
+// ShareScanner runs the discovery hot path's single-pass share scan: one
+// sweep over the model set F computes, per model, the residual envelope
+// (δ0, post-shift max error) and the fit fraction together, so Algorithm 1's
+// Line-7 share test and Line-12 sharing index ind(C) come out of the same
+// scan instead of two ShareTest passes over F. The scanner owns a reusable
+// residual buffer, so steady-state scans do not allocate. It is not safe for
+// concurrent use — give each worker its own.
+type ShareScanner struct{ buf []float64 }
+
+// Scan tries the models newest-first (the most recently learned local models
+// are the likeliest to recur in neighboring parts) and stops at the first
+// shareable one. It returns that model's index with its ShareResult, the
+// maximum fit fraction among the models actually scanned, and their count.
+// idx is -1 when no model shares; ind then ranges over the whole set and
+// equals Line 12's ind(C). On a hit the scan stops early, so ind covers only
+// the scanned suffix — Algorithm 1 never consumes ind on that path.
+func (s *ShareScanner) Scan(models []Model, x [][]float64, y []float64, rhoM float64) (idx int, res ShareResult, ind float64, tried int) {
+	if cap(s.buf) < len(x) {
+		s.buf = make([]float64, len(x))
+	}
+	for i := len(models) - 1; i >= 0; i-- {
+		r := shareTestInto(models[i], x, y, rhoM, s.buf)
+		tried++
+		if r.FitFraction > ind {
+			ind = r.FitFraction
+		}
+		if r.OK {
+			return i, r, ind, tried
+		}
+	}
+	return -1, ShareResult{}, ind, tried
+}
+
+// Index computes ind(C) alone: a full scan with no early exit. The
+// DisableSharing ablation still orders the condition queue by ind, so it
+// needs the index without the hit test.
+func (s *ShareScanner) Index(models []Model, x [][]float64, y []float64, rhoM float64) float64 {
+	if cap(s.buf) < len(x) {
+		s.buf = make([]float64, len(x))
+	}
+	var best float64
+	for _, f := range models {
+		if fr := shareTestInto(f, x, y, rhoM, s.buf).FitFraction; fr > best {
+			best = fr
+		}
+	}
+	return best
 }
 
 // MaxAbsError returns max_i |yᵢ − f(xᵢ)| — the bias ρ a freshly trained

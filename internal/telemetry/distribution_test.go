@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDistributionStats(t *testing.T) {
+	r := New()
+	d := r.Distribution("test.widths")
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		d.Observe(v)
+	}
+	st := r.Snapshot().Distributions["test.widths"]
+	if st.Count != 5 || st.Sum != 14 || st.Min != 1 || st.Max != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Mean() != 2.8 {
+		t.Errorf("mean = %v", st.Mean())
+	}
+	if r.Distribution("test.widths") != d {
+		t.Error("Distribution did not return the registered handle")
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	r := New()
+	r.Distribution("test.empty")
+	st := r.Snapshot().Distributions["test.empty"]
+	if st.Count != 0 || st.Sum != 0 || st.Min != 0 || st.Max != 0 || st.Mean() != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestDistributionNilSafe(t *testing.T) {
+	var r *Registry
+	d := r.Distribution("x")
+	if d != nil {
+		t.Fatal("nil registry returned non-nil distribution")
+	}
+	d.Observe(1) // must not panic
+}
+
+func TestDistributionNegativeValues(t *testing.T) {
+	r := New()
+	d := r.Distribution("test.neg")
+	d.Observe(-2)
+	d.Observe(-7)
+	st := r.Snapshot().Distributions["test.neg"]
+	if st.Min != -7 || st.Max != -2 || st.Sum != -9 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDistributionConcurrent(t *testing.T) {
+	r := New()
+	d := r.Distribution("test.conc")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.Observe(float64(w + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := r.Snapshot().Distributions["test.conc"]
+	if st.Count != workers*per {
+		t.Errorf("count = %d", st.Count)
+	}
+	want := float64(per) * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8)
+	if math.Abs(st.Sum-want) > 1e-6 {
+		t.Errorf("sum = %v, want %v", st.Sum, want)
+	}
+	if st.Min != 1 || st.Max != workers {
+		t.Errorf("min/max = %v/%v", st.Min, st.Max)
+	}
+}
+
+func TestDistributionInSummary(t *testing.T) {
+	r := New()
+	r.Distribution("d.width").Observe(2)
+	r.Distribution("d.width").Observe(4)
+	sum := r.Snapshot().Summary()
+	if !strings.Contains(sum, "d.width=avg3(2)") {
+		t.Errorf("summary %q lacks distribution rendering", sum)
+	}
+}

@@ -14,6 +14,14 @@ const (
 	MetricTrainTime          = "discover.train_time"          // per-model training durations
 	MetricShareTestTime      = "discover.share_test_time"     // per-node share-scan durations
 
+	// Hot-path performance-layer metrics (the part-workspace of hotpath.go):
+	// how often the sufficient-statistics and caching fast paths actually
+	// fire, so before/after comparisons (crrbench -compare) can attribute
+	// speedups.
+	MetricStatReuse      = "discover.stat_reuse"        // Line-13 fits served from accumulated Gram statistics (counter)
+	MetricCacheHits      = "discover.column_cache_hits" // per-node feature materializations served by the column cache (counter)
+	MetricShareScanWidth = "discover.share_scan_width"  // models scanned per single-pass share scan (value distribution)
+
 	// Compaction (Algorithm 2) metrics.
 	MetricTranslations   = "compact.translations"    // rules rewritten via Translation
 	MetricFusions        = "compact.fusions"         // Fusion merges

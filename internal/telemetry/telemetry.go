@@ -1,6 +1,6 @@
 // Package telemetry provides the lightweight instrumentation layer of the
-// discovery engine: atomic counters, gauges and duration histograms grouped
-// in a Registry with a consistent snapshot API.
+// discovery engine: atomic counters, gauges, duration histograms and value
+// distributions grouped in a Registry with a consistent snapshot API.
 //
 // The package is designed for hot paths:
 //
@@ -33,6 +33,7 @@ type Registry struct {
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
 	durations map[string]*Histogram
+	dists     map[string]*Distribution
 }
 
 // New creates an empty registry.
@@ -41,6 +42,7 @@ func New() *Registry {
 		counters:  make(map[string]*Counter),
 		gauges:    make(map[string]*Gauge),
 		durations: make(map[string]*Histogram),
+		dists:     make(map[string]*Distribution),
 	}
 }
 
@@ -89,6 +91,23 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.durations[name] = h
 	}
 	return h
+}
+
+// Distribution returns the value distribution registered under name,
+// creating it on first use. On a nil registry it returns nil, which is
+// itself a no-op distribution.
+func (r *Registry) Distribution(name string) *Distribution {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.dists[name]
+	if d == nil {
+		d = newDistribution()
+		r.dists[name] = d
+	}
+	return d
 }
 
 // Time starts a wall-clock phase observation: the returned stop function
@@ -165,6 +184,66 @@ func (g *Gauge) Max() float64 {
 		return 0
 	}
 	return math.Float64frombits(g.max.Load())
+}
+
+// Distribution accumulates a dimensionless float64 value distribution —
+// count, sum, min and max — for hot-path quantities that are sizes rather
+// than durations (e.g. share-scan widths). Like every metric here it is
+// lock-free after creation and nil-safe.
+type Distribution struct {
+	count atomic.Int64
+	sum   atomic.Uint64 // float64 bits, CAS-accumulated
+	min   atomic.Uint64 // float64 bits
+	max   atomic.Uint64 // float64 bits
+}
+
+func newDistribution() *Distribution {
+	d := &Distribution{}
+	d.min.Store(math.Float64bits(math.Inf(1)))
+	d.max.Store(math.Float64bits(math.Inf(-1)))
+	return d
+}
+
+// Observe records one value. No-op on a nil distribution.
+func (d *Distribution) Observe(v float64) {
+	if d == nil {
+		return
+	}
+	d.count.Add(1)
+	for {
+		cur := d.sum.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + v)
+		if d.sum.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	for {
+		cur := d.min.Load()
+		if v >= math.Float64frombits(cur) || d.min.CompareAndSwap(cur, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		cur := d.max.Load()
+		if v <= math.Float64frombits(cur) || d.max.CompareAndSwap(cur, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// DistStat is the snapshot of one value distribution.
+type DistStat struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+}
+
+// Mean returns the average observed value (0 when empty).
+func (d DistStat) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
 }
 
 // bucketBounds are the upper bounds (inclusive) of the histogram buckets;
@@ -264,18 +343,20 @@ func (d DurationStat) Mean() time.Duration {
 // keep accumulating after the snapshot; the copy is internally consistent
 // per metric but not across metrics (no global pause).
 type Snapshot struct {
-	Counters  map[string]int64
-	Gauges    map[string]GaugeStat
-	Durations map[string]DurationStat
+	Counters      map[string]int64
+	Gauges        map[string]GaugeStat
+	Durations     map[string]DurationStat
+	Distributions map[string]DistStat
 }
 
 // Snapshot captures the current value of every registered metric. On a nil
 // registry it returns an empty (but non-nil-map) snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters:  make(map[string]int64),
-		Gauges:    make(map[string]GaugeStat),
-		Durations: make(map[string]DurationStat),
+		Counters:      make(map[string]int64),
+		Gauges:        make(map[string]GaugeStat),
+		Durations:     make(map[string]DurationStat),
+		Distributions: make(map[string]DistStat),
 	}
 	if r == nil {
 		return s
@@ -306,16 +387,28 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Durations[name] = st
 	}
+	for name, d := range r.dists {
+		st := DistStat{Count: d.count.Load(), Sum: math.Float64frombits(d.sum.Load())}
+		if st.Count > 0 {
+			st.Min = math.Float64frombits(d.min.Load())
+			st.Max = math.Float64frombits(d.max.Load())
+		}
+		s.Distributions[name] = st
+	}
 	return s
 }
 
 // Summary renders the snapshot as one sorted "name=value" line: counters as
-// integers, gauges as last/max, durations as total(count). Empty metrics
-// are included so a summary always lists everything that was registered.
+// integers, gauges as last/max, durations as total(count), distributions as
+// avg(count). Empty metrics are included so a summary always lists
+// everything that was registered.
 func (s Snapshot) Summary() string {
-	parts := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Durations))
+	parts := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Durations)+len(s.Distributions))
 	for name, v := range s.Counters {
 		parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+	}
+	for name, d := range s.Distributions {
+		parts = append(parts, fmt.Sprintf("%s=avg%.3g(%d)", name, d.Mean(), d.Count))
 	}
 	for name, g := range s.Gauges {
 		parts = append(parts, fmt.Sprintf("%s=%g/max%g", name, g.Last, g.Max))
