@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core bench bench-full fuzz vet fmt experiments examples clean
+.PHONY: all build test race race-core serve bench bench-full fuzz vet fmt experiments examples clean
 
 all: build test
 
@@ -15,10 +15,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The CI race job: discovery/compaction engines + telemetry under the detector.
+# The CI race job: discovery/compaction engines, telemetry, and the serving
+# subsystem (hot reload + drain) under the detector.
 race-core:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/experiments/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/experiments/... ./internal/serve/...
+
+# Serve a discovered artifact over HTTP (see docs/TUTORIAL.md §7):
+#   make serve RULES=rules.json [ADDR=:8080]
+RULES ?= rules.json
+ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/crrserve -rules $(RULES) -addr $(ADDR)
 
 # Every paper table/figure as a Go benchmark, at 0.1 scale.
 bench:

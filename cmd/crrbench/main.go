@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/crrlab/crr/internal/experiments"
+	"github.com/crrlab/crr/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 		compare = flag.Bool("compare", false, "run the hot-path before/after comparison (sufficient statistics vs full pass) and exit")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 5m; 0 = no limit)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		metrics = flag.String("metrics", "", "write the sweep's aggregate metrics in Prometheus text format to this path (\"-\" = stdout), the same exposition crrserve serves at /metrics")
 	)
 	flag.Parse()
 
@@ -68,10 +70,34 @@ func main() {
 		}
 		return
 	}
-	if err := run(ctx, *exp, *scale, *format); err != nil {
+	reg := telemetry.New()
+	if err := run(ctx, reg, *exp, *scale, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "crrbench:", err)
 		os.Exit(1)
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "crrbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the aggregate sweep counters in the same Prometheus
+// text exposition crrserve serves at GET /metrics.
+func writeMetrics(path string, snap telemetry.Snapshot) error {
+	if path == "-" {
+		return snap.WriteText(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runCompare renders the hot-path before/after table: the same sequential
@@ -95,13 +121,13 @@ func runCompare(ctx context.Context, scale float64) error {
 	return nil
 }
 
-func run(ctx context.Context, exp string, scale float64, format string) error {
+func run(ctx context.Context, reg *telemetry.Registry, exp string, scale float64, format string) error {
 	if format != "table" && format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", format)
 	}
 	if exp == "all" {
 		for _, e := range experiments.Registry() {
-			if err := runOne(ctx, e, scale, format); err != nil {
+			if err := runOne(ctx, reg, e, scale, format); err != nil {
 				return err
 			}
 		}
@@ -111,10 +137,10 @@ func run(ctx context.Context, exp string, scale float64, format string) error {
 	if err != nil {
 		return err
 	}
-	return runOne(ctx, e, scale, format)
+	return runOne(ctx, reg, e, scale, format)
 }
 
-func runOne(ctx context.Context, e experiments.Experiment, scale float64, format string) error {
+func runOne(ctx context.Context, reg *telemetry.Registry, e experiments.Experiment, scale float64, format string) error {
 	start := time.Now()
 	rows, err := e.Run(ctx, scale)
 	if err != nil {
@@ -133,6 +159,12 @@ func runOne(ctx context.Context, e experiments.Experiment, scale float64, format
 		shared += r.Shared
 		expanded += r.Expanded
 	}
+	// Mirror the summary totals into the registry so -metrics renders the
+	// sweep through the same exposition path the server uses.
+	reg.Counter(telemetry.MetricModelsTrained).Add(int64(trained))
+	reg.Counter(telemetry.MetricModelsShared).Add(int64(shared))
+	reg.Counter(telemetry.MetricConditionsExpanded).Add(int64(expanded))
+	reg.Histogram("bench." + e.ID + ".wall").Observe(elapsed)
 	fmt.Printf("telemetry: models trained=%d, models shared=%d, conditions expanded=%d, wall=%s\n\n",
 		trained, shared, expanded, elapsed.Round(time.Millisecond))
 	return nil

@@ -3,19 +3,21 @@ package main
 import (
 	"context"
 	"testing"
+
+	"github.com/crrlab/crr/internal/telemetry"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run(context.Background(), "tab4", 0.05, "table"); err != nil {
+	if err := run(context.Background(), telemetry.New(), "tab4", 0.05, "table"); err != nil {
 		t.Fatalf("run(tab4): %v", err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(context.Background(), "nope", 1, "table"); err == nil {
+	if err := run(context.Background(), telemetry.New(), "nope", 1, "table"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run(context.Background(), "tab4", 1, "yaml"); err == nil {
+	if err := run(context.Background(), telemetry.New(), "tab4", 1, "yaml"); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }
@@ -24,7 +26,7 @@ func TestRunAllSmallScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("all experiments take a few seconds")
 	}
-	if err := run(context.Background(), "all", 0.05, "csv"); err != nil {
+	if err := run(context.Background(), telemetry.New(), "all", 0.05, "csv"); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
 }

@@ -53,6 +53,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort discovery after this duration (e.g. 30s; 0 = no limit)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		save     = flag.String("save", "", "write the final rule set as JSON to this path")
+		metrics  = flag.String("metrics", "", "write the run's metrics in Prometheus text format to this path (\"-\" = stdout), the same exposition crrserve serves at /metrics")
 		mergeWin = flag.Float64("merge-windows", 0, "collapse touching windows whose y=δ agree within this tolerance (widens ρ accordingly)")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 		rhoM: *rhoM, predSize: *predSize, family: *family,
 		compact: *compact, tol: *tol, prune: *prune, workers: w, save: *save,
 		mergeWindows: *mergeWin, seed: *seed, timeout: *timeout, pprofAddr: *pprof,
+		metrics: *metrics,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "crrdiscover:", err)
 		os.Exit(1)
@@ -88,6 +90,7 @@ type runConfig struct {
 	seed                           int64
 	timeout                        time.Duration
 	pprofAddr                      string
+	metrics                        string
 }
 
 func run(ctx context.Context, rc runConfig) error {
@@ -244,8 +247,31 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 	stopEval()
 
 	fmt.Fprintln(w)
-	for _, line := range eval.TelemetrySummary(reg.Snapshot()) {
+	snap := reg.Snapshot()
+	for _, line := range eval.TelemetrySummary(snap) {
 		fmt.Fprintln(w, line)
 	}
+	if rc.metrics != "" {
+		if err := writeMetrics(w, rc.metrics, snap); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeMetrics dumps the snapshot in the same Prometheus text exposition
+// crrserve serves at GET /metrics, to path ("-" = the run's own output).
+func writeMetrics(w io.Writer, path string, snap telemetry.Snapshot) error {
+	if path == "-" {
+		return snap.WriteText(w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

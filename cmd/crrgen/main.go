@@ -1,0 +1,59 @@
+// Command crrgen writes one of the synthetic benchmark datasets as CSV, so
+// the crrdiscover → crrserve pipeline (and the CI smoke test) can run without
+// the throwaway generator program from the tutorial.
+//
+// Usage:
+//
+//	crrgen -gen tax -rows 5000 -out tax.csv
+//	crrgen -gen electricity -rows 20000 -out power.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+func main() {
+	var (
+		gen  = flag.String("gen", "tax", "dataset: tax or electricity")
+		rows = flag.Int("rows", 5000, "number of tuples")
+		seed = flag.Int64("seed", 1, "random seed")
+		out  = flag.String("out", "", "output CSV path (default: stdout)")
+	)
+	flag.Parse()
+	if err := run(*gen, *rows, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "crrgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gen string, rows int, seed int64, out string) error {
+	var rel *dataset.Relation
+	switch gen {
+	case "tax":
+		cfg := dataset.DefaultTaxConfig()
+		cfg.Rows = rows
+		cfg.Seed = seed
+		rel = dataset.GenerateTax(cfg)
+	case "electricity":
+		cfg := dataset.DefaultElectricityConfig()
+		cfg.Rows = rows
+		cfg.Seed = seed
+		rel = dataset.GenerateElectricity(cfg)
+	default:
+		return fmt.Errorf("unknown dataset %q (tax, electricity)", gen)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dataset.WriteCSV(w, rel)
+}

@@ -1,0 +1,103 @@
+// Command crrserve serves a discovered rule set over HTTP: predictions,
+// integrity checking and imputation against the artifact written by
+// crrdiscover -save, with production behaviors built in — per-request
+// deadlines, 429 load shedding at a configurable in-flight limit, graceful
+// drain on SIGINT/SIGTERM, and zero-downtime artifact hot reload on SIGHUP
+// or POST /v1/reload.
+//
+// Usage:
+//
+//	crrdiscover -input data.csv -y Tax -x Salary -compact -save rules.json
+//	crrserve    -rules rules.json -addr :8080
+//
+//	curl -s localhost:8080/v1/predict -d '{"tuple":{"Salary":82000,"State":"IA"}}'
+//	curl -s localhost:8080/v1/check   -d '{"tuples":[{"Salary":82000,"State":"IA","Tax":3050}]}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+//	kill -HUP $(pidof crrserve)   # re-read rules.json without dropping traffic
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/crrlab/crr/internal/serve"
+)
+
+func main() {
+	var (
+		rules      = flag.String("rules", "", "rule-set artifact to serve (crrdiscover -save; required)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		inflight   = flag.Int("max-inflight", 64, "concurrent data-plane requests before shedding with 429")
+		reqTimeout = flag.Duration("timeout", 30*time.Second, "per-request processing deadline")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		quiet      = flag.Bool("quiet", false, "suppress lifecycle log lines")
+	)
+	flag.Parse()
+	if err := run(*rules, *addr, *inflight, *reqTimeout, *drain, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "crrserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rules, addr string, inflight int, reqTimeout, drain time.Duration, quiet bool) error {
+	if rules == "" {
+		return fmt.Errorf("-rules is required (see -h)")
+	}
+	logf := log.Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := serve.New(serve.Config{
+		RulesPath:      rules,
+		MaxInFlight:    inflight,
+		RequestTimeout: reqTimeout,
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	// SIGHUP hot-reloads the artifact; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				logf("crrserve: reload failed, keeping current rules: %v", err)
+			}
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills immediately rather than draining
+
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	logf("crrserve: clean exit")
+	return nil
+}

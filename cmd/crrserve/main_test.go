@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run("", ":0", 4, time.Second, time.Second, true); err == nil {
+		t.Error("missing -rules accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "absent.json"), ":0", 4, time.Second, time.Second, true); err == nil {
+		t.Error("nonexistent artifact accepted")
+	}
+}
+
+// TestRunLifecycle drives the real entrypoint: load an artifact, serve on an
+// ephemeral port, hot-reload on SIGHUP, then exit cleanly on SIGTERM.
+func TestRunLifecycle(t *testing.T) {
+	rel := dataset.GenerateTax(dataset.TaxConfig{Rows: 400, Noise: 0.5, Seed: 4})
+	preds := predicate.Generate(rel, []int{rel.Schema.MustIndex("State")}, predicate.GeneratorConfig{})
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
+		XAttrs:  []int{rel.Schema.MustIndex("Salary")},
+		YAttr:   rel.Schema.MustIndex("Tax"),
+		RhoM:    60,
+		Preds:   preds,
+		Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rules.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteRuleSet(f, res.Rules); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(path, "127.0.0.1:0", 4, time.Second, 5*time.Second, true)
+	}()
+	time.Sleep(200 * time.Millisecond)
+
+	// SIGHUP must reload, not terminate.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("run exited on SIGHUP: %v", err)
+	default:
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want clean exit", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+}

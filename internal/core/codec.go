@@ -14,14 +14,21 @@ import (
 // expensive step) can be reused for prediction, imputation and constraint
 // checking without re-learning.
 
-// ruleSetJSON is the on-disk form of a RuleSet.
+// ruleSetJSON is the on-disk form of a RuleSet. Since format version 2 the
+// artifact also names its attributes explicitly (XNames, YName, CondAttrs)
+// so consumers such as crrserve can validate request payloads by name
+// instead of trusting positional field order; version-1 files without the
+// fields remain readable.
 type ruleSetJSON struct {
-	Version  int        `json:"version"`
-	Schema   []attrJSON `json:"schema"`
-	XAttrs   []int      `json:"x_attrs"`
-	YAttr    int        `json:"y_attr"`
-	Fallback float64    `json:"fallback"`
-	Rules    []ruleJSON `json:"rules"`
+	Version   int        `json:"version"`
+	Schema    []attrJSON `json:"schema"`
+	XAttrs    []int      `json:"x_attrs"`
+	YAttr     int        `json:"y_attr"`
+	XNames    []string   `json:"x_names,omitempty"`
+	YName     string     `json:"y_name,omitempty"`
+	CondAttrs []string   `json:"cond_attrs,omitempty"`
+	Fallback  float64    `json:"fallback"`
+	Rules     []ruleJSON `json:"rules"`
 }
 
 type attrJSON struct {
@@ -49,8 +56,13 @@ type predJSON struct {
 	Cat  bool    `json:"cat,omitempty"`
 }
 
-// codecVersion is bumped on incompatible format changes.
-const codecVersion = 1
+// codecVersion is bumped on format changes. Version 2 added the named
+// schema metadata (x_names, y_name, cond_attrs); ReadRuleSet still accepts
+// version-1 files, which simply lack the fields.
+const (
+	codecVersionLegacy = 1
+	codecVersion       = 2
+)
 
 // WriteRuleSet serializes the rule set as indented JSON.
 func WriteRuleSet(w io.Writer, s *RuleSet) error {
@@ -67,6 +79,11 @@ func WriteRuleSet(w io.Writer, s *RuleSet) error {
 				Name:        a.Name,
 				Categorical: a.Kind == dataset.Categorical,
 			})
+		}
+		out.XNames = s.XNames()
+		out.YName = s.YName()
+		for _, a := range s.CondAttrs() {
+			out.CondAttrs = append(out.CondAttrs, s.Schema.Attr(a).Name)
 		}
 	}
 	for i := range s.Rules {
@@ -97,14 +114,17 @@ func WriteRuleSet(w io.Writer, s *RuleSet) error {
 
 // ReadRuleSet deserializes a rule set written by WriteRuleSet. The returned
 // set is ready to Predict; XAttrs/YAttr/conditions are validated against the
-// embedded schema.
+// embedded schema, and when the version-2 name metadata is present it must
+// agree with the positional fields. Legacy version-1 files (without name
+// metadata) are accepted unchanged.
 func ReadRuleSet(r io.Reader) (*RuleSet, error) {
 	var in ruleSetJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: decode rule set: %w", err)
 	}
-	if in.Version != codecVersion {
-		return nil, fmt.Errorf("core: rule set version %d, want %d", in.Version, codecVersion)
+	if in.Version != codecVersionLegacy && in.Version != codecVersion {
+		return nil, fmt.Errorf("core: rule set version %d, want %d or %d",
+			in.Version, codecVersionLegacy, codecVersion)
 	}
 	attrs := make([]dataset.Attribute, len(in.Schema))
 	for i, a := range in.Schema {
@@ -132,6 +152,9 @@ func ReadRuleSet(r io.Reader) (*RuleSet, error) {
 	if err := checkAttr(in.YAttr); err != nil {
 		return nil, err
 	}
+	if err := checkNameMetadata(&in, schema); err != nil {
+		return nil, err
+	}
 	out := &RuleSet{
 		Schema:   schema,
 		XAttrs:   in.XAttrs,
@@ -153,6 +176,9 @@ func ReadRuleSet(r io.Reader) (*RuleSet, error) {
 				if err := checkAttr(pj.Attr); err != nil {
 					return nil, err
 				}
+				if pj.Op < int(predicate.Eq) || pj.Op > int(predicate.Le) {
+					return nil, fmt.Errorf("core: rule %d: unknown predicate operator %d", ri, pj.Op)
+				}
 				conj.Preds = append(conj.Preds, predicate.Predicate{
 					Attr: pj.Attr, Op: predicate.Op(pj.Op), Num: pj.Num, Str: pj.Str, Categorical: pj.Cat,
 				})
@@ -169,5 +195,44 @@ func ReadRuleSet(r io.Reader) (*RuleSet, error) {
 		}
 		out.Rules = append(out.Rules, rule)
 	}
+	if len(in.CondAttrs) > 0 {
+		declared := make(map[string]bool, len(in.CondAttrs))
+		for _, name := range in.CondAttrs {
+			declared[name] = true
+		}
+		for _, a := range out.CondAttrs() {
+			if name := schema.Attr(a).Name; !declared[name] {
+				return nil, fmt.Errorf("core: condition references attribute %q not declared in cond_attrs", name)
+			}
+		}
+	}
 	return out, nil
+}
+
+// checkNameMetadata validates the version-2 named schema metadata against
+// the positional fields: every declared name must exist in the schema and
+// agree with the corresponding index. All three fields are optional (legacy
+// version-1 files omit them), but a present field must be consistent.
+func checkNameMetadata(in *ruleSetJSON, schema *dataset.Schema) error {
+	if len(in.XNames) > 0 {
+		if len(in.XNames) != len(in.XAttrs) {
+			return fmt.Errorf("core: x_names has %d entries, x_attrs has %d", len(in.XNames), len(in.XAttrs))
+		}
+		for i, name := range in.XNames {
+			if got := schema.Attr(in.XAttrs[i]).Name; got != name {
+				return fmt.Errorf("core: x_names[%d] = %q but x_attrs[%d] names column %q", i, name, i, got)
+			}
+		}
+	}
+	if in.YName != "" {
+		if got := schema.Attr(in.YAttr).Name; got != in.YName {
+			return fmt.Errorf("core: y_name = %q but y_attr names column %q", in.YName, got)
+		}
+	}
+	for _, name := range in.CondAttrs {
+		if _, err := schema.Index(name); err != nil {
+			return fmt.Errorf("core: cond_attrs: %w", err)
+		}
+	}
+	return nil
 }

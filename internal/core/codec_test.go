@@ -101,6 +101,82 @@ func TestReadRuleSetRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestReadRuleSetLegacyV1: version-1 files predate the named schema
+// metadata and must load unchanged.
+func TestReadRuleSetLegacyV1(t *testing.T) {
+	legacy := `{"version":1,
+	  "schema":[{"name":"X"},{"name":"Y"},{"name":"Who","categorical":true}],
+	  "x_attrs":[0],"y_attr":1,"fallback":4,
+	  "rules":[{"model":{"family":"linear","linear":{"weights":[1,2]}},"rho":0.5,
+	    "cond":[{"preds":[{"attr":0,"op":3,"num":0}]}]}]}`
+	rs, err := ReadRuleSet(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy v1 rejected: %v", err)
+	}
+	if rs.NumRules() != 1 || rs.YName() != "Y" || rs.XNames()[0] != "X" {
+		t.Errorf("legacy load lost structure: %d rules, y=%q x=%v",
+			rs.NumRules(), rs.YName(), rs.XNames())
+	}
+	if got := rs.CondAttrs(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("CondAttrs = %v, want [0]", got)
+	}
+}
+
+// TestRuleSetCodecNameMetadata: version-2 files carry x_names/y_name/
+// cond_attrs, they survive a round trip, and inconsistent metadata is
+// rejected rather than silently trusted.
+func TestRuleSetCodecNameMetadata(t *testing.T) {
+	rel := piecewiseRelation(400, 0.2, 3)
+	res, err := DiscoverWithConfig(rel, discoverCfg(rel, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRuleSet(&buf, res.Rules); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if !strings.Contains(raw, `"version": 2`) || !strings.Contains(raw, `"y_name"`) ||
+		!strings.Contains(raw, `"x_names"`) {
+		t.Fatalf("v2 artifact lacks name metadata:\n%.300s", raw)
+	}
+	back, err := ReadRuleSet(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.YName() != res.Rules.YName() {
+		t.Errorf("y name changed: %q vs %q", back.YName(), res.Rules.YName())
+	}
+
+	bad := []string{
+		strings.Replace(raw, `"y_name"`, `"y_name_x"`, 1),                      // unknown field is fine...
+		strings.Replace(raw, `"version": 2`, `"version": 3`, 1),                // future version
+		strings.Replace(raw, `"op": `, `"op": 9`, 1),                           // hostile operator (prefixes a digit)
+		strings.Replace(raw, `"cond_attrs": [`, `"cond_attrs": ["nosuch",`, 1), // unknown cond attr
+	}
+	// Case 0 drops y_name entirely (renamed key is simply ignored by the
+	// decoder), which is legal; the rest must error.
+	if _, err := ReadRuleSet(strings.NewReader(bad[0])); err != nil {
+		t.Errorf("missing y_name must stay legal, got %v", err)
+	}
+	for i, c := range bad[1:] {
+		if _, err := ReadRuleSet(strings.NewReader(c)); err == nil {
+			t.Errorf("bad case %d accepted", i+1)
+		}
+	}
+
+	// Swapped metadata: declare a y_name that names a different column.
+	other := rel.Schema.Attr(0).Name
+	if other == res.Rules.YName() {
+		t.Fatalf("test setup: attr 0 is the target")
+	}
+	swapped := strings.Replace(raw,
+		`"y_name": "`+res.Rules.YName()+`"`, `"y_name": "`+other+`"`, 1)
+	if _, err := ReadRuleSet(strings.NewReader(swapped)); err == nil {
+		t.Error("mismatched y_name accepted")
+	}
+}
+
 func TestRuleSetCodecEmpty(t *testing.T) {
 	rs := &RuleSet{Schema: lineSchema(), XAttrs: []int{0}, YAttr: 1, Fallback: 3}
 	var buf bytes.Buffer

@@ -369,6 +369,51 @@ func (s *RuleSet) RMSE(rel *dataset.Relation) float64 {
 // NumRules returns |Σ|.
 func (s *RuleSet) NumRules() int { return len(s.Rules) }
 
+// XNames returns the ordered names of the regression input attributes, or
+// nil when the set carries no schema.
+func (s *RuleSet) XNames() []string {
+	if s.Schema == nil {
+		return nil
+	}
+	out := make([]string, len(s.XAttrs))
+	for i, a := range s.XAttrs {
+		out[i] = s.Schema.Attr(a).Name
+	}
+	return out
+}
+
+// YName returns the target attribute's name, or "" when the set carries no
+// schema.
+func (s *RuleSet) YName() string {
+	if s.Schema == nil {
+		return ""
+	}
+	return s.Schema.Attr(s.YAttr).Name
+}
+
+// CondAttrs returns the sorted set of attribute indices referenced by any
+// rule condition — ordinary predicates and built-in shift predicates alike.
+// These are the columns a payload must be allowed to constrain.
+func (s *RuleSet) CondAttrs() []int {
+	seen := make(map[int]bool)
+	for i := range s.Rules {
+		for _, c := range s.Rules[i].Cond.Conjs {
+			for _, p := range c.Preds {
+				seen[p.Attr] = true
+			}
+			for attr := range c.Builtin.XShift {
+				seen[attr] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // NumModels returns the number of distinct regression models among the
 // rules, where distinct means not Equal within modelTol. This is the
 // quantity model sharing minimizes.

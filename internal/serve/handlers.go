@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/impute"
+)
+
+// deadlineStride is how many tuples a batch loop processes between context
+// checks: frequent enough that an expired request stops within microseconds,
+// rare enough to stay off the per-tuple hot path.
+const deadlineStride = 256
+
+// tupleBatch is the shared request envelope of the data-plane endpoints:
+// exactly one of tuple (single) or tuples (batch).
+type tupleBatch struct {
+	Tuple  map[string]any   `json:"tuple,omitempty"`
+	Tuples []map[string]any `json:"tuples,omitempty"`
+}
+
+// decodeBatch parses the request body into schema-validated tuples.
+func decodeBatch(r *http.Request, schema *dataset.Schema) ([]dataset.Tuple, *apiError) {
+	var req tupleBatch
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, errf(http.StatusBadRequest, "decode request: %v", err)
+	}
+	switch {
+	case req.Tuple != nil && req.Tuples != nil:
+		return nil, errf(http.StatusBadRequest, `provide "tuple" or "tuples", not both`)
+	case req.Tuple != nil:
+		req.Tuples = []map[string]any{req.Tuple}
+	case len(req.Tuples) == 0:
+		return nil, errf(http.StatusBadRequest, `empty request: provide "tuple" or "tuples"`)
+	}
+	tuples, err := decodeTuples(schema, req.Tuples)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	return tuples, nil
+}
+
+// prediction is one answered tuple.
+type prediction struct {
+	// Value is f(t.X + x) + y of the first covering rule, or the training-
+	// mean fallback when Covered is false.
+	Value float64 `json:"value"`
+	// Covered reports whether some rule's condition matched the tuple.
+	Covered bool `json:"covered"`
+}
+
+// handlePredict answers POST /v1/predict through the interval-indexed
+// RuleSet.Predict — responses are bitwise identical to an in-process call.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) *apiError {
+	art := s.artifactNow()
+	tuples, aerr := decodeBatch(r, art.rules.Schema)
+	if aerr != nil {
+		return aerr
+	}
+	preds := make([]prediction, len(tuples))
+	for i, t := range tuples {
+		if i%deadlineStride == 0 {
+			if aerr := ctxExpired(r.Context()); aerr != nil {
+				return aerr
+			}
+		}
+		v, covered := art.rules.Predict(t)
+		preds[i] = prediction{Value: v, Covered: covered}
+	}
+	return writeJSON(w, struct {
+		Y           string       `json:"y"`
+		Count       int          `json:"count"`
+		Predictions []prediction `json:"predictions"`
+	}{art.rules.YName(), len(preds), preds})
+}
+
+// violationOut is one (tuple, rule) violation on the wire.
+type violationOut struct {
+	Tuple     int     `json:"tuple"`
+	Rule      int     `json:"rule"`
+	Observed  float64 `json:"observed"`
+	Predicted float64 `json:"predicted"`
+	Excess    float64 `json:"excess"`
+	// Repair is the first covering rule's prediction — the value that would
+	// satisfy the violated constraint.
+	Repair *float64 `json:"repair,omitempty"`
+}
+
+// handleCheck answers POST /v1/check: the integrity-constraint reading of
+// the rule set (§II-A), reusing core.Violations verbatim.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) *apiError {
+	art := s.artifactNow()
+	tuples, aerr := decodeBatch(r, art.rules.Schema)
+	if aerr != nil {
+		return aerr
+	}
+	if aerr := ctxExpired(r.Context()); aerr != nil {
+		return aerr
+	}
+	rel := &dataset.Relation{Schema: art.rules.Schema, Tuples: tuples}
+	vs := core.Violations(rel, art.rules)
+	out := make([]violationOut, len(vs))
+	for i, v := range vs {
+		out[i] = violationOut{
+			Tuple:     v.TupleIndex,
+			Rule:      v.RuleIndex,
+			Observed:  v.Observed,
+			Predicted: v.Predicted,
+			Excess:    v.Excess,
+		}
+		if val, ok := core.Repair(tuples[v.TupleIndex], art.rules); ok {
+			out[i].Repair = &val
+		}
+	}
+	return writeJSON(w, struct {
+		Checked    int            `json:"checked"`
+		Violations []violationOut `json:"violations"`
+	}{len(tuples), out})
+}
+
+// imputeRequest extends the shared batch envelope with the impute options.
+type imputeRequest struct {
+	tupleBatch
+	// Column names the attribute to fill; default: the artifact's target.
+	Column string `json:"column,omitempty"`
+	// UseFallback fills uncovered tuples with the training mean instead of
+	// leaving them missing.
+	UseFallback bool `json:"use_fallback,omitempty"`
+}
+
+// handleImpute answers POST /v1/impute by wrapping internal/impute over the
+// request batch: null cells of the chosen numeric column are filled from the
+// rule set, and the completed tuples are returned.
+func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) *apiError {
+	art := s.artifactNow()
+	var req imputeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return errf(http.StatusBadRequest, "decode request: %v", err)
+	}
+	switch {
+	case req.Tuple != nil && req.Tuples != nil:
+		return errf(http.StatusBadRequest, `provide "tuple" or "tuples", not both`)
+	case req.Tuple != nil:
+		req.Tuples = []map[string]any{req.Tuple}
+	case len(req.Tuples) == 0:
+		return errf(http.StatusBadRequest, `empty request: provide "tuple" or "tuples"`)
+	}
+	tuples, err := decodeTuples(art.rules.Schema, req.Tuples)
+	if err != nil {
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	col := art.rules.YAttr
+	if req.Column != "" {
+		col, err = art.rules.Schema.Index(req.Column)
+		if err != nil {
+			return errf(http.StatusBadRequest, "%v", err)
+		}
+	}
+	if aerr := ctxExpired(r.Context()); aerr != nil {
+		return aerr
+	}
+	rel := &dataset.Relation{Schema: art.rules.Schema, Tuples: tuples}
+	p := impute.RuleSetPredictor{Rules: art.rules, UseFallback: req.UseFallback}
+	st, err := impute.Fill(rel, col, p)
+	if err != nil {
+		if errors.Is(err, impute.ErrColumnKind) {
+			return errf(http.StatusBadRequest, "%v", err)
+		}
+		return errf(http.StatusInternalServerError, "%v", err)
+	}
+	out := make([]map[string]any, len(rel.Tuples))
+	for i, t := range rel.Tuples {
+		out[i] = encodeTuple(art.rules.Schema, t)
+	}
+	return writeJSON(w, struct {
+		Column  string           `json:"column"`
+		Imputed int              `json:"imputed"`
+		Failed  int              `json:"failed"`
+		Tuples  []map[string]any `json:"tuples"`
+	}{art.rules.Schema.Attr(col).Name, st.Imputed, st.Failed, out})
+}
+
+// ruleSetInfo is the GET /v1/rules summary.
+type ruleSetInfo struct {
+	Source       string    `json:"source"`
+	LoadedAt     time.Time `json:"loaded_at"`
+	X            []string  `json:"x"`
+	Y            string    `json:"y"`
+	CondAttrs    []string  `json:"cond_attrs"`
+	Rules        int       `json:"rules"`
+	Models       int       `json:"models"`
+	Conjunctions int       `json:"conjunctions"`
+	MinRho       float64   `json:"min_rho"`
+	MaxRho       float64   `json:"max_rho"`
+	Fallback     float64   `json:"fallback"`
+	Formatted    []string  `json:"formatted"`
+}
+
+// handleRules answers GET /v1/rules with the artifact summary.
+func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) *apiError {
+	art := s.artifactNow()
+	rs := art.rules
+	info := ruleSetInfo{
+		Source:       art.source,
+		LoadedAt:     art.loadedAt,
+		X:            rs.XNames(),
+		Y:            rs.YName(),
+		CondAttrs:    []string{},
+		Rules:        art.summary.Rules,
+		Models:       art.summary.Models,
+		Conjunctions: art.summary.Conjunctions,
+		MinRho:       art.summary.MinRho,
+		MaxRho:       art.summary.MaxRho,
+		Fallback:     rs.Fallback,
+	}
+	for _, a := range rs.CondAttrs() {
+		info.CondAttrs = append(info.CondAttrs, rs.Schema.Attr(a).Name)
+	}
+	for i := range rs.Rules {
+		info.Formatted = append(info.Formatted, rs.Rules[i].Format(rs.Schema))
+	}
+	return writeJSON(w, info)
+}
+
+// handleReload answers POST /v1/reload: an empty body re-reads the
+// configured artifact path; a non-empty body is parsed as a complete
+// artifact and swapped in directly (zero-downtime push deploys).
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) *apiError {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return errf(http.StatusBadRequest, "read body: %v", err)
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		if err := s.Reload(); err != nil {
+			return errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+	} else {
+		if err := s.ReloadFrom(bytes.NewReader(body), "reload-body"); err != nil {
+			return errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+	}
+	art := s.artifactNow()
+	return writeJSON(w, struct {
+		Rules    int       `json:"rules"`
+		Source   string    `json:"source"`
+		LoadedAt time.Time `json:"loaded_at"`
+	}{art.rules.NumRules(), art.source, art.loadedAt})
+}
+
+// handleHealthz answers GET /healthz. It stays outside the in-flight gate,
+// so probes keep passing while the data plane sheds load.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) *apiError {
+	art := s.artifactNow()
+	if art == nil {
+		return errf(http.StatusServiceUnavailable, "no rule set loaded")
+	}
+	return writeJSON(w, struct {
+		Status   string    `json:"status"`
+		Rules    int       `json:"rules"`
+		LoadedAt time.Time `json:"loaded_at"`
+	}{"ok", art.rules.NumRules(), art.loadedAt})
+}
+
+// handleMetrics answers GET /metrics with the Prometheus text exposition of
+// the shared telemetry registry — the same snapshot the CLIs render.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) *apiError {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.Snapshot().WriteText(w); err != nil {
+		return nil // connection-level failure; nothing to send anymore
+	}
+	return nil
+}

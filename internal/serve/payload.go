@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// Tuples cross the wire as JSON objects keyed by attribute name. The schema
+// embedded in the artifact is the contract: unknown keys are rejected (a
+// misspelled attribute must not silently become a null), values are
+// type-checked against the attribute kind, and absent keys mean missing —
+// exactly the dataset.Null the engine already treats as "satisfies no
+// predicate". Field order is irrelevant by construction.
+
+// decodeTuple builds a schema-ordered tuple from one request object.
+func decodeTuple(schema *dataset.Schema, obj map[string]any) (dataset.Tuple, error) {
+	for name := range obj {
+		if _, err := schema.Index(name); err != nil {
+			return nil, fmt.Errorf("unknown attribute %q (artifact schema: %s)", name, schemaNames(schema))
+		}
+	}
+	t := make(dataset.Tuple, schema.Len())
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		raw, present := obj[a.Name]
+		if !present || raw == nil {
+			t[i] = dataset.Null()
+			continue
+		}
+		switch a.Kind {
+		case dataset.Numeric:
+			v, ok := raw.(float64)
+			if !ok {
+				return nil, fmt.Errorf("attribute %q is numeric, got %T", a.Name, raw)
+			}
+			t[i] = dataset.Num(v)
+		case dataset.Categorical:
+			v, ok := raw.(string)
+			if !ok {
+				return nil, fmt.Errorf("attribute %q is categorical, got %T", a.Name, raw)
+			}
+			t[i] = dataset.Str(v)
+		default:
+			return nil, fmt.Errorf("attribute %q has unsupported kind %v", a.Name, a.Kind)
+		}
+	}
+	return t, nil
+}
+
+// decodeTuples decodes a batch, reporting the first offending element.
+func decodeTuples(schema *dataset.Schema, objs []map[string]any) ([]dataset.Tuple, error) {
+	out := make([]dataset.Tuple, len(objs))
+	for i, obj := range objs {
+		t, err := decodeTuple(schema, obj)
+		if err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// encodeTuple renders a tuple back into the named-object wire form. Null
+// cells render as explicit JSON nulls so imputation responses distinguish
+// "still missing" from zero.
+func encodeTuple(schema *dataset.Schema, t dataset.Tuple) map[string]any {
+	obj := make(map[string]any, schema.Len())
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		switch {
+		case t[i].Null:
+			obj[a.Name] = nil
+		case a.Kind == dataset.Categorical:
+			obj[a.Name] = t[i].Str
+		default:
+			obj[a.Name] = t[i].Num
+		}
+	}
+	return obj
+}
+
+// schemaNames renders the schema's attribute names for error messages.
+func schemaNames(schema *dataset.Schema) string {
+	s := ""
+	for i := 0; i < schema.Len(); i++ {
+		if i > 0 {
+			s += ", "
+		}
+		s += schema.Attr(i).Name
+	}
+	return s
+}

@@ -1,0 +1,497 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/impute"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+// taxRules mines a small rule set over the synthetic Tax dataset
+// (state-conditional linear tax formulas): Tax ~ Salary | State.
+func taxRules(t testing.TB, rows int) (*dataset.Relation, *core.RuleSet) {
+	t.Helper()
+	rel := dataset.GenerateTax(dataset.TaxConfig{Rows: rows, Noise: 0.5, Seed: 4})
+	state := rel.Schema.MustIndex("State")
+	preds := predicate.Generate(rel, []int{state}, predicate.GeneratorConfig{})
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
+		XAttrs:  []int{rel.Schema.MustIndex("Salary")},
+		YAttr:   rel.Schema.MustIndex("Tax"),
+		RhoM:    60,
+		Preds:   preds,
+		Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules.NumRules() == 0 {
+		t.Fatal("tax mine produced no rules")
+	}
+	return rel, res.Rules
+}
+
+// electricityRules mines over the Electricity dataset: GlobalActivePower ~
+// Sub1..Sub3 under time-windowed conditions.
+func electricityRules(t testing.TB, rows int) (*dataset.Relation, *core.RuleSet) {
+	t.Helper()
+	rel := dataset.GenerateElectricity(dataset.ElectricityConfig{Rows: rows, Noise: 0.05, Seed: 3})
+	preds := predicate.Generate(rel, []int{0}, predicate.GeneratorConfig{Kind: predicate.Binary, Size: 16})
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
+		XAttrs:  []int{4, 5, 6},
+		YAttr:   1,
+		RhoM:    0.3,
+		Preds:   preds,
+		Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules.NumRules() == 0 {
+		t.Fatal("electricity mine produced no rules")
+	}
+	return rel, res.Rules
+}
+
+// newTestServer wraps a rule set in a Server behind httptest.
+func newTestServer(t testing.TB, cfg Config, rules *core.RuleSet) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewFromRuleSet(cfg, rules, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// postJSON posts v (marshaled) and returns status and body.
+func postJSON(t testing.TB, url string, v any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func getBody(t testing.TB, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+type predictResponse struct {
+	Y           string `json:"y"`
+	Count       int    `json:"count"`
+	Predictions []struct {
+		Value   float64 `json:"value"`
+		Covered bool    `json:"covered"`
+	} `json:"predictions"`
+}
+
+// assertPredictParity posts every tuple of rel in one batch and requires the
+// HTTP answers to be BITWISE identical to in-process RuleSet.Predict —
+// coverage verdict included. JSON round-trips float64 through the shortest
+// form that re-parses to the same bits, so exact equality is the contract.
+func assertPredictParity(t *testing.T, url string, rel *dataset.Relation, rules *core.RuleSet) {
+	t.Helper()
+	objs := make([]map[string]any, rel.Len())
+	for i, tp := range rel.Tuples {
+		objs[i] = encodeTuple(rel.Schema, tp)
+	}
+	status, body := postJSON(t, url+"/v1/predict", map[string]any{"tuples": objs})
+	if status != http.StatusOK {
+		t.Fatalf("predict status %d: %s", status, body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != rel.Len() || len(resp.Predictions) != rel.Len() {
+		t.Fatalf("got %d predictions for %d tuples", len(resp.Predictions), rel.Len())
+	}
+	if want := rules.YName(); resp.Y != want {
+		t.Errorf("response y = %q, want %q", resp.Y, want)
+	}
+	mismatches := 0
+	for i, tp := range rel.Tuples {
+		want, covered := rules.Predict(tp)
+		got := resp.Predictions[i]
+		if got.Value != want || got.Covered != covered {
+			if mismatches < 5 {
+				t.Errorf("tuple %d: HTTP (%v,%v) != in-process (%v,%v)",
+					i, got.Value, got.Covered, want, covered)
+			}
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d of %d predictions diverged", mismatches, rel.Len())
+	}
+}
+
+// TestPredictParityTax / ...Electricity: end-to-end parity on two synthetic
+// datasets (acceptance criterion).
+func TestPredictParityTax(t *testing.T) {
+	rel, rules := taxRules(t, 1200)
+	_, ts := newTestServer(t, Config{}, rules)
+	assertPredictParity(t, ts.URL, rel, rules)
+}
+
+func TestPredictParityElectricity(t *testing.T) {
+	rel, rules := electricityRules(t, 1200)
+	_, ts := newTestServer(t, Config{}, rules)
+	assertPredictParity(t, ts.URL, rel, rules)
+
+	// Nulls and out-of-domain tuples answer through the same code path as
+	// in-process Predict — the fully-missing tuple must take the fallback.
+	width := rel.Schema.Len()
+	missing := make(dataset.Tuple, width)
+	for i := range missing {
+		missing[i] = dataset.Null()
+	}
+	far := missing.Clone()
+	far[4], far[5], far[6] = dataset.Num(1e9), dataset.Num(0), dataset.Num(0)
+	edgeRel := &dataset.Relation{Schema: rel.Schema, Tuples: []dataset.Tuple{missing, far}}
+	assertPredictParity(t, ts.URL, edgeRel, rules)
+	if _, covered := rules.Predict(missing); covered {
+		t.Error("fully-missing tuple unexpectedly covered in-process")
+	}
+}
+
+// TestPredictSingleTuple: the "tuple" (non-batch) envelope works and equals
+// the batch answer.
+func TestPredictSingleTuple(t *testing.T) {
+	rel, rules := taxRules(t, 800)
+	_, ts := newTestServer(t, Config{}, rules)
+	tp := rel.Tuples[7]
+	status, body := postJSON(t, ts.URL+"/v1/predict",
+		map[string]any{"tuple": encodeTuple(rel.Schema, tp)})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	want, covered := rules.Predict(tp)
+	if len(resp.Predictions) != 1 || resp.Predictions[0].Value != want || resp.Predictions[0].Covered != covered {
+		t.Fatalf("single predict = %+v, want (%v,%v)", resp.Predictions, want, covered)
+	}
+}
+
+// TestPredictPayloadValidation: the artifact schema is the contract —
+// unknown attributes, wrong types, wrong envelope and wrong method are all
+// rejected with a 4xx, never guessed at.
+func TestPredictPayloadValidation(t *testing.T) {
+	_, rules := taxRules(t, 800)
+	_, ts := newTestServer(t, Config{}, rules)
+
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown attribute", map[string]any{"tuple": map[string]any{"Salry": 100.0}}},
+		{"wrong type numeric", map[string]any{"tuple": map[string]any{"Salary": "lots"}}},
+		{"wrong type categorical", map[string]any{"tuple": map[string]any{"State": 7.0}}},
+		{"both envelopes", map[string]any{"tuple": map[string]any{}, "tuples": []map[string]any{{}}}},
+		{"empty", map[string]any{}},
+	}
+	for _, c := range cases {
+		status, body := postJSON(t, ts.URL+"/v1/predict", c.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", c.name, status, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: missing error envelope: %s", c.name, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/predict = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCheckEndpoint: violations over HTTP equal core.Violations in-process,
+// and clean data reports none.
+func TestCheckEndpoint(t *testing.T) {
+	rel, rules := taxRules(t, 800)
+	_, ts := newTestServer(t, Config{}, rules)
+
+	// Corrupt a handful of targets far beyond ρ.
+	bad := rel.Clone()
+	yattr := rules.YAttr
+	for _, i := range []int{3, 17, 99} {
+		tp := bad.Tuples[i].Clone()
+		tp[yattr] = dataset.Num(tp[yattr].Num + 5000)
+		bad.Tuples[i] = tp
+	}
+	objs := make([]map[string]any, bad.Len())
+	for i, tp := range bad.Tuples {
+		objs[i] = encodeTuple(bad.Schema, tp)
+	}
+	status, body := postJSON(t, ts.URL+"/v1/check", map[string]any{"tuples": objs})
+	if status != http.StatusOK {
+		t.Fatalf("check status %d: %s", status, body)
+	}
+	var resp struct {
+		Checked    int `json:"checked"`
+		Violations []struct {
+			Tuple     int      `json:"tuple"`
+			Rule      int      `json:"rule"`
+			Observed  float64  `json:"observed"`
+			Predicted float64  `json:"predicted"`
+			Excess    float64  `json:"excess"`
+			Repair    *float64 `json:"repair"`
+		} `json:"violations"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	want := core.Violations(bad, rules)
+	if resp.Checked != bad.Len() || len(resp.Violations) != len(want) {
+		t.Fatalf("HTTP found %d violations over %d tuples; in-process %d",
+			len(resp.Violations), resp.Checked, len(want))
+	}
+	for i, v := range want {
+		got := resp.Violations[i]
+		if got.Tuple != v.TupleIndex || got.Rule != v.RuleIndex ||
+			got.Observed != v.Observed || got.Predicted != v.Predicted || got.Excess != v.Excess {
+			t.Errorf("violation %d: HTTP %+v != in-process %+v", i, got, v)
+		}
+		if got.Repair == nil {
+			t.Errorf("violation %d: no repair for a covered tuple", i)
+		}
+	}
+
+	// The clean relation has no violations.
+	for i, tp := range rel.Tuples {
+		objs[i] = encodeTuple(rel.Schema, tp)
+	}
+	status, body = postJSON(t, ts.URL+"/v1/check", map[string]any{"tuples": objs})
+	if status != http.StatusOK {
+		t.Fatalf("clean check status %d", status)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Violations) != 0 {
+		t.Errorf("clean data produced %d violations", len(resp.Violations))
+	}
+}
+
+// TestImputeEndpoint: null target cells come back filled with exactly the
+// values internal/impute computes, and uncovered tuples stay null.
+func TestImputeEndpoint(t *testing.T) {
+	rel, rules := taxRules(t, 800)
+	_, ts := newTestServer(t, Config{}, rules)
+	yattr := rules.YAttr
+
+	masked := rel.Clone()
+	holes := []int{2, 5, 11, 42}
+	for _, i := range holes {
+		tp := masked.Tuples[i].Clone()
+		tp[yattr] = dataset.Null()
+		masked.Tuples[i] = tp
+	}
+	objs := make([]map[string]any, masked.Len())
+	for i, tp := range masked.Tuples {
+		objs[i] = encodeTuple(masked.Schema, tp)
+	}
+	status, body := postJSON(t, ts.URL+"/v1/impute", map[string]any{"tuples": objs})
+	if status != http.StatusOK {
+		t.Fatalf("impute status %d: %s", status, body)
+	}
+	var resp struct {
+		Column  string           `json:"column"`
+		Imputed int              `json:"imputed"`
+		Failed  int              `json:"failed"`
+		Tuples  []map[string]any `json:"tuples"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Column != rules.YName() {
+		t.Errorf("imputed column %q, want %q", resp.Column, rules.YName())
+	}
+
+	// In-process reference on a fresh copy of the same masked relation.
+	ref := masked.Clone()
+	st, err := impute.Fill(ref, yattr, impute.RuleSetPredictor{Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Imputed != st.Imputed || resp.Failed != st.Failed {
+		t.Errorf("HTTP imputed/failed = %d/%d, in-process %d/%d",
+			resp.Imputed, resp.Failed, st.Imputed, st.Failed)
+	}
+	yName := rules.YName()
+	for _, i := range holes {
+		want := ref.Tuples[i][yattr]
+		got, present := resp.Tuples[i][yName]
+		if want.Null {
+			if present && got != nil {
+				t.Errorf("hole %d: imputed %v, in-process left null", i, got)
+			}
+			continue
+		}
+		gv, ok := got.(float64)
+		if !ok || gv != want.Num {
+			t.Errorf("hole %d: HTTP %v, in-process %v", i, got, want.Num)
+		}
+	}
+
+	// A categorical imputation target is a 400, mirroring ErrColumnKind.
+	status, _ = postJSON(t, ts.URL+"/v1/impute", map[string]any{
+		"tuples": objs[:1], "column": "State",
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("categorical impute target: status %d, want 400", status)
+	}
+}
+
+// TestRulesHealthzMetrics: the control-plane endpoints expose the artifact
+// summary, liveness, and the registry exposition with the serving metrics.
+func TestRulesHealthzMetrics(t *testing.T) {
+	rel, rules := taxRules(t, 800)
+	reg := telemetry.New()
+	_, ts := newTestServer(t, Config{Registry: reg}, rules)
+
+	status, body := getBody(t, ts.URL+"/v1/rules")
+	if status != http.StatusOK {
+		t.Fatalf("rules status %d", status)
+	}
+	var info struct {
+		X         []string `json:"x"`
+		Y         string   `json:"y"`
+		CondAttrs []string `json:"cond_attrs"`
+		Rules     int      `json:"rules"`
+		Models    int      `json:"models"`
+		Formatted []string `json:"formatted"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Y != "Tax" || len(info.X) != 1 || info.X[0] != "Salary" {
+		t.Errorf("rules summary names x=%v y=%q", info.X, info.Y)
+	}
+	if info.Rules != rules.NumRules() || len(info.Formatted) != rules.NumRules() {
+		t.Errorf("rules summary count %d/%d formatted, want %d",
+			info.Rules, len(info.Formatted), rules.NumRules())
+	}
+	if len(info.CondAttrs) == 0 || info.CondAttrs[0] != "State" {
+		t.Errorf("cond attrs = %v, want [State]", info.CondAttrs)
+	}
+
+	status, body = getBody(t, ts.URL+"/healthz")
+	if status != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz = %d %s", status, body)
+	}
+
+	// Generate traffic, then require the registry-backed exposition to show
+	// request counts, latency histograms and predict-index hits/misses.
+	objs := make([]map[string]any, 50)
+	for i := range objs {
+		objs[i] = encodeTuple(rel.Schema, rel.Tuples[i])
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/predict", map[string]any{"tuples": objs}); status != 200 {
+		t.Fatalf("predict warmup status %d", status)
+	}
+	status, body = getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"crr_serve_predict_requests 1",
+		"# TYPE crr_serve_predict_latency histogram",
+		"crr_serve_predict_latency_count 1",
+		"crr_predict_index_lookups 50",
+		"crr_serve_in_flight_max 1",
+		"# TYPE crr_serve_healthz_requests counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestReloadBodyAndRules: POST /v1/reload with an artifact body swaps the
+// served set; a hostile body is rejected and the old set keeps serving.
+func TestReloadBodyAndRules(t *testing.T) {
+	relA, rulesA := taxRules(t, 800)
+	_, rulesB := electricityRules(t, 800)
+	reg := telemetry.New()
+	_, ts := newTestServer(t, Config{Registry: reg}, rulesA)
+
+	var artB bytes.Buffer
+	if err := core.WriteRuleSet(&artB, rulesB); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json", bytes.NewReader(artB.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	status, body := getBody(t, ts.URL+"/v1/rules")
+	if status != 200 || !strings.Contains(string(body), `"y":"GlobalActivePower"`) {
+		t.Fatalf("after reload, rules = %s", body)
+	}
+
+	// Hostile body: rejected, artifact unchanged, error counter bumped.
+	resp, err = http.Post(ts.URL+"/v1/reload", "application/json", strings.NewReader(`{"version":99}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("hostile reload status %d, want 422", resp.StatusCode)
+	}
+	_, body = getBody(t, ts.URL+"/v1/rules")
+	if !strings.Contains(string(body), `"y":"GlobalActivePower"`) {
+		t.Error("hostile reload replaced the artifact")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[telemetry.MetricServeReloads] != 1 || snap.Counters[telemetry.MetricServeReloadErrors] != 1 {
+		t.Errorf("reload counters = %d ok / %d err, want 1/1",
+			snap.Counters[telemetry.MetricServeReloads], snap.Counters[telemetry.MetricServeReloadErrors])
+	}
+	_ = relA
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4), so the same registry backs both the CLIs' summary lines
+// and crrserve's GET /metrics. Rendering happens on an immutable Snapshot —
+// scrapes never contend with the hot paths.
+//
+// Metric names are mapped to the Prometheus grammar by prefixing "crr_" and
+// replacing each non-alphanumeric rune with "_": "discover.models_trained"
+// becomes "crr_discover_models_trained". Output is sorted by name so
+// expositions are deterministic and diffable.
+
+// WriteText writes the snapshot in Prometheus text exposition format:
+//
+//   - counters as TYPE counter;
+//   - gauges as TYPE gauge, with a companion <name>_max gauge for the
+//     high-water mark;
+//   - duration histograms as TYPE histogram with cumulative le buckets in
+//     seconds plus _sum and _count;
+//   - value distributions as TYPE summary (_sum and _count) with companion
+//     <name>_min and <name>_max gauges.
+func (s Snapshot) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		ew.printf("# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		n := promName(name)
+		ew.printf("# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Last))
+		ew.printf("# TYPE %s_max gauge\n%s_max %s\n", n, n, promFloat(g.Max))
+	}
+	for _, name := range sortedKeys(s.Durations) {
+		d := s.Durations[name]
+		n := promName(name)
+		ew.printf("# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for _, b := range d.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.Le != 0 {
+				le = promFloat(b.Le.Seconds())
+			}
+			ew.printf("%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		ew.printf("%s_sum %s\n", n, promFloat(d.Total.Seconds()))
+		ew.printf("%s_count %d\n", n, d.Count)
+	}
+	for _, name := range sortedKeys(s.Distributions) {
+		d := s.Distributions[name]
+		n := promName(name)
+		ew.printf("# TYPE %s summary\n", n)
+		ew.printf("%s_sum %s\n%s_count %d\n", n, promFloat(d.Sum), n, d.Count)
+		if d.Count > 0 {
+			ew.printf("# TYPE %s_min gauge\n%s_min %s\n", n, n, promFloat(d.Min))
+			ew.printf("# TYPE %s_max gauge\n%s_max %s\n", n, n, promFloat(d.Max))
+		}
+	}
+	return ew.err
+}
+
+// errWriter folds the per-line error handling of sequential writes.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+// promName maps an internal metric name onto the Prometheus name grammar.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("crr_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float in the shortest form that round-trips.
+func promFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteTextExposition: every metric kind renders under its Prometheus
+// name with the right TYPE line, histograms are cumulative with an +Inf
+// bucket, and the output is deterministic.
+func TestWriteTextExposition(t *testing.T) {
+	reg := New()
+	reg.Counter("serve.predict.requests").Add(7)
+	reg.Gauge(MetricServeInFlight).Set(3)
+	reg.Gauge(MetricServeInFlight).Set(1)
+	reg.Histogram("serve.predict.latency").Observe(5 * time.Microsecond)
+	reg.Histogram("serve.predict.latency").Observe(2 * time.Second)
+	reg.Distribution(MetricShareScanWidth).Observe(4)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE crr_serve_predict_requests counter\ncrr_serve_predict_requests 7\n",
+		"# TYPE crr_serve_in_flight gauge\ncrr_serve_in_flight 1\n",
+		"crr_serve_in_flight_max 3\n",
+		"# TYPE crr_serve_predict_latency histogram\n",
+		`crr_serve_predict_latency_bucket{le="+Inf"} 2`,
+		"crr_serve_predict_latency_count 2\n",
+		"# TYPE crr_discover_share_scan_width summary\n",
+		"crr_discover_share_scan_width_sum 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Buckets are cumulative: the 1e-05s bucket holds the 5µs observation,
+	// every later bucket at least as much.
+	if !strings.Contains(out, `crr_serve_predict_latency_bucket{le="1e-05"} 1`) {
+		t.Errorf("missing cumulative 10µs bucket in:\n%s", out)
+	}
+
+	// Deterministic output.
+	var b2 strings.Builder
+	if err := reg.Snapshot().WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("exposition not deterministic across identical snapshots")
+	}
+}
+
+// TestWriteTextEmpty: an empty registry renders an empty exposition, and a
+// nil registry's snapshot is likewise safe.
+func TestWriteTextEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := New().Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("empty registry rendered %q", b.String())
+	}
+	var nilReg *Registry
+	if err := nilReg.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromName: internal dotted names map onto the Prometheus grammar.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"discover.models_trained": "crr_discover_models_trained",
+		"serve.predict.latency":   "crr_serve_predict_latency",
+		"weird-name with spaces":  "crr_weird_name_with_spaces",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

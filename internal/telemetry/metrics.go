@@ -31,7 +31,26 @@ const (
 	// Prediction-index metrics (RuleSet.Predict).
 	MetricIndexLookups = "predict.index_lookups" // prediction-index lookups
 	MetricIndexMisses  = "predict.index_misses"  // lookups that fell back to the training mean
+
+	// Serving-layer metrics (internal/serve). Per-endpoint metrics are
+	// derived with ServeRequests/ServeErrors/ServeLatency below.
+	MetricServeInFlight     = "serve.in_flight"     // gauge: concurrently handled API requests (Max = high-water mark)
+	MetricServeShed         = "serve.shed"          // counter: requests rejected with 429 at the in-flight limit
+	MetricServeTimeouts     = "serve.timeouts"      // counter: requests aborted by the per-request deadline
+	MetricServeReloads      = "serve.reloads"       // counter: successful rule-set hot reloads
+	MetricServeReloadErrors = "serve.reload_errors" // counter: rejected reload attempts (artifact kept)
 )
+
+// ServeRequests names the request counter of one serving endpoint, e.g.
+// "serve.predict.requests". The endpoint is the trailing path segment of the
+// route ("predict", "check", ...).
+func ServeRequests(endpoint string) string { return "serve." + endpoint + ".requests" }
+
+// ServeErrors names the error counter (4xx/5xx responses) of one endpoint.
+func ServeErrors(endpoint string) string { return "serve." + endpoint + ".errors" }
+
+// ServeLatency names the latency histogram of one serving endpoint.
+func ServeLatency(endpoint string) string { return "serve." + endpoint + ".latency" }
 
 // Phase names for wall-clock phase timing (duration histograms). CLIs time
 // their pipeline phases under these names and print them in this order.
