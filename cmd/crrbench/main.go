@@ -102,9 +102,11 @@ func writeMetrics(path string, snap telemetry.Snapshot) error {
 
 // runCompare renders the hot-path before/after table: the same sequential
 // mine with the sufficient-statistics fast path on (default) and off
-// (regress.FullPass), per dataset, with a speedup column and the output
-// identity verdict. A divergent output is an error — the fast path must not
-// change what discovery finds.
+// (regress.FullPass), plus the columnar scan engine against the
+// tuple-at-a-time reference (DiscoverConfig.RowScan), per dataset, with a
+// speedup column and the output identity verdicts. A divergent output is an
+// error — the fast path must not change what discovery finds, and the
+// columnar engine must be bitwise-identical to the row scan.
 func runCompare(ctx context.Context, scale float64) error {
 	rows, err := experiments.HotPathCompare(ctx, scale)
 	if err != nil {
@@ -116,6 +118,9 @@ func runCompare(ctx context.Context, scale float64) error {
 	for _, r := range rows {
 		if !r.Identical {
 			return fmt.Errorf("compare %s: fast and full-pass output diverged", r.Dataset)
+		}
+		if !r.Bitwise {
+			return fmt.Errorf("compare %s: columnar and row-scan output not bitwise-identical", r.Dataset)
 		}
 	}
 	return nil

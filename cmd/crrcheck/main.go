@@ -66,10 +66,35 @@ func run(input, rulesIn string, repair bool, limit int, explain bool) (int, erro
 			rel.Schema.Len(), rules.Schema.Len())
 	}
 
-	vs := core.Violations(rel, rules)
+	// One columnar mirror serves detection, repair suggestions and the
+	// per-violation explanations.
+	cs := dataset.NewColumnSet(rel)
+	vs := core.ViolationsColumns(cs, rules)
 	fmt.Printf("checked %d tuples against %d rules: %d violation(s)\n",
 		rel.Len(), rules.NumRules(), len(vs))
 	yName := rules.Schema.Attr(rules.YAttr).Name
+	shown := len(vs)
+	if limit > 0 && limit < shown {
+		shown = limit
+	}
+	var explanations []core.Explanation
+	if explain && shown > 0 {
+		sel := make([]int, 0, shown)
+		for _, v := range vs[:shown] {
+			if len(sel) == 0 || sel[len(sel)-1] != v.TupleIndex {
+				sel = append(sel, v.TupleIndex)
+			}
+		}
+		explanations = core.ExplainView(&dataset.View{Cols: cs, Sel: sel}, rules)
+		byRow := make(map[int]core.Explanation, len(sel))
+		for i, r := range sel {
+			byRow[r] = explanations[i]
+		}
+		explanations = explanations[:0]
+		for _, v := range vs[:shown] {
+			explanations = append(explanations, byRow[v.TupleIndex])
+		}
+	}
 	for i, v := range vs {
 		if limit > 0 && i >= limit {
 			fmt.Printf("... and %d more\n", len(vs)-limit)
@@ -84,7 +109,7 @@ func run(input, rulesIn string, repair bool, limit int, explain bool) (int, erro
 		}
 		fmt.Println()
 		if explain {
-			fmt.Print(core.Explain(rules, rel.Tuples[v.TupleIndex]).Format(rules))
+			fmt.Print(explanations[i].Format(rules))
 		}
 	}
 	return len(vs), nil

@@ -6,19 +6,62 @@
 //
 //	crrgen -gen tax -rows 5000 -out tax.csv
 //	crrgen -gen electricity -rows 20000 -out power.csv
+//	crrgen -gen birdmap -rows 8000 -seed 7 -out birds.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"github.com/crrlab/crr/internal/dataset"
 )
 
+// generators dispatches -gen to the five synthetic evaluation datasets; one
+// table serves the flag help, the error message and the dispatch.
+var generators = map[string]func(rows int, seed int64) *dataset.Relation{
+	"tax": func(rows int, seed int64) *dataset.Relation {
+		cfg := dataset.DefaultTaxConfig()
+		cfg.Rows, cfg.Seed = rows, seed
+		return dataset.GenerateTax(cfg)
+	},
+	"electricity": func(rows int, seed int64) *dataset.Relation {
+		cfg := dataset.DefaultElectricityConfig()
+		cfg.Rows, cfg.Seed = rows, seed
+		return dataset.GenerateElectricity(cfg)
+	},
+	"abalone": func(rows int, seed int64) *dataset.Relation {
+		cfg := dataset.DefaultAbaloneConfig()
+		cfg.Rows, cfg.Seed = rows, seed
+		return dataset.GenerateAbalone(cfg)
+	},
+	"airquality": func(rows int, seed int64) *dataset.Relation {
+		cfg := dataset.DefaultAirQualityConfig()
+		cfg.Rows, cfg.Seed = rows, seed
+		return dataset.GenerateAirQuality(cfg)
+	},
+	"birdmap": func(rows int, seed int64) *dataset.Relation {
+		cfg := dataset.DefaultBirdMapConfig()
+		cfg.Rows, cfg.Seed = rows, seed
+		return dataset.GenerateBirdMap(cfg)
+	},
+}
+
+// genNames returns the sorted dataset names for help and error text.
+func genNames() string {
+	names := make([]string, 0, len(generators))
+	for name := range generators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	var (
-		gen  = flag.String("gen", "tax", "dataset: tax or electricity")
+		gen  = flag.String("gen", "tax", "dataset: "+genNames())
 		rows = flag.Int("rows", 5000, "number of tuples")
 		seed = flag.Int64("seed", 1, "random seed")
 		out  = flag.String("out", "", "output CSV path (default: stdout)")
@@ -31,21 +74,11 @@ func main() {
 }
 
 func run(gen string, rows int, seed int64, out string) error {
-	var rel *dataset.Relation
-	switch gen {
-	case "tax":
-		cfg := dataset.DefaultTaxConfig()
-		cfg.Rows = rows
-		cfg.Seed = seed
-		rel = dataset.GenerateTax(cfg)
-	case "electricity":
-		cfg := dataset.DefaultElectricityConfig()
-		cfg.Rows = rows
-		cfg.Seed = seed
-		rel = dataset.GenerateElectricity(cfg)
-	default:
-		return fmt.Errorf("unknown dataset %q (tax, electricity)", gen)
+	generate, ok := generators[gen]
+	if !ok {
+		return fmt.Errorf("unknown dataset %q (%s)", gen, genNames())
 	}
+	rel := generate(rows, seed)
 	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)

@@ -125,7 +125,9 @@ type RuleSet struct {
 	idx   atomic.Pointer[ruleIndex]
 	idxMu sync.Mutex
 
-	lookups, misses *telemetry.Counter
+	lookups, misses        *telemetry.Counter
+	colsBuild, rowsScanned *telemetry.Counter
+	filterSel              *telemetry.Distribution
 }
 
 // Invalidate discards the lazily built prediction index; call it after
@@ -134,15 +136,22 @@ func (s *RuleSet) Invalidate() { s.idx.Store(nil) }
 
 // SetTelemetry attaches a metrics registry to the prediction path: every
 // Predict increments predict.index_lookups, and lookups that fall back to
-// the training mean increment predict.index_misses. A nil registry detaches
-// (nil counters no-op, so Predict stays branch-free).
+// the training mean increment predict.index_misses. The columnar batch path
+// (PredictBatch/PredictView) reports the same two counters per row plus the
+// columnar-engine metrics columns.build_ns, filter.rows_scanned and
+// filter.selectivity. A nil registry detaches (nil handles no-op, so both
+// paths stay branch-free).
 func (s *RuleSet) SetTelemetry(r *telemetry.Registry) {
 	if r == nil {
 		s.lookups, s.misses = nil, nil
+		s.colsBuild, s.rowsScanned, s.filterSel = nil, nil, nil
 		return
 	}
 	s.lookups = r.Counter(telemetry.MetricIndexLookups)
 	s.misses = r.Counter(telemetry.MetricIndexMisses)
+	s.colsBuild = r.Counter(telemetry.MetricColumnsBuild)
+	s.rowsScanned = r.Counter(telemetry.MetricFilterRowsScanned)
+	s.filterSel = r.Distribution(telemetry.MetricFilterSelectivity)
 }
 
 // index returns the prediction index, building it once under a mutex so
@@ -332,14 +341,17 @@ func lessEntry(a, b indexEntry) bool {
 	return a.conj < b.conj
 }
 
-// Coverage returns the fraction of tuples in rel covered by some rule.
+// Coverage returns the fraction of tuples in rel covered by some rule. It
+// classifies columnar-first (one PredictBatch pass); coverage flags equal
+// the per-tuple Predict outcome.
 func (s *RuleSet) Coverage(rel *dataset.Relation) float64 {
 	if rel.Len() == 0 {
 		return 1
 	}
+	_, covered := s.PredictBatch(rel)
 	n := 0
-	for _, t := range rel.Tuples {
-		if _, ok := s.Predict(t); ok {
+	for _, c := range covered {
+		if c {
 			n++
 		}
 	}

@@ -90,6 +90,12 @@ type DiscoverConfig struct {
 	// children cost queue work; the default single best cut matches the
 	// binary searching of the paper's complexity analysis (§V-A4).
 	Prop8Splits bool
+	// RowScan switches part materialization and split scoring to the
+	// tuple-at-a-time reference path instead of the columnar engine
+	// (dataset.ColumnSet + vectorized predicate filters). The two paths are
+	// bitwise-identical by contract; RowScan exists so the parity harness
+	// (crrbench -compare, the property tests) can assert it end to end.
+	RowScan bool
 	// Workers is the discovery worker count: 0 or 1 selects the sequential
 	// engine, n > 1 the parallel engine with n workers, negative one worker
 	// per CPU. The parallel engine trades exact ind(C) ordering for
@@ -252,24 +258,28 @@ func discoverPrep(rel *dataset.Relation, cfg *DiscoverConfig) (all []int, out *D
 type discTel struct {
 	nodes, trained, shared, shareTests, forced *telemetry.Counter
 	statReuse, cacheHits                       *telemetry.Counter
+	colsBuild, rowsScanned                     *telemetry.Counter
 	queueDepth                                 *telemetry.Gauge
 	trainTime, shareTime                       *telemetry.Histogram
-	scanWidth                                  *telemetry.Distribution
+	scanWidth, filterSel                       *telemetry.Distribution
 }
 
 func newDiscTel(r *telemetry.Registry) discTel {
 	return discTel{
-		nodes:      r.Counter(telemetry.MetricConditionsExpanded),
-		trained:    r.Counter(telemetry.MetricModelsTrained),
-		shared:     r.Counter(telemetry.MetricModelsShared),
-		shareTests: r.Counter(telemetry.MetricShareTests),
-		forced:     r.Counter(telemetry.MetricForcedRules),
-		statReuse:  r.Counter(telemetry.MetricStatReuse),
-		cacheHits:  r.Counter(telemetry.MetricCacheHits),
-		queueDepth: r.Gauge(telemetry.MetricQueueDepth),
-		trainTime:  r.Histogram(telemetry.MetricTrainTime),
-		shareTime:  r.Histogram(telemetry.MetricShareTestTime),
-		scanWidth:  r.Distribution(telemetry.MetricShareScanWidth),
+		nodes:       r.Counter(telemetry.MetricConditionsExpanded),
+		trained:     r.Counter(telemetry.MetricModelsTrained),
+		shared:      r.Counter(telemetry.MetricModelsShared),
+		shareTests:  r.Counter(telemetry.MetricShareTests),
+		forced:      r.Counter(telemetry.MetricForcedRules),
+		statReuse:   r.Counter(telemetry.MetricStatReuse),
+		cacheHits:   r.Counter(telemetry.MetricCacheHits),
+		colsBuild:   r.Counter(telemetry.MetricColumnsBuild),
+		rowsScanned: r.Counter(telemetry.MetricFilterRowsScanned),
+		queueDepth:  r.Gauge(telemetry.MetricQueueDepth),
+		trainTime:   r.Histogram(telemetry.MetricTrainTime),
+		shareTime:   r.Histogram(telemetry.MetricShareTestTime),
+		scanWidth:   r.Distribution(telemetry.MetricShareScanWidth),
+		filterSel:   r.Distribution(telemetry.MetricFilterSelectivity),
 	}
 }
 
@@ -515,6 +525,42 @@ func newSplitIndex(preds []predicate.Predicate) *splitIndex {
 	return si
 }
 
+// partScan is the per-discovery scan engine: predicate filtering, SSE
+// scoring and split selection over tuple index vectors. The default engine
+// runs columnar — vectorized predicate.Filter sweeps and dense column reads
+// over a dataset.ColumnSet built once per discovery — while RowScan selects
+// the tuple-at-a-time reference path. Both paths are bitwise-identical by
+// construction: the ColumnSet stores raw cell values, selections stay in
+// tuple order, and every float accumulation runs in the same order
+// (categorical fans sum per-value SSE in sorted value order in both modes).
+type partScan struct {
+	rel  *dataset.Relation
+	cols *dataset.ColumnSet
+	row  bool // tuple-at-a-time reference path (DiscoverConfig.RowScan)
+	// Columnar-engine telemetry; nil handles no-op.
+	rowsScanned *telemetry.Counter
+	selectivity *telemetry.Distribution
+}
+
+// filterIdxs returns the subset of idxs satisfying p, preserving order.
+func (sc *partScan) filterIdxs(idxs []int, p predicate.Predicate) []int {
+	if sc.row {
+		var out []int
+		for _, i := range idxs {
+			if p.Sat(sc.rel.Tuples[i]) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	out := p.Filter(sc.cols, idxs, nil)
+	sc.rowsScanned.Add(int64(len(idxs)))
+	if len(idxs) > 0 {
+		sc.selectivity.Observe(float64(len(out)) / float64(len(idxs)))
+	}
+	return out
+}
+
 // bestSplit chooses the split predicates (Line 19) with the regression-tree
 // strategy of [9]: group ℙ into complementary partitions — numeric {>c, ≤c}
 // pairs and per-attribute categorical equality fans — score each group by
@@ -526,8 +572,8 @@ func newSplitIndex(preds []predicate.Predicate) *splitIndex {
 // prefix sums over a split index precomputed once per discovery, so the
 // paper's default predicate space (a cut at every domain value) stays
 // affordable.
-func bestSplit(rel *dataset.Relation, idxs []int, si *splitIndex, yattr int) []childPart {
-	groups := topSplits(rel, idxs, si, yattr, 1)
+func (sc *partScan) bestSplit(idxs []int, si *splitIndex, yattr int) []childPart {
+	groups := sc.topSplits(idxs, si, yattr, 1)
 	if len(groups) == 0 {
 		return nil
 	}
@@ -545,20 +591,34 @@ type splitCandidate struct {
 
 // topSplits scores every applicable split group and materializes the
 // children of the k best (Proposition 8's multi-split when k > 1).
-func topSplits(rel *dataset.Relation, idxs []int, si *splitIndex, yattr, k int) [][]childPart {
-	total := sse(rel, idxs, yattr)
+func (sc *partScan) topSplits(idxs []int, si *splitIndex, yattr, k int) [][]childPart {
+	rel := sc.rel
+	total := sc.sse(idxs, yattr)
 	var cands []splitCandidate
 
+	var yc []float64
+	if !sc.row {
+		yc = sc.cols.Float(yattr)
+	}
 	for _, a := range si.numAttrs {
 		cuts := si.cuts[a]
 		// Sort the part once by the attribute value; prefix sums of y, y².
 		vals := make([]float64, len(idxs))
 		ys := make([]float64, len(idxs))
 		order := make([]int, len(idxs))
-		for i, ti := range idxs {
-			order[i] = i
-			vals[i] = rel.Tuples[ti][a].Num
-			ys[i] = rel.Tuples[ti][yattr].Num
+		if sc.row {
+			for i, ti := range idxs {
+				order[i] = i
+				vals[i] = rel.Tuples[ti][a].Num
+				ys[i] = rel.Tuples[ti][yattr].Num
+			}
+		} else {
+			col := sc.cols.Float(a)
+			for i, ti := range idxs {
+				order[i] = i
+				vals[i] = col[ti]
+				ys[i] = yc[ti]
+			}
 		}
 		sort.Slice(order, func(i, j int) bool { return vals[order[i]] < vals[order[j]] })
 		sortedVals := make([]float64, len(order))
@@ -602,25 +662,50 @@ func topSplits(rel *dataset.Relation, idxs []int, si *splitIndex, yattr, k int) 
 	// Categorical fans.
 	for _, a := range si.catOrder {
 		byValue := make(map[string][]int)
-		for _, ti := range idxs {
-			byValue[rel.Tuples[ti][a].Str] = append(byValue[rel.Tuples[ti][a].Str], ti)
+		if sc.row {
+			for _, ti := range idxs {
+				byValue[rel.Tuples[ti][a].Str] = append(byValue[rel.Tuples[ti][a].Str], ti)
+			}
+		} else {
+			// Group by dictionary code, then name the groups: a null cell's
+			// NullCode maps to "", matching the Str of a null Value.
+			codes := sc.cols.Codes(a)
+			dict := sc.cols.Dict(a)
+			byCode := make(map[uint32][]int)
+			for _, ti := range idxs {
+				byCode[codes[ti]] = append(byCode[codes[ti]], ti)
+			}
+			for code, part := range byCode {
+				v := ""
+				if code != dataset.NullCode {
+					v = dict[code]
+				}
+				byValue[v] = part
+			}
 		}
 		if len(byValue) < 2 {
 			continue
 		}
-		// The equality fan must cover every value present in D_C.
+		// The equality fan must cover every value present in D_C. Summing
+		// child SSEs in sorted value order — not map order — keeps the gain
+		// a deterministic float and bitwise-identical across scan modes.
 		present := si.catValues[a]
+		values := make([]string, 0, len(byValue))
 		covered := true
-		var childSSE float64
-		for v, part := range byValue {
+		for v := range byValue {
 			if !present[v] {
 				covered = false
 				break
 			}
-			childSSE += sse(rel, part, yattr)
+			values = append(values, v)
 		}
 		if !covered {
 			continue
+		}
+		sort.Strings(values)
+		var childSSE float64
+		for _, v := range values {
+			childSSE += sc.sse(byValue[v], yattr)
 		}
 		if gain := total - childSSE; gain > 0 {
 			cands = append(cands, splitCandidate{gain: gain, attr: a})
@@ -648,14 +733,14 @@ func topSplits(rel *dataset.Relation, idxs []int, si *splitIndex, yattr, k int) 
 			le := predicate.NumPred(cand.attr, predicate.Le, cand.cut)
 			gt := predicate.NumPred(cand.attr, predicate.Gt, cand.cut)
 			out = append(out, []childPart{
-				{le, filterIdxs(rel, idxs, le)},
-				{gt, filterIdxs(rel, idxs, gt)},
+				{le, sc.filterIdxs(idxs, le)},
+				{gt, sc.filterIdxs(idxs, gt)},
 			})
 			continue
 		}
 		var parts []childPart
 		for _, p := range si.catPreds[cand.attr] {
-			if sel := filterIdxs(rel, idxs, p); len(sel) > 0 {
+			if sel := sc.filterIdxs(idxs, p); len(sel) > 0 {
 				parts = append(parts, childPart{p, sel})
 			}
 		}
@@ -664,26 +749,54 @@ func topSplits(rel *dataset.Relation, idxs []int, si *splitIndex, yattr, k int) 
 	return out
 }
 
-func filterIdxs(rel *dataset.Relation, idxs []int, p predicate.Predicate) []int {
-	var out []int
-	for _, i := range idxs {
-		if p.Sat(rel.Tuples[i]) {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// sse returns Σ (y − ȳ)² over the selected tuples' target values.
-func sse(rel *dataset.Relation, idxs []int, yattr int) float64 {
+// sse returns Σ (y − ȳ)² over the selected tuples' target values. Both scan
+// modes accumulate in idxs order over identical raw values, so the result is
+// bitwise-identical.
+func (sc *partScan) sse(idxs []int, yattr int) float64 {
 	if len(idxs) == 0 {
 		return 0
 	}
 	var sum float64
 	n := 0
+	if sc.row {
+		rel := sc.rel
+		for _, i := range idxs {
+			if !rel.Tuples[i][yattr].Null {
+				sum += rel.Tuples[i][yattr].Num
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		mean := sum / float64(n)
+		var s float64
+		for _, i := range idxs {
+			if !rel.Tuples[i][yattr].Null {
+				d := rel.Tuples[i][yattr].Num - mean
+				s += d * d
+			}
+		}
+		return s
+	}
+	col := sc.cols.Float(yattr)
+	nulls := sc.cols.Nulls(yattr)
+	if nulls == nil {
+		for _, i := range idxs {
+			sum += col[i]
+		}
+		mean := sum / float64(len(idxs))
+		var s float64
+		for _, i := range idxs {
+			d := col[i] - mean
+			s += d * d
+		}
+		return s
+	}
+	isNull := func(r int) bool { return nulls[r>>6]&(1<<(uint(r)&63)) != 0 }
 	for _, i := range idxs {
-		if !rel.Tuples[i][yattr].Null {
-			sum += rel.Tuples[i][yattr].Num
+		if !isNull(i) {
+			sum += col[i]
 			n++
 		}
 	}
@@ -693,8 +806,8 @@ func sse(rel *dataset.Relation, idxs []int, yattr int) float64 {
 	mean := sum / float64(n)
 	var s float64
 	for _, i := range idxs {
-		if !rel.Tuples[i][yattr].Null {
-			d := rel.Tuples[i][yattr].Num - mean
+		if !isNull(i) {
+			d := col[i] - mean
 			s += d * d
 		}
 	}

@@ -7,8 +7,10 @@ package core
 // model set F (Line 7's hit test, then Line 12's sharing index), and the
 // from-scratch OLS fit of Line 13. This file removes all three:
 //
-//   - colCache materializes the X columns and Y once per discovery, so queue
-//     pops gather dense cached rows instead of walking dataset tuples;
+//   - the discovery-wide dataset.ColumnSet (built once per run) holds the X
+//     and Y columns contiguously, so queue pops gather dense column values
+//     instead of walking dataset tuples, and part materialization runs
+//     through the vectorized predicate filters;
 //   - regress.ShareScanner computes each model's residual envelope and fit
 //     fraction in a single sweep, returning the Proposition-6 share hit and
 //     ind(C) together;
@@ -31,54 +33,19 @@ import (
 	"github.com/crrlab/crr/internal/regress"
 )
 
-// colCache is the per-discovery column cache: the feature rows and target
-// values of every trainable tuple, materialized once. Parts are subsets of
-// the trainable indices, so per-node access is a dense-array gather with no
-// null checks. All rows share one backing allocation.
-type colCache struct {
-	rows [][]float64 // relation tuple index → cached feature row (nil ⇒ untrainable)
-	y    []float64   // relation tuple index → target value
-	dim  int
-}
-
-func newColCache(rel *dataset.Relation, all []int, xattrs []int, yattr int) *colCache {
-	c := &colCache{
-		rows: make([][]float64, rel.Len()),
-		y:    make([]float64, rel.Len()),
-		dim:  len(xattrs),
-	}
-	backing := make([]float64, len(all)*len(xattrs))
-	for _, ti := range all {
-		t := rel.Tuples[ti]
-		row := backing[:len(xattrs):len(xattrs)]
-		backing = backing[len(xattrs):]
-		for i, a := range xattrs {
-			row[i] = t[a].Num
-		}
-		c.rows[ti] = row
-		c.y[ti] = t[yattr].Num
-	}
-	return c
-}
-
-// gram accumulates a part's sufficient statistics from the cached columns,
-// in part order — the same order a full-pass fit would consume the rows, so
-// the resulting fit is bitwise identical to it.
-func (c *colCache) gram(idxs []int) *regress.Gram {
-	g := regress.NewGram(c.dim)
-	for _, ti := range idxs {
-		g.Add(c.rows[ti], c.y[ti])
-	}
-	return g
-}
-
 // hotLoop is the shared, read-only state of one discovery run's hot path.
-// Workers share it; per-worker scratch lives in partWorkspace.
+// Workers share it; per-worker scratch lives in partWorkspace. Parts are
+// materialized and scored against the run's columnar mirror (sc.cols), built
+// once; trainable rows have non-null X and Y, so per-node access is a dense
+// column gather with no null checks.
 type hotLoop struct {
 	rel   *dataset.Relation
 	cfg   *DiscoverConfig
 	si    *splitIndex
-	cache *colCache
+	sc    *partScan
+	xcols [][]float64 // sc.cols.Float per X attribute
+	ycol  []float64   // sc.cols.Float(YAttr)
+	dim   int
 	tel   discTel
 	// gram is non-nil when the sufficient-statistics fast path applies
 	// (trainer implements regress.GramTrainer and the signature has
@@ -98,19 +65,49 @@ type hotLoop struct {
 }
 
 func newHotLoop(rel *dataset.Relation, cfg *DiscoverConfig, si *splitIndex, all []int, tel discTel, exact bool) *hotLoop {
+	start := time.Now()
+	cols := dataset.NewColumnSet(rel)
+	tel.colsBuild.Add(time.Since(start).Nanoseconds())
 	hl := &hotLoop{
-		rel:     rel,
-		cfg:     cfg,
-		si:      si,
-		cache:   newColCache(rel, all, cfg.XAttrs, cfg.YAttr),
+		rel: rel,
+		cfg: cfg,
+		si:  si,
+		sc: &partScan{
+			rel:         rel,
+			cols:        cols,
+			row:         cfg.RowScan,
+			rowsScanned: tel.rowsScanned,
+			selectivity: tel.filterSel,
+		},
+		ycol:    cols.Float(cfg.YAttr),
+		dim:     len(cfg.XAttrs),
 		tel:     tel,
 		needInd: exact || cfg.Prop8Splits,
 		exact:   exact,
+	}
+	hl.xcols = make([][]float64, len(cfg.XAttrs))
+	for i, a := range cfg.XAttrs {
+		hl.xcols[i] = cols.Float(a)
 	}
 	if gt, ok := cfg.Trainer.(regress.GramTrainer); ok && len(cfg.XAttrs) > 0 {
 		hl.gram = gt
 	}
 	return hl
+}
+
+// gramOf accumulates a part's sufficient statistics from the dense columns,
+// in part order — the same order a full-pass fit would consume the rows, so
+// the resulting fit is bitwise identical to it.
+func (hl *hotLoop) gramOf(idxs []int) *regress.Gram {
+	g := regress.NewGram(hl.dim)
+	row := make([]float64, hl.dim)
+	for _, ti := range idxs {
+		for j, col := range hl.xcols {
+			row[j] = col[ti]
+		}
+		g.Add(row, hl.ycol[ti])
+	}
+	return g
 }
 
 // rootGram builds the root part's statistics (nil when the fast path does
@@ -119,7 +116,7 @@ func (hl *hotLoop) rootGram(all []int) *regress.Gram {
 	if hl.gram == nil {
 		return nil
 	}
-	return hl.cache.gram(all)
+	return hl.gramOf(all)
 }
 
 // workspace returns a fresh per-worker scratch workspace.
@@ -127,32 +124,41 @@ func (hl *hotLoop) workspace() *partWorkspace {
 	return &partWorkspace{loop: hl}
 }
 
-// partWorkspace is one worker's reusable scratch: the gathered part view and
+// partWorkspace is one worker's reusable scratch: the gathered part rows and
 // the share scanner's residual buffer. Steady-state node evaluation does not
-// allocate. The gathered x shares the cache's row storage and the outer
-// slice is recycled on the next gather, so trainers must not retain x beyond
+// allocate. The gathered x rows live in the workspace's flat backing buffer
+// and are recycled on the next gather, so trainers must not retain x beyond
 // Train (the built-in families copy or consume it inside the call).
 type partWorkspace struct {
 	loop    *hotLoop
+	flat    []float64 // row-major gather backing, reused across nodes
 	x       [][]float64
 	y       []float64
 	scanner regress.ShareScanner
 }
 
-// part gathers the cached feature rows and targets of a part.
+// part gathers a part's feature rows and targets from the dense columns — a
+// View gather assembled row-major for the trainers.
 func (ws *partWorkspace) part(idxs []int) ([][]float64, []float64) {
+	hl := ws.loop
+	dim := hl.dim
+	if cap(ws.flat) < len(idxs)*dim {
+		ws.flat = make([]float64, len(idxs)*dim)
+	}
 	if cap(ws.x) < len(idxs) {
-		ws.x = make([][]float64, 0, len(idxs))
-		ws.y = make([]float64, 0, len(idxs))
+		ws.x = make([][]float64, len(idxs))
+		ws.y = make([]float64, len(idxs))
 	}
-	x, y := ws.x[:0], ws.y[:0]
-	cache := ws.loop.cache
-	for _, ti := range idxs {
-		x = append(x, cache.rows[ti])
-		y = append(y, cache.y[ti])
+	flat, x, y := ws.flat[:len(idxs)*dim], ws.x[:len(idxs)], ws.y[:len(idxs)]
+	for i, ti := range idxs {
+		row := flat[i*dim : (i+1)*dim : (i+1)*dim]
+		for j, col := range hl.xcols {
+			row[j] = col[ti]
+		}
+		x[i] = row
+		y[i] = hl.ycol[ti]
 	}
-	ws.x, ws.y = x, y
-	ws.loop.tel.cacheHits.Inc()
+	hl.tel.cacheHits.Inc()
 	return x, y
 }
 
@@ -264,7 +270,7 @@ func (ws *partWorkspace) evaluate(item *condItem, pool []regress.Model) (nodeEva
 			k = prop8MaxGroups
 		}
 	}
-	for _, group := range topSplits(hl.rel, item.idxs, hl.si, cfg.YAttr, k) {
+	for _, group := range hl.sc.topSplits(item.idxs, hl.si, cfg.YAttr, k) {
 		ev.children = append(ev.children, hl.childItems(item, group)...)
 	}
 	if len(ev.children) == 0 {
@@ -304,7 +310,7 @@ func (hl *hotLoop) childItems(item *condItem, group []childPart) []childItem {
 		if i == largest && sibling != nil {
 			continue
 		}
-		g := hl.cache.gram(out[i].idxs)
+		g := hl.gramOf(out[i].idxs)
 		if sibling != nil {
 			sibling.Sub(g)
 		}

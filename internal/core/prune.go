@@ -112,6 +112,10 @@ func Prune(rel *dataset.Relation, s *RuleSet, opts PruneOptions) (*RuleSet, Prun
 
 	var st PruneStats
 	var merged []CRR
+	// One columnar mirror serves every coverage check of the merge loop:
+	// window parts are selected with vectorized conjunction filters instead
+	// of per-tuple Sat scans.
+	view := dataset.NewColumnSet(rel).View()
 	i := 0
 	for i < len(windows) {
 		cur := windows[i]
@@ -124,7 +128,7 @@ func Prune(rel *dataset.Relation, s *RuleSet, opts PruneOptions) (*RuleSet, Prun
 				break
 			}
 			st.Tested++
-			ok, newModel, newRho, err := tryMerge(rel, s, trainer, curConj, next.conj, alpha, relief)
+			ok, newModel, newRho, err := tryMerge(rel, view, s, trainer, curConj, next.conj, alpha, relief)
 			if err != nil {
 				return nil, st, err
 			}
@@ -158,10 +162,10 @@ func Prune(rel *dataset.Relation, s *RuleSet, opts PruneOptions) (*RuleSet, Prun
 // use the Chow-style equality test; small parts (where per-part fits nearly
 // interpolate and the test has no power) use the relief criterion on the
 // maximum error.
-func tryMerge(rel *dataset.Relation, s *RuleSet, trainer regress.Trainer,
+func tryMerge(rel *dataset.Relation, view *dataset.View, s *RuleSet, trainer regress.Trainer,
 	a, b predicate.Conjunction, alpha, relief float64) (bool, regress.Model, float64, error) {
-	partA := tupleIdxs(rel, a)
-	partB := tupleIdxs(rel, b)
+	partA := a.Filter(view.Cols, view.Sel, nil)
+	partB := b.Filter(view.Cols, view.Sel, nil)
 	if len(partA) == 0 || len(partB) == 0 {
 		return false, nil, 0, nil
 	}
@@ -214,16 +218,6 @@ func sseOf(m regress.Model, x [][]float64, y []float64) float64 {
 		s += d * d
 	}
 	return s
-}
-
-func tupleIdxs(rel *dataset.Relation, conj predicate.Conjunction) []int {
-	var out []int
-	for i, t := range rel.Tuples {
-		if conj.Sat(t) {
-			out = append(out, i)
-		}
-	}
-	return out
 }
 
 // contextKey renders a conjunction's predicates excluding the window

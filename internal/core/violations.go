@@ -29,8 +29,17 @@ type Violation struct {
 
 // Violations returns every (tuple, rule) violation in rel, ordered by tuple
 // then rule. Tuples with a null target or outside every condition violate
-// nothing.
+// nothing. Detection runs columnar-first: the relation's ColumnSet is built
+// once and every rule condition narrows a selection vector with vectorized
+// filters (ViolationsColumns). ViolationsRows is the tuple-at-a-time
+// reference implementation producing bitwise-identical output.
 func Violations(rel *dataset.Relation, s *RuleSet) []Violation {
+	return ViolationsColumns(dataset.NewColumnSetAttrs(rel, s.neededAttrs(s.YAttr)), s)
+}
+
+// ViolationsRows is the tuple-at-a-time reference implementation of
+// Violations; the property tests assert ViolationsColumns matches it.
+func ViolationsRows(rel *dataset.Relation, s *RuleSet) []Violation {
 	var out []Violation
 	for ti, t := range rel.Tuples {
 		if t[s.YAttr].Null {

@@ -57,12 +57,21 @@ func (r *Relation) Head(n int) *Relation {
 	return &Relation{Schema: r.Schema, Tuples: r.Tuples[:n]}
 }
 
-// Clone deep-copies the relation (tuples included).
+// Clone deep-copies the relation (tuples included). All cloned tuples share
+// one backing []Value allocation, sliced per tuple with capped capacity so an
+// append to one tuple cannot bleed into the next.
 func (r *Relation) Clone() *Relation {
 	out := NewRelation(r.Schema)
 	out.Tuples = make([]Tuple, len(r.Tuples))
+	total := 0
+	for _, t := range r.Tuples {
+		total += len(t)
+	}
+	backing := make([]Value, 0, total)
 	for i, t := range r.Tuples {
-		out.Tuples[i] = t.Clone()
+		start := len(backing)
+		backing = append(backing, t...)
+		out.Tuples[i] = Tuple(backing[start:len(backing):len(backing)])
 	}
 	return out
 }

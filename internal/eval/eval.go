@@ -50,23 +50,50 @@ type Predictor interface {
 	Predict(t dataset.Tuple) (float64, bool)
 }
 
+// viewPredictor is the columnar batch-classification surface (satisfied by
+// *core.RuleSet): one call classifies every selected row of a view.
+type viewPredictor interface {
+	PredictView(v *dataset.View) ([]float64, []bool)
+}
+
 // Score evaluates p on rel's yattr with fallback for uncovered tuples,
-// returning the RMSE and the evaluation wall time.
+// returning the RMSE and the evaluation wall time. Predictors exposing the
+// columnar batch surface (PredictView) are scored in one columnar pass;
+// the accumulation order and results match the per-tuple loop exactly.
 func Score(p Predictor, rel *dataset.Relation, yattr int, fallback float64) (rmse float64, elapsed time.Duration) {
 	start := time.Now()
 	var sum float64
 	n := 0
-	for _, t := range rel.Tuples {
-		if t[yattr].Null {
-			continue
+	if vp, ok := p.(viewPredictor); ok {
+		sel := make([]int, 0, rel.Len())
+		for i, t := range rel.Tuples {
+			if !t[yattr].Null {
+				sel = append(sel, i)
+			}
 		}
-		v, ok := p.Predict(t)
-		if !ok {
-			v = fallback
+		preds, covered := vp.PredictView(&dataset.View{Cols: dataset.NewColumnSet(rel), Sel: sel})
+		for j, i := range sel {
+			v := preds[j]
+			if !covered[j] {
+				v = fallback
+			}
+			d := rel.Tuples[i][yattr].Num - v
+			sum += d * d
+			n++
 		}
-		d := t[yattr].Num - v
-		sum += d * d
-		n++
+	} else {
+		for _, t := range rel.Tuples {
+			if t[yattr].Null {
+				continue
+			}
+			v, ok := p.Predict(t)
+			if !ok {
+				v = fallback
+			}
+			d := t[yattr].Num - v
+			sum += d * d
+			n++
+		}
 	}
 	elapsed = time.Since(start)
 	if n == 0 {

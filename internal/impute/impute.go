@@ -17,6 +17,25 @@ type Predictor interface {
 	Predict(t dataset.Tuple) (float64, bool)
 }
 
+// viewPredictor is the columnar batch-classification surface (satisfied by
+// *core.RuleSet and RuleSetPredictor): one call classifies every selected
+// row of a view. Fill and Evaluate use it to answer all imputation targets
+// in one columnar pass; results match the per-tuple path exactly.
+type viewPredictor interface {
+	PredictView(v *dataset.View) ([]float64, []bool)
+}
+
+// increasing reports whether rows is strictly increasing — the selection-
+// vector precondition of the columnar fast path.
+func increasing(rows []int) bool {
+	for i := 1; i < len(rows); i++ {
+		if rows[i] <= rows[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // Stats reports an imputation run.
 type Stats struct {
 	// Imputed is the number of cells filled.
@@ -39,6 +58,34 @@ func Fill(rel *dataset.Relation, col int, p Predictor) (Stats, error) {
 	}
 	start := time.Now()
 	var st Stats
+	if vp, ok := p.(viewPredictor); ok {
+		// Columnar fast path: one ColumnSet over the pre-fill snapshot, one
+		// batch classification of the null rows. The row path also predicts
+		// from unmutated tuples (each fill replaces only its own row), so the
+		// snapshot semantics are identical.
+		sel := make([]int, 0)
+		for i, t := range rel.Tuples {
+			if t[col].Null {
+				sel = append(sel, i)
+			}
+		}
+		if len(sel) > 0 {
+			cs := dataset.NewColumnSet(rel)
+			preds, oks := vp.PredictView(&dataset.View{Cols: cs, Sel: sel})
+			for j, i := range sel {
+				if !oks[j] {
+					st.Failed++
+					continue
+				}
+				nt := rel.Tuples[i].Clone()
+				nt[col] = dataset.Num(preds[j])
+				rel.Tuples[i] = nt
+				st.Imputed++
+			}
+		}
+		st.Duration = time.Since(start)
+		return st, nil
+	}
 	for i, t := range rel.Tuples {
 		if !t[col].Null {
 			continue
@@ -68,20 +115,43 @@ func Evaluate(masked, original *dataset.Relation, col int, rows []int, p Predict
 	start := time.Now()
 	var sum float64
 	n := 0
-	for _, i := range rows {
-		truth := original.Tuples[i][col]
-		if truth.Null {
-			continue
+	if vp, ok := p.(viewPredictor); ok && increasing(rows) {
+		// Columnar fast path: rows with a null ground truth are dropped
+		// before classification, exactly as the per-tuple loop skips them
+		// without bumping Failed.
+		sel := make([]int, 0, len(rows))
+		for _, i := range rows {
+			if !original.Tuples[i][col].Null {
+				sel = append(sel, i)
+			}
 		}
-		v, ok := p.Predict(masked.Tuples[i])
-		if !ok {
-			st.Failed++
-			continue
+		preds, oks := vp.PredictView(&dataset.View{Cols: dataset.NewColumnSet(masked), Sel: sel})
+		for j, i := range sel {
+			if !oks[j] {
+				st.Failed++
+				continue
+			}
+			st.Imputed++
+			d := original.Tuples[i][col].Num - preds[j]
+			sum += d * d
+			n++
 		}
-		st.Imputed++
-		d := truth.Num - v
-		sum += d * d
-		n++
+	} else {
+		for _, i := range rows {
+			truth := original.Tuples[i][col]
+			if truth.Null {
+				continue
+			}
+			v, ok := p.Predict(masked.Tuples[i])
+			if !ok {
+				st.Failed++
+				continue
+			}
+			st.Imputed++
+			d := truth.Num - v
+			sum += d * d
+			n++
+		}
 	}
 	st.Duration = time.Since(start)
 	if n == 0 {
@@ -107,4 +177,19 @@ func (r RuleSetPredictor) Predict(t dataset.Tuple) (float64, bool) {
 		return p, true
 	}
 	return 0, false
+}
+
+// PredictView implements the columnar batch surface with the same fallback
+// semantics as Predict: uncovered rows carry the rule set's training mean,
+// accepted only when UseFallback is set.
+func (r RuleSetPredictor) PredictView(v *dataset.View) ([]float64, []bool) {
+	preds, covered := r.Rules.PredictView(v)
+	if !r.UseFallback {
+		return preds, covered
+	}
+	ok := make([]bool, len(covered))
+	for i := range ok {
+		ok[i] = true
+	}
+	return preds, ok
 }

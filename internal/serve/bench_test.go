@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeBatchPredict measures the full /v1/predict path for a
+// 1000-tuple batch — decode, columnar PredictBatch classification, encode —
+// through the real handler stack. This is the serving-side number recorded
+// in BENCH_columnar.json.
+func BenchmarkServeBatchPredict(b *testing.B) {
+	rel, rules := taxRules(b, 1500)
+	srv, err := NewFromRuleSet(Config{}, rules, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	batch := rel.Head(1000)
+	objs := make([]map[string]any, batch.Len())
+	for i, tp := range batch.Tuples {
+		objs[i] = encodeTuple(batch.Schema, tp)
+	}
+	body, err := json.Marshal(map[string]any{"tuples": objs})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkPredictBatchColumnar isolates the classification core from HTTP
+// and JSON: columnar PredictBatch vs the tuple-at-a-time Predict loop on the
+// same relation and rule set.
+func BenchmarkPredictBatchColumnar(b *testing.B) {
+	rel, rules := taxRules(b, 1500)
+	batch := rel.Head(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules.PredictBatch(batch)
+	}
+}
+
+func BenchmarkPredictBatchRowwise(b *testing.B) {
+	rel, rules := taxRules(b, 1500)
+	batch := rel.Head(1000)
+	preds := make([]float64, batch.Len())
+	covered := make([]bool, batch.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, tp := range batch.Tuples {
+			preds[j], covered[j] = rules.Predict(tp)
+		}
+	}
+}

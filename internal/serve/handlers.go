@@ -13,11 +13,6 @@ import (
 	"github.com/crrlab/crr/internal/impute"
 )
 
-// deadlineStride is how many tuples a batch loop processes between context
-// checks: frequent enough that an expired request stops within microseconds,
-// rare enough to stay off the per-tuple hot path.
-const deadlineStride = 256
-
 // tupleBatch is the shared request envelope of the data-plane endpoints:
 // exactly one of tuple (single) or tuples (batch).
 type tupleBatch struct {
@@ -55,23 +50,29 @@ type prediction struct {
 	Covered bool `json:"covered"`
 }
 
-// handlePredict answers POST /v1/predict through the interval-indexed
-// RuleSet.Predict — responses are bitwise identical to an in-process call.
+// handlePredict answers POST /v1/predict. Single-tuple requests go through
+// the interval-indexed RuleSet.Predict; batches build a request-local
+// ColumnSet and classify columnar-first (PredictBatch), which is
+// bitwise-identical to the per-tuple path.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) *apiError {
 	art := s.artifactNow()
 	tuples, aerr := decodeBatch(r, art.rules.Schema)
 	if aerr != nil {
 		return aerr
 	}
+	if aerr := ctxExpired(r.Context()); aerr != nil {
+		return aerr
+	}
 	preds := make([]prediction, len(tuples))
-	for i, t := range tuples {
-		if i%deadlineStride == 0 {
-			if aerr := ctxExpired(r.Context()); aerr != nil {
-				return aerr
-			}
+	if len(tuples) == 1 {
+		v, covered := art.rules.Predict(tuples[0])
+		preds[0] = prediction{Value: v, Covered: covered}
+	} else {
+		rel := &dataset.Relation{Schema: art.rules.Schema, Tuples: tuples}
+		vals, covered := art.rules.PredictBatch(rel)
+		for i := range vals {
+			preds[i] = prediction{Value: vals[i], Covered: covered[i]}
 		}
-		v, covered := art.rules.Predict(t)
-		preds[i] = prediction{Value: v, Covered: covered}
 	}
 	return writeJSON(w, struct {
 		Y           string       `json:"y"`
@@ -93,7 +94,8 @@ type violationOut struct {
 }
 
 // handleCheck answers POST /v1/check: the integrity-constraint reading of
-// the rule set (§II-A), reusing core.Violations verbatim.
+// the rule set (§II-A), reusing core.Violations verbatim — which builds one
+// ColumnSet over the request body and detects violations columnar-first.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) *apiError {
 	art := s.artifactNow()
 	tuples, aerr := decodeBatch(r, art.rules.Schema)

@@ -22,6 +22,14 @@ const (
 	MetricCacheHits      = "discover.column_cache_hits" // per-node feature materializations served by the column cache (counter)
 	MetricShareScanWidth = "discover.share_scan_width"  // models scanned per single-pass share scan (value distribution)
 
+	// Columnar-execution metrics (dataset.ColumnSet + the vectorized
+	// predicate filters). Every layer that builds a columnar mirror or
+	// narrows a selection vector reports through these, so the cost and the
+	// effectiveness of the columnar engine are observable end to end.
+	MetricColumnsBuild      = "columns.build_ns"    // counter: cumulative ns spent building ColumnSets
+	MetricFilterSelectivity = "filter.selectivity"  // distribution: surviving fraction per vectorized filter sweep
+	MetricFilterRowsScanned = "filter.rows_scanned" // counter: selection-vector entries scanned by vectorized filters
+
 	// Compaction (Algorithm 2) metrics.
 	MetricTranslations   = "compact.translations"    // rules rewritten via Translation
 	MetricFusions        = "compact.fusions"         // Fusion merges
