@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core serve bench bench-full fuzz vet fmt experiments examples clean
+.PHONY: all build test race race-core serve bench bench-full fuzz verify verify-quick vet fmt experiments examples clean
 
 all: build test
 
@@ -43,6 +43,16 @@ bench-core:
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/predicate/ -fuzz FuzzParseDNF -fuzztime 30s
+	$(GO) test ./internal/predicate/ -fuzz FuzzImplies -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzCompactSoundness -fuzztime 30s
+
+# Differential correctness harness: cross-engine oracles, inference
+# soundness, metamorphic invariants over every built-in dataset.
+verify:
+	$(GO) run ./cmd/crrverify
+
+verify-quick:
+	$(GO) run ./cmd/crrverify -quick
 
 vet:
 	$(GO) vet ./...

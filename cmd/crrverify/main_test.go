@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickTax(t *testing.T) {
+	var buf bytes.Buffer
+	failed, err := run(context.Background(), &buf, runConfig{
+		rows: 300, quick: true, datasets: "tax", workers: 2, seed: 1, predSize: 32,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if failed {
+		t.Fatalf("harness reported divergences:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "OK:") {
+		t.Errorf("output missing OK verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "Tax") {
+		t.Errorf("output missing dataset row:\n%s", out)
+	}
+}
+
+func TestRunJSONAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	failed, err := run(context.Background(), &buf, runConfig{
+		rows: 200, quick: true, datasets: "abalone", workers: 1, seed: 1, predSize: 16,
+		jsonOut: true, metrics: "-",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if failed {
+		t.Fatalf("harness reported divergences:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"divergences"`) {
+		t.Errorf("JSON report missing divergences field:\n%s", out)
+	}
+	if !strings.Contains(out, "crr_verify_oracles_run") {
+		t.Errorf("metrics exposition missing verify counter:\n%s", out)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(context.Background(), &buf, runConfig{rows: 100, datasets: "nosuch"}); err == nil {
+		t.Fatal("expected an error for an unknown dataset name")
+	}
+}
+
+func TestRunRejectsNonPositiveRows(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(context.Background(), &buf, runConfig{rows: -1}); err == nil {
+		t.Fatal("expected an error for -rows -1")
+	}
+}

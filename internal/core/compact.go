@@ -4,6 +4,9 @@ import (
 	"container/list"
 	"context"
 	"math"
+	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
@@ -35,6 +38,60 @@ type CompactOptions struct {
 	// Telemetry receives compaction metrics (translations, fusions, implied
 	// drops, solver attempts); nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Trace, when set, receives one TraceEvent per inference application
+	// (Translation, Fusion, Implied drop) with deep copies of the rules
+	// consumed and produced, in application order. The soundness checker
+	// (internal/verify) replays these events against data to assert each
+	// application was a sound inference. Tracing is synchronous; a nil hook
+	// costs nothing.
+	Trace func(TraceEvent)
+}
+
+// TraceKind identifies one Algorithm 2 inference application.
+type TraceKind int
+
+const (
+	// TraceTranslation rewrites Pre[1] onto Pre[0]'s model (Translation +
+	// Proposition 9 builtin composition); Post is the rewritten rule.
+	TraceTranslation TraceKind = iota
+	// TraceFusion merges Pre[1] into Pre[0] (Generalization aligning ρ, then
+	// Fusion of the conditions); Post is the merged rule before the final
+	// per-rule Simplify/MergeAdjacent pass.
+	TraceFusion
+	// TraceImplied drops Pre[1] because Pre[0] implies it (Induction /
+	// Generalization, Problem 1 condition 2); Post is nil.
+	TraceImplied
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceTranslation:
+		return "translation"
+	case TraceFusion:
+		return "fusion"
+	case TraceImplied:
+		return "implied"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent records one inference application of Algorithm 2. Pre holds
+// deep copies of the rules consumed (see the TraceKind constants for their
+// roles); Post the rule produced, nil for drops.
+type TraceEvent struct {
+	Kind TraceKind
+	Pre  []CRR
+	Post *CRR
+}
+
+// cloneCRR deep-copies a rule's condition (models are immutable and shared).
+func cloneCRR(r *CRR) CRR {
+	out := *r
+	out.Cond = r.Cond.Clone()
+	out.XAttrs = append([]int(nil), r.XAttrs...)
+	return out
 }
 
 // Compact implements Algorithm 2 (CRR compaction with inference). It first
@@ -58,8 +115,15 @@ func CompactOpts(rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats) {
 // CompactCtx is Compact with explicit options and cancellation: ctx is
 // checked once per translation pivot and once per fusion candidate, so large
 // rule sets stop compacting within one iteration of cancellation. The error
-// matches both ErrCanceled and the context's own sentinel; the partial rule
-// set is not returned.
+// matches both ErrCanceled and the context's own sentinel. On cancellation
+// neither partial output nor partial statistics are returned: the result is
+// nil and the stats are zero, matching the Discover engines' nil-on-cancel
+// contract.
+//
+// Output order and CompactStats are invariant under permutation of the
+// input rules: the work set is canonically ordered (by signature, encoded
+// model, ρ and condition) before the order-sensitive translation-pivot and
+// fusion-fold phases run.
 func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*RuleSet, CompactStats, error) {
 	tol := opts.ModelTol
 	if tol <= 0 {
@@ -82,6 +146,11 @@ func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*Rule
 		work[i] = r
 		work[i].Cond = r.Cond.Clone()
 	}
+	// Canonical order: the pivot queue, the fusion fold and the implied-drop
+	// winner all depend on iteration order, so sort the work set by a total
+	// deterministic key first. Every downstream phase then produces the same
+	// output (and the same stats) for any permutation of the input.
+	sortCanonical(work)
 
 	// Lines 3–11: rule translation. The queue holds candidate pivots; when a
 	// pivot translates φ', φ' is removed from the queue — all rules of its
@@ -99,7 +168,7 @@ func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*Rule
 	}
 	for queue.Len() > 0 {
 		if err := ctx.Err(); err != nil {
-			return nil, stats, canceled(err)
+			return nil, CompactStats{}, canceled(err)
 		}
 		front := queue.Front()
 		queue.Remove(front)
@@ -118,6 +187,10 @@ func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*Rule
 			tr, ok := solveTranslationTol(pivot.Model, other.Model, tol)
 			if !ok {
 				continue
+			}
+			var pre CRR
+			if opts.Trace != nil {
+				pre = cloneCRR(other)
 			}
 			// Rewrite φ' onto the pivot's model: compose the shift into every
 			// conjunction's builtin (Proposition 9), keep ρ' and ℂ'.
@@ -140,6 +213,14 @@ func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*Rule
 			}
 			stats.Translations++
 			translations.Inc()
+			if opts.Trace != nil {
+				post := cloneCRR(&work[qi])
+				opts.Trace(TraceEvent{
+					Kind: TraceTranslation,
+					Pre:  []CRR{cloneCRR(pivot), pre},
+					Post: &post,
+				})
+			}
 			// φ' need not pivot again: its class is unified already.
 			if inQueue[qi] {
 				removeFromList(queue, qi)
@@ -154,7 +235,7 @@ func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*Rule
 	var fused []CRR
 	for i := range work {
 		if err := ctx.Err(); err != nil {
-			return nil, stats, canceled(err)
+			return nil, CompactStats{}, canceled(err)
 		}
 		merged := false
 		for j := range fused {
@@ -162,6 +243,10 @@ func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*Rule
 				// Generalization (ρ = max) then Fusion (ℂ = ℂ ∨ ℂ'),
 				// Algorithm 2 Lines 13–14, honoring the configured model
 				// tolerance.
+				var pre CRR
+				if opts.Trace != nil {
+					pre = cloneCRR(&fused[j])
+				}
 				rho := fused[j].Rho
 				if work[i].Rho > rho {
 					rho = work[i].Rho
@@ -175,6 +260,14 @@ func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*Rule
 				}
 				stats.Fusions++
 				fusions.Inc()
+				if opts.Trace != nil {
+					post := cloneCRR(&fused[j])
+					opts.Trace(TraceEvent{
+						Kind: TraceFusion,
+						Pre:  []CRR{pre, cloneCRR(&work[i])},
+						Post: &post,
+					})
+				}
 				merged = true
 				break
 			}
@@ -208,6 +301,12 @@ func CompactCtx(ctx context.Context, rules *RuleSet, opts CompactOptions) (*Rule
 				keep[j] = false
 				stats.Implied++
 				implied.Inc()
+				if opts.Trace != nil {
+					opts.Trace(TraceEvent{
+						Kind: TraceImplied,
+						Pre:  []CRR{cloneCRR(&fused[i]), cloneCRR(&fused[j])},
+					})
+				}
 			}
 		}
 	}
@@ -246,6 +345,59 @@ func anchoredShift(pivot, other *CRR, tr regress.Translation, conj predicate.Con
 		return translationBuiltin(tr, pivot.XAttrs)
 	}
 	return predicate.ZeroBuiltin().WithYShift(other.Model.Predict(x) - pivot.Model.Predict(x))
+}
+
+// sortCanonical orders rules by a total deterministic key — regression
+// signature, encoded model bytes, ρ, condition rendering — so every
+// order-sensitive compaction phase sees a permutation-independent input.
+// The sort is stable, so rules with fully identical keys keep their
+// relative input order (they are interchangeable anyway).
+func sortCanonical(rules []CRR) {
+	keys := make([]string, len(rules))
+	for i := range rules {
+		keys[i] = canonicalKey(&rules[i])
+	}
+	order := make([]int, len(rules))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	sorted := make([]CRR, len(rules))
+	for i, j := range order {
+		sorted[i] = rules[j]
+	}
+	copy(rules, sorted)
+}
+
+// canonicalKey renders a rule into a comparison key covering every field
+// that can influence compaction decisions. Models encode through the codec
+// (deterministic JSON) when the family supports it, falling back to the
+// family name plus equation rendering otherwise.
+func canonicalKey(r *CRR) string {
+	var b strings.Builder
+	b.WriteString("y")
+	b.WriteString(strconv.Itoa(r.YAttr))
+	b.WriteString("|x")
+	for _, a := range r.XAttrs {
+		b.WriteString(strconv.Itoa(a))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	switch {
+	case r.Model == nil:
+		b.WriteString("nil")
+	default:
+		if enc, err := regress.EncodeModel(r.Model); err == nil {
+			b.Write(enc)
+		} else {
+			b.WriteString(r.Model.Family())
+		}
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(r.Rho, 'g', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(r.Cond.String())
+	return b.String()
 }
 
 func removeFromList(l *list.List, v int) {

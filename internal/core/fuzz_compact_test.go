@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// FuzzCompactSoundness fuzzes Algorithm 2 over randomly generated rule sets
+// (disjoint windows, clustered slopes so Translation/Fusion/Implied all
+// fire) and asserts the inference-soundness contract on every output:
+// compaction never grows the set, never changes coverage, and predictions
+// drift at most by the documented tolerance bound.
+func FuzzCompactSoundness(f *testing.F) {
+	f.Add(int64(1), uint8(4), false)
+	f.Add(int64(2), uint8(7), true)
+	f.Add(int64(99), uint8(1), false)
+	f.Add(int64(-5), uint8(12), true)
+
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, loose bool) {
+		rules := 1 + int(n%12)
+		rng := rand.New(rand.NewSource(seed))
+		rs := &RuleSet{Schema: lineSchema(), XAttrs: []int{0}, YAttr: 1, Fallback: rng.NormFloat64()}
+		tol := 0.0
+		if loose {
+			tol = 0.01
+		}
+		for i := 0; i < rules; i++ {
+			slope := float64(1 + rng.Intn(3))
+			if loose && rng.Intn(2) == 0 {
+				slope += rng.Float64() * 0.004 // within the loose model tolerance
+			}
+			lo := float64(i * 10)
+			rs.Rules = append(rs.Rules, ruleOn(
+				regress.NewLinear(rng.NormFloat64()*20, slope),
+				0.1+rng.Float64(), condRange(lo, lo+10)))
+		}
+
+		out, stats, err := CompactCtx(context.Background(), rs, CompactOptions{ModelTol: tol})
+		if err != nil {
+			t.Fatalf("CompactCtx: %v", err)
+		}
+		if out.NumRules() > rs.NumRules() {
+			t.Fatalf("compaction grew the set: %d → %d", rs.NumRules(), out.NumRules())
+		}
+		if got := stats.Translations + stats.Fusions + stats.Implied; got > 3*rs.NumRules() {
+			t.Fatalf("implausible inference count %d for %d rules", got, rs.NumRules())
+		}
+
+		// Drift bound over the sampled domain: per slope dimension the
+		// unified parameters differ by at most the effective tolerance, and
+		// a rule passes through at most two drifting inferences.
+		effTol := tol
+		if effTol <= 0 {
+			effTol = 1e-6
+		}
+		scale := 1 + 10*float64(rules)
+		bound := 2 * (1e-9 + 2*effTol*scale)
+		for x := -5.0; x < 10*float64(rules)+5; x += 0.7 {
+			tp := lineTuple(x, 0, "a")
+			p1, ok1 := rs.Predict(tp)
+			p2, ok2 := out.Predict(tp)
+			if ok1 != ok2 {
+				t.Fatalf("coverage changed at x=%v: %v → %v", x, ok1, ok2)
+			}
+			if ok1 && math.Abs(p1-p2) > bound {
+				t.Fatalf("x=%v: prediction drift %g exceeds bound %g (tol %g)",
+					x, math.Abs(p1-p2), bound, tol)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
@@ -161,13 +162,28 @@ func solveTranslation(from, to regress.Model) (regress.Translation, bool) {
 }
 
 // solveTranslationTol is solveTranslation with an explicit parameter
-// tolerance (CompactOptions.ModelTol).
+// tolerance (CompactOptions.ModelTol). Solutions with a non-finite shift
+// are rejected here as well — defense in depth against a Translatable
+// implementation that lets NaN/Inf deltas through: applying such a shift
+// would rewrite a rule onto a model it cannot reproduce anywhere.
 func solveTranslationTol(from, to regress.Model, tol float64) (regress.Translation, bool) {
 	t, ok := from.(regress.Translatable)
 	if !ok {
 		return regress.Translation{}, false
 	}
-	return t.SolveTranslation(to, tol)
+	tr, ok := t.SolveTranslation(to, tol)
+	if !ok {
+		return regress.Translation{}, false
+	}
+	if math.IsNaN(tr.DeltaY) || math.IsInf(tr.DeltaY, 0) {
+		return regress.Translation{}, false
+	}
+	for _, d := range tr.DeltaX {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return regress.Translation{}, false
+		}
+	}
+	return tr, true
 }
 
 // translationBuiltin converts a feature-indexed Translation into an

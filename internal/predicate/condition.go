@@ -126,6 +126,12 @@ type summary struct {
 	numeric     map[int]interval
 	categorical map[int]string // attr → required value
 	contradict  bool
+	// nan marks a contradiction caused by a NaN predicate constant. Such a
+	// predicate is satisfied by no tuple (every comparison with NaN is
+	// false), so the conjunction is unsatisfiable — but entails refuses to
+	// derive implications from it: an implication "proved" from a garbage
+	// constant must never count as sound (see entails).
+	nan bool
 }
 
 func (c Conjunction) summarize() summary {
@@ -138,6 +144,16 @@ func (c Conjunction) summarize() summary {
 			}
 			s.categorical[p.Attr] = p.Str
 			continue
+		}
+		if math.IsNaN(p.Num) {
+			// A NaN constant admits no satisfying value regardless of the
+			// operator. The naive interval intersection would silently
+			// ignore it on Gt/Ge/Lt/Le (NaN comparisons are all false,
+			// leaving the interval untouched), so Normalize would "simplify"
+			// an unsatisfiable conjunction into a strictly more general one.
+			s.contradict = true
+			s.nan = true
+			return s
 		}
 		iv, ok := s.numeric[p.Attr]
 		if !ok {
@@ -232,6 +248,12 @@ func (c Conjunction) Implies(d Conjunction) bool {
 // entails reports whether the summarized solution set satisfies every
 // predicate of d.
 func (cs summary) entails(d Conjunction) bool {
+	if cs.nan {
+		// Vacuous truth is logically available (a NaN-constant conjunction
+		// covers nothing), but claiming it would let corrupted conditions
+		// imply anything; stay conservative and refuse.
+		return false
+	}
 	if cs.contradict {
 		return true
 	}

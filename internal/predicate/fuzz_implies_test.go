@@ -1,0 +1,80 @@
+package predicate
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// FuzzImplies fuzzes the implication relation ⊢ (Definition 2) against
+// ground truth: whenever p ⊢ q (or c ⊢ d for conjunctions) is claimed,
+// every sampled tuple satisfying the left side must satisfy the right side.
+// The samples sit on, just beside, and far from the fuzzed constants, and
+// the constants themselves range over NaN and ±Inf — the inputs a naive
+// interval comparison gets wrong.
+func FuzzImplies(f *testing.F) {
+	f.Add(uint8(1), 5.0, uint8(3), 3.0, uint8(2), 7.0)
+	f.Add(uint8(0), 4.0, uint8(4), 4.0, uint8(0), 4.0)
+	f.Add(uint8(1), math.NaN(), uint8(1), 2.0, uint8(2), math.Inf(1))
+	f.Add(uint8(3), -1e308, uint8(4), 1e308, uint8(1), 0.0)
+
+	f.Fuzz(func(t *testing.T, op1 uint8, c1 float64, op2 uint8, c2 float64, op3 uint8, c3 float64) {
+		p := NumPred(0, Op(op1%5), c1)
+		q := NumPred(0, Op(op2%5), c2)
+		r := NumPred(0, Op(op3%5), c3)
+
+		samples := sampleValues(c1, c2, c3)
+		if p.Implies(q) {
+			for _, v := range samples {
+				tp := dataset.Tuple{dataset.Num(v)}
+				if p.Sat(tp) && !q.Sat(tp) {
+					t.Fatalf("%v ⊢ %v claimed, but v=%v satisfies only the left side", p, q, v)
+				}
+			}
+		}
+
+		// Conjunction-level: {p ∧ r} ⊢ {q} and {p} ⊢ {q ∧ r}.
+		c := NewConjunction(p, r)
+		if c.Implies(NewConjunction(q)) {
+			for _, v := range samples {
+				tp := dataset.Tuple{dataset.Num(v)}
+				if c.Sat(tp) && !q.Sat(tp) {
+					t.Fatalf("(%v) ⊢ (%v) claimed, but v=%v is a counterexample", c, q, v)
+				}
+			}
+		}
+		d := NewConjunction(q, r)
+		if NewConjunction(p).Implies(d) {
+			for _, v := range samples {
+				tp := dataset.Tuple{dataset.Num(v)}
+				if p.Sat(tp) && !d.Sat(tp) {
+					t.Fatalf("(%v) ⊢ (%v) claimed, but v=%v is a counterexample", p, d, v)
+				}
+			}
+		}
+
+		// Normalize must never widen: the normalized conjunction cannot
+		// cover a sample the original rejects.
+		n := c.Normalize()
+		for _, v := range samples {
+			tp := dataset.Tuple{dataset.Num(v)}
+			if n.Sat(tp) && !c.Sat(tp) {
+				t.Fatalf("Normalize widened (%v) to (%v): covers v=%v", c, n, v)
+			}
+		}
+	})
+}
+
+// sampleValues returns probe points on and around each constant plus fixed
+// extremes.
+func sampleValues(cs ...float64) []float64 {
+	out := []float64{0, 1, -1, 1e308, -1e308}
+	for _, c := range cs {
+		if math.IsNaN(c) {
+			continue
+		}
+		out = append(out, c, math.Nextafter(c, math.Inf(-1)), math.Nextafter(c, math.Inf(1)))
+	}
+	return out
+}

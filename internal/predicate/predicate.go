@@ -8,6 +8,7 @@ package predicate
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -93,9 +94,14 @@ func (p Predicate) Sat(t dataset.Tuple) bool {
 
 // Implies reports whether p ⊢ q for two predicates over the same attribute:
 // every tuple satisfying p satisfies q. Predicates on different attributes
-// never imply one another.
+// never imply one another. NaN constants on either side never imply: every
+// NaN comparison below is already false, but the guard makes the contract
+// explicit — implications must not be derived from garbage constants.
 func (p Predicate) Implies(q Predicate) bool {
 	if p.Attr != q.Attr || p.Categorical != q.Categorical {
+		return false
+	}
+	if !p.Categorical && (math.IsNaN(p.Num) || math.IsNaN(q.Num)) {
 		return false
 	}
 	if p.Categorical {

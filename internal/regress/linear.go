@@ -47,13 +47,17 @@ func (m *Linear) Dim() int { return len(m.W) - 1 }
 func (m *Linear) Family() string { return m.family }
 
 // Equal implements Model: same family, same width, all weights within tol.
+// The comparison is NaN-robust: a non-finite weight on either side (or an
+// Inf−Inf difference) never compares equal — math.Abs(NaN) > tol is false,
+// so the naive form would silently treat NaN weights as identical and leak
+// unsound model sharing into discovery and compaction.
 func (m *Linear) Equal(other Model, tol float64) bool {
 	o, ok := other.(*Linear)
 	if !ok || o.family != m.family || len(o.W) != len(m.W) {
 		return false
 	}
 	for i := range m.W {
-		if math.Abs(m.W[i]-o.W[i]) > tol {
+		if !(math.Abs(m.W[i]-o.W[i]) <= tol) {
 			return false
 		}
 	}
@@ -75,17 +79,24 @@ func (m *Linear) IsConstant(tol float64) bool {
 // other(X) = m(X+Δ)+δ holds for any Δ, δ with Σ aᵢΔᵢ + δ = b₀ − a₀. We
 // return the canonical pure-output solution Δ = 0, δ = b₀ − a₀ (matching
 // the paper's Tax example, where f5 = f4 − 230 gives y = −230).
+// Non-finite weights never solve: the slope comparison is NaN-robust (see
+// Equal) and a non-finite δ — e.g. from an Inf intercept — would make the
+// Translation inference unsound, so it is rejected.
 func (m *Linear) SolveTranslation(other Model, tol float64) (Translation, bool) {
 	o, ok := other.(*Linear)
 	if !ok || len(o.W) != len(m.W) {
 		return Translation{}, false
 	}
 	for i := 1; i < len(m.W); i++ {
-		if math.Abs(m.W[i]-o.W[i]) > tol {
+		if !(math.Abs(m.W[i]-o.W[i]) <= tol) {
 			return Translation{}, false
 		}
 	}
-	return Translation{DeltaY: o.W[0] - m.W[0]}, true
+	dy := o.W[0] - m.W[0]
+	if math.IsNaN(dy) || math.IsInf(dy, 0) {
+		return Translation{}, false
+	}
+	return Translation{DeltaY: dy}, true
 }
 
 // String renders the model equation.

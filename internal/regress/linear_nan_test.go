@@ -1,0 +1,70 @@
+package regress
+
+import (
+	"math"
+	"testing"
+)
+
+// Non-finite model parameters must never compare as "equal" or produce a
+// translation: math.Abs(NaN) > tol is false, so a naively written tolerance
+// comparison silently treats NaN weights as matching everything.
+
+func TestLinearEqualNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		a, b *Linear
+		tol  float64
+		want bool
+	}{
+		{"identical", NewLinear(1, 2), NewLinear(1, 2), 0, true},
+		{"within-tol", NewLinear(1, 2), NewLinear(1+1e-9, 2), 1e-6, true},
+		{"outside-tol", NewLinear(1, 2), NewLinear(1.1, 2), 1e-6, false},
+		{"nan-intercept-left", NewLinear(nan, 2), NewLinear(1, 2), 1e-6, false},
+		{"nan-intercept-right", NewLinear(1, 2), NewLinear(nan, 2), 1e-6, false},
+		{"nan-both", NewLinear(nan, 2), NewLinear(nan, 2), 1e-6, false},
+		{"nan-slope", NewLinear(1, nan), NewLinear(1, 2), 1e-6, false},
+		{"inf-intercept", NewLinear(inf, 2), NewLinear(1, 2), 1e-6, false},
+		{"inf-both", NewLinear(inf, 2), NewLinear(inf, 2), 1e-6, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Equal(tc.b, tc.tol); got != tc.want {
+				t.Errorf("Equal(%v, %v, %g) = %v, want %v", tc.a, tc.b, tc.tol, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSolveTranslationNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name  string
+		pivot *Linear
+		other *Linear
+		ok    bool
+		dy    float64
+	}{
+		{"plain-shift", NewLinear(1, 2), NewLinear(4, 2), true, 3},
+		{"slope-mismatch", NewLinear(1, 2), NewLinear(4, 3), false, 0},
+		{"nan-pivot-intercept", NewLinear(nan, 2), NewLinear(4, 2), false, 0},
+		{"nan-other-intercept", NewLinear(1, 2), NewLinear(nan, 2), false, 0},
+		{"nan-slope", NewLinear(1, nan), NewLinear(4, nan), false, 0},
+		{"inf-intercept", NewLinear(inf, 2), NewLinear(4, 2), false, 0},
+		{"both-inf-intercepts", NewLinear(inf, 2), NewLinear(inf, 2), false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, ok := tc.pivot.SolveTranslation(tc.other, 1e-6)
+			if ok != tc.ok {
+				t.Fatalf("SolveTranslation ok = %v, want %v (tr %+v)", ok, tc.ok, tr)
+			}
+			if ok && tr.DeltaY != tc.dy {
+				t.Errorf("DeltaY = %g, want %g", tr.DeltaY, tc.dy)
+			}
+			if ok && (math.IsNaN(tr.DeltaY) || math.IsInf(tr.DeltaY, 0)) {
+				t.Errorf("accepted translation carries non-finite δ: %+v", tr)
+			}
+		})
+	}
+}

@@ -40,6 +40,12 @@ const (
 	MetricIndexLookups = "predict.index_lookups" // prediction-index lookups
 	MetricIndexMisses  = "predict.index_misses"  // lookups that fell back to the training mean
 
+	// Verification metrics (internal/verify + crrverify): how many oracle
+	// checks the differential harness executed and how many divergences it
+	// found. A healthy run reports oracles_run > 0 and divergences == 0.
+	MetricVerifyOraclesRun  = "verify.oracles_run" // counter: oracle checks executed
+	MetricVerifyDivergences = "verify.divergences" // counter: divergences detected
+
 	// Serving-layer metrics (internal/serve). Per-endpoint metrics are
 	// derived with ServeRequests/ServeErrors/ServeLatency below.
 	MetricServeInFlight     = "serve.in_flight"     // gauge: concurrently handled API requests (Max = high-water mark)

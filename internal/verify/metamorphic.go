@@ -1,0 +1,269 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// Metamorphic invariants: discovery is a function of the data's semantics,
+// not its presentation. Four presentation-preserving transforms must leave
+// the discovered rule semantics invariant:
+//
+//   - Row permutation: the relation is a bag; shuffling rows may reorder the
+//     rule list but must classify every tuple the same.
+//   - Row duplication: doubling every row (with MinSupport doubled to keep
+//     the split-stopping decisions aligned) changes no fitted model.
+//   - Attribute renaming: discovery works on column indices, so renaming is
+//     invisible — the rule sets must be bitwise identical.
+//   - Unit translation: shifting every x by Δ and every y by δ (a change of
+//     measurement origin) must shift predictions by exactly δ.
+//
+// Predictions are compared with a small relative tolerance where the
+// transform legitimately reorders floating-point accumulation (permutation,
+// duplication, translation); coverage is always exact. On a violation the
+// failing transform is re-run on shrinking row subsets (a budgeted ddmin) to
+// attach a minimized reproducer.
+
+// Unit-translation shifts. Powers of two, so adding them to the generators'
+// moderate value ranges is exact and predicate cut points translate with the
+// data.
+const (
+	metaShiftX = 32.0
+	metaShiftY = 0.5
+)
+
+// metaCheck runs one transform on a target and returns a divergence detail
+// ("" on agreement).
+type metaCheck func(ctx context.Context, rn *runner, t Target) (string, error)
+
+// metamorphic runs the transform suite on the target.
+func (rn *runner) metamorphic(ctx context.Context, t Target) error {
+	checks := []struct {
+		name  string
+		check metaCheck
+	}{
+		{"metamorphic/permutation", permutationCheck},
+		{"metamorphic/duplication", duplicationCheck},
+		{"metamorphic/renaming", renamingCheck},
+		{"metamorphic/translation", translationCheck},
+	}
+	for _, c := range checks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		detail, err := c.check(ctx, rn, t)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		if detail == "" {
+			rn.pass()
+			continue
+		}
+		rn.failRepro(c.name, detail, rn.minimizeRows(ctx, t, c.check))
+	}
+	return nil
+}
+
+// discoverRules mines rel with the target's oracle configuration and an
+// explicit MinSupport (the transforms scale it alongside the data).
+func (rn *runner) discoverRules(ctx context.Context, t Target, rel *dataset.Relation, minSupport int) (*core.RuleSet, error) {
+	cfg := baseConfig(t, rel, rn.opts.PredSize)
+	cfg.MinSupport = minSupport
+	res, err := core.Discover(ctx, rel, core.WithConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return res.Rules, nil
+}
+
+// minSupportFor is the engine's default floor, pinned explicitly so the
+// duplication transform can double it.
+func minSupportFor(t Target) int { return len(t.XAttrs) + 2 }
+
+// semClose compares predictions allowing for reordered floating-point
+// accumulation in the model fits.
+func semClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// permutationCheck: discovery on a shuffled clone must classify every
+// original tuple the same.
+func permutationCheck(ctx context.Context, rn *runner, t Target) (string, error) {
+	base, err := rn.discoverRules(ctx, t, t.Rel, minSupportFor(t))
+	if err != nil {
+		return "", err
+	}
+	perm := t.Rel.Clone()
+	perm.Shuffle(rand.New(rand.NewSource(rn.opts.Seed ^ 0x5eed)))
+	permuted, err := rn.discoverRules(ctx, t, perm, minSupportFor(t))
+	if err != nil {
+		return "", err
+	}
+	for i, tp := range t.Rel.Tuples {
+		p1, c1 := base.Predict(tp)
+		p2, c2 := permuted.Predict(tp)
+		if c1 != c2 {
+			return fmt.Sprintf("row %d: coverage %v vs %v after shuffling", i, c1, c2), nil
+		}
+		if c1 && !semClose(p1, p2) {
+			return fmt.Sprintf("row %d: prediction %g vs %g after shuffling", i, p1, p2), nil
+		}
+	}
+	return "", nil
+}
+
+// duplicationCheck: doubling every row (and MinSupport with it) must leave
+// classification unchanged.
+func duplicationCheck(ctx context.Context, rn *runner, t Target) (string, error) {
+	base, err := rn.discoverRules(ctx, t, t.Rel, minSupportFor(t))
+	if err != nil {
+		return "", err
+	}
+	dup := &dataset.Relation{Schema: t.Rel.Schema}
+	dup.Tuples = append(append([]dataset.Tuple{}, t.Rel.Tuples...), t.Rel.Tuples...)
+	doubled, err := rn.discoverRules(ctx, t, dup, 2*minSupportFor(t))
+	if err != nil {
+		return "", err
+	}
+	for i, tp := range t.Rel.Tuples {
+		p1, c1 := base.Predict(tp)
+		p2, c2 := doubled.Predict(tp)
+		if c1 != c2 {
+			return fmt.Sprintf("row %d: coverage %v vs %v after duplication", i, c1, c2), nil
+		}
+		if c1 && !semClose(p1, p2) {
+			return fmt.Sprintf("row %d: prediction %g vs %g after duplication", i, p1, p2), nil
+		}
+	}
+	return "", nil
+}
+
+// renamingCheck: discovery must be invisible to attribute names — the rule
+// sets are compared bitwise.
+func renamingCheck(ctx context.Context, rn *runner, t Target) (string, error) {
+	base, err := rn.discoverRules(ctx, t, t.Rel, minSupportFor(t))
+	if err != nil {
+		return "", err
+	}
+	attrs := t.Rel.Schema.Attrs()
+	for i := range attrs {
+		attrs[i].Name = fmt.Sprintf("c%d_%s", i, attrs[i].Name)
+	}
+	schema, err := dataset.NewSchema(attrs...)
+	if err != nil {
+		return "", err
+	}
+	renamed, err := rn.discoverRules(ctx, t, &dataset.Relation{Schema: schema, Tuples: t.Rel.Tuples}, minSupportFor(t))
+	if err != nil {
+		return "", err
+	}
+	if d := diffRuleSets(base, renamed); d != "" {
+		return "renaming changed the rules: " + d, nil
+	}
+	return "", nil
+}
+
+// translationCheck: shifting x by Δ and y by δ must shift every prediction
+// by exactly δ and change no coverage.
+func translationCheck(ctx context.Context, rn *runner, t Target) (string, error) {
+	base, err := rn.discoverRules(ctx, t, t.Rel, minSupportFor(t))
+	if err != nil {
+		return "", err
+	}
+	shifted := t.Rel.Clone()
+	for _, tp := range shifted.Tuples {
+		for _, a := range t.XAttrs {
+			if !tp[a].Null {
+				tp[a].Num += metaShiftX
+			}
+		}
+		if !tp[t.YAttr].Null {
+			tp[t.YAttr].Num += metaShiftY
+		}
+	}
+	tt := t
+	tt.Rel = shifted
+	translated, err := rn.discoverRules(ctx, tt, shifted, minSupportFor(t))
+	if err != nil {
+		return "", err
+	}
+	for i := range t.Rel.Tuples {
+		p1, c1 := base.Predict(t.Rel.Tuples[i])
+		p2, c2 := translated.Predict(shifted.Tuples[i])
+		if c1 != c2 {
+			return fmt.Sprintf("row %d: coverage %v vs %v after translation", i, c1, c2), nil
+		}
+		if c1 && !semClose(p2, p1+metaShiftY) {
+			return fmt.Sprintf("row %d: prediction %g, want %g+δ = %g", i, p2, p1, p1+metaShiftY), nil
+		}
+	}
+	return "", nil
+}
+
+// minimizeRows shrinks the target's row set while the check keeps failing —
+// a budgeted ddmin over complements — and renders the surviving subset as a
+// reproducer description. Returns "" if the failure does not reproduce on
+// the full set (a flaky check is itself worth reporting as such).
+func (rn *runner) minimizeRows(ctx context.Context, t Target, check metaCheck) string {
+	failsOn := func(rows []int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		sub := &dataset.Relation{Schema: t.Rel.Schema, Tuples: make([]dataset.Tuple, len(rows))}
+		for i, r := range rows {
+			sub.Tuples[i] = t.Rel.Tuples[r]
+		}
+		tt := t
+		tt.Rel = sub
+		detail, err := check(ctx, rn, tt)
+		return err == nil && detail != ""
+	}
+
+	rows := make([]int, t.Rel.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	if !failsOn(rows) {
+		return ""
+	}
+	budget := 48 // each probe runs discovery twice; cap the total work
+	parts := 2
+	for len(rows) > 1 && budget > 0 {
+		chunk := (len(rows) + parts - 1) / parts
+		reduced := false
+		for start := 0; start < len(rows) && budget > 0; start += chunk {
+			end := min(start+chunk, len(rows))
+			comp := append(append([]int(nil), rows[:start]...), rows[end:]...)
+			if len(comp) == 0 {
+				continue
+			}
+			budget--
+			if failsOn(comp) {
+				rows = comp
+				parts = max(2, parts-1)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if parts >= len(rows) {
+				break
+			}
+			parts = min(len(rows), 2*parts)
+		}
+	}
+
+	shown := rows
+	suffix := ""
+	if len(shown) > 24 {
+		shown = shown[:24]
+		suffix = ", ..."
+	}
+	return fmt.Sprintf("reproduces on %d of %d rows; row indices %v%s (seed %d)",
+		len(rows), t.Rel.Len(), shown, suffix, rn.opts.Seed)
+}

@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// TestMinimizeRowsShrinksToMarker: a synthetic metamorphic check that fails
+// exactly when a marker tuple is present must be minimized down to (nearly)
+// that single row, and the reproducer must cite its index.
+func TestMinimizeRowsShrinksToMarker(t *testing.T) {
+	schema := dataset.MustSchema(dataset.Attribute{Name: "X", Kind: dataset.Numeric})
+	rel := &dataset.Relation{Schema: schema}
+	const marker = 23
+	for i := 0; i < 40; i++ {
+		v := float64(i)
+		if i == marker {
+			v = 777
+		}
+		rel.Tuples = append(rel.Tuples, dataset.Tuple{dataset.Num(v)})
+	}
+	target := Target{Name: "synthetic", Rel: rel, XAttrs: []int{0}, YAttr: 0}
+
+	check := func(ctx context.Context, rn *runner, tt Target) (string, error) {
+		for _, tp := range tt.Rel.Tuples {
+			if tp[0].Num == 777 {
+				return "marker present", nil
+			}
+		}
+		return "", nil
+	}
+
+	rn := &runner{opts: Options{Seed: 7}}
+	repro := rn.minimizeRows(context.Background(), target, check)
+	if repro == "" {
+		t.Fatal("minimizer reported the failure as non-reproducible")
+	}
+	if !strings.Contains(repro, fmt.Sprintf("%d", marker)) {
+		t.Errorf("reproducer does not cite the marker row %d: %q", marker, repro)
+	}
+	// The ddmin loop should isolate a small subset, not return all 40 rows.
+	if strings.Contains(repro, "40 of 40 rows") {
+		t.Errorf("minimizer did not shrink the failing set: %q", repro)
+	}
+}
+
+// TestMinimizeRowsNonReproducible: a check that passes on the full relation
+// yields an empty reproducer (the caller then reports the divergence bare).
+func TestMinimizeRowsNonReproducible(t *testing.T) {
+	schema := dataset.MustSchema(dataset.Attribute{Name: "X", Kind: dataset.Numeric})
+	rel := &dataset.Relation{Schema: schema, Tuples: []dataset.Tuple{{dataset.Num(1)}, {dataset.Num(2)}}}
+	target := Target{Name: "synthetic", Rel: rel, XAttrs: []int{0}, YAttr: 0}
+	rn := &runner{opts: Options{Seed: 7}}
+	pass := func(ctx context.Context, rn *runner, tt Target) (string, error) { return "", nil }
+	if got := rn.minimizeRows(context.Background(), target, pass); got != "" {
+		t.Fatalf("expected empty reproducer, got %q", got)
+	}
+}

@@ -1,0 +1,244 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// Inference-soundness checking: Algorithm 2 is replayed with a Trace hook so
+// every individual inference application (Translation, Fusion, Implied drop)
+// can be verified against the data, then the whole pre/post rule sets are
+// compared. The checks encode the paper's soundness propositions:
+//
+//   - Translation (Propositions 5, 9): the rewritten rule covers exactly the
+//     tuples the original covered, keeps its ρ bitwise, and predicts within
+//     the tolerance-induced drift bound of the original.
+//   - Fusion + Generalization (Propositions 3, 4): the merged rule's ρ is
+//     the bitwise max of the inputs, its coverage the union, and its
+//     prediction equals whichever input's first-match applies.
+//   - Implied drop (Propositions 2, 4, Definition 2): core.Implies must
+//     re-confirm, the dropped rule's coverage must be a subset of the
+//     keeper's, and the keeper must predict within drift of the dropped rule
+//     everywhere the dropped rule applied.
+//
+// Exact compaction (the default model tolerance) is always verified; when
+// the target carries a loose CompactTol the same checks run again under the
+// documented bounded-drift contract (driftBound over the domain's x scale).
+
+// soundness verifies compaction on the target and returns the exact-
+// tolerance compacted rule set for the downstream oracles.
+func (rn *runner) soundness(ctx context.Context, t Target, rules *core.RuleSet) (*core.RuleSet, error) {
+	compacted, err := rn.soundnessPass(ctx, t, rules, 0, "exact")
+	if err != nil {
+		return nil, err
+	}
+	if t.CompactTol > 0 {
+		if _, err := rn.soundnessPass(ctx, t, rules, t.CompactTol, "loose"); err != nil {
+			return nil, err
+		}
+	}
+	return compacted, nil
+}
+
+// soundnessPass compacts rules under one model tolerance with tracing and
+// verifies every application plus the whole-set contract. tol == 0 selects
+// the engine's exact default.
+func (rn *runner) soundnessPass(ctx context.Context, t Target, rules *core.RuleSet, tol float64, label string) (*core.RuleSet, error) {
+	var events []core.TraceEvent
+	compacted, stats, err := core.CompactCtx(ctx, rules, core.CompactOptions{
+		ModelTol: tol,
+		Trace:    func(e core.TraceEvent) { events = append(events, e) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("compact (%s): %w", label, err)
+	}
+	if got, want := len(events), stats.Translations+stats.Fusions+stats.Implied; got != want {
+		rn.fail("soundness/trace/"+label, fmt.Sprintf("%d events traced, stats report %d applications", got, want))
+	} else {
+		rn.pass()
+	}
+	rn.cur.SoundnessApps += len(events)
+
+	// The drift bound uses the tolerance the models were actually unified
+	// under (the engine substitutes its exact default for 0) over the
+	// data's domain scale.
+	effTol := tol
+	if effTol <= 0 {
+		effTol = 1e-6
+	}
+	bound := driftBound(effTol, xScale(t.Rel, t.XAttrs))
+	for i, ev := range events {
+		var detail string
+		switch ev.Kind {
+		case core.TraceTranslation:
+			detail = checkTranslation(t.Rel, ev, bound)
+		case core.TraceFusion:
+			detail = checkFusion(t.Rel, ev)
+		case core.TraceImplied:
+			detail = checkImplied(t.Rel, ev, bound)
+		default:
+			detail = fmt.Sprintf("unknown trace kind %v", ev.Kind)
+		}
+		if detail != "" {
+			detail = fmt.Sprintf("application %d (%v): %s", i, ev.Kind, detail)
+		}
+		rn.check(fmt.Sprintf("soundness/%v/%s", ev.Kind, label), detail)
+	}
+
+	rn.check("soundness/whole-set/"+label, checkWholeSet(t, rules, compacted, bound))
+	if compacted.NumRules() > rules.NumRules() {
+		rn.fail("soundness/never-larger/"+label,
+			fmt.Sprintf("compaction grew the set: %d → %d rules", rules.NumRules(), compacted.NumRules()))
+	} else {
+		rn.pass()
+	}
+	return compacted, nil
+}
+
+// checkTranslation verifies one Translation application: Pre[0] is the
+// pivot supplying the model, Pre[1] the rewritten rule, Post the result.
+func checkTranslation(rel *dataset.Relation, ev core.TraceEvent, bound float64) string {
+	if len(ev.Pre) != 2 || ev.Post == nil {
+		return "malformed event"
+	}
+	pivot, pre, post := &ev.Pre[0], &ev.Pre[1], ev.Post
+	if !bitsEqual(pre.Rho, post.Rho) {
+		return fmt.Sprintf("ρ changed: %v → %v", pre.Rho, post.Rho)
+	}
+	if post.Model == nil || !post.Model.Equal(pivot.Model, 0) {
+		return "rewritten rule does not carry the pivot's model"
+	}
+	for i, tp := range rel.Tuples {
+		if pre.Covers(tp) != post.Covers(tp) {
+			return fmt.Sprintf("coverage changed at row %d", i)
+		}
+		pp, pok := pre.Predict(tp)
+		qp, qok := post.Predict(tp)
+		if pok != qok {
+			return fmt.Sprintf("predictability changed at row %d", i)
+		}
+		if pok {
+			if d := math.Abs(pp - qp); d > bound {
+				return fmt.Sprintf("row %d: prediction drift %g exceeds bound %g", i, d, bound)
+			}
+		}
+	}
+	return ""
+}
+
+// checkFusion verifies one Fusion application: Pre[0] absorbed Pre[1] into
+// Post (Generalization aligning ρ, then Fusion of the conditions).
+func checkFusion(rel *dataset.Relation, ev core.TraceEvent) string {
+	if len(ev.Pre) != 2 || ev.Post == nil {
+		return "malformed event"
+	}
+	a, b, post := &ev.Pre[0], &ev.Pre[1], ev.Post
+	wantRho := math.Max(a.Rho, b.Rho)
+	if !bitsEqual(post.Rho, wantRho) {
+		return fmt.Sprintf("ρ %v, want max(%v, %v)", post.Rho, a.Rho, b.Rho)
+	}
+	for i, tp := range rel.Tuples {
+		ca, cb, cp := a.Covers(tp), b.Covers(tp), post.Covers(tp)
+		if cp != (ca || cb) {
+			return fmt.Sprintf("row %d: coverage %v, want union %v", i, cp, ca || cb)
+		}
+		if !cp {
+			continue
+		}
+		// First-match: the fused condition lists a's conjunctions first.
+		var want float64
+		var wok bool
+		if ca {
+			want, wok = a.Predict(tp)
+		} else {
+			want, wok = b.Predict(tp)
+		}
+		got, gok := post.Predict(tp)
+		if gok != wok {
+			return fmt.Sprintf("row %d: predictability %v, want %v", i, gok, wok)
+		}
+		if gok && !bitsEqual(got, want) {
+			return fmt.Sprintf("row %d: prediction %g, want %g", i, got, want)
+		}
+	}
+	return ""
+}
+
+// checkImplied verifies one Implied drop: Pre[0] (keeper) implies
+// Pre[1] (dropped).
+func checkImplied(rel *dataset.Relation, ev core.TraceEvent, bound float64) string {
+	if len(ev.Pre) != 2 || ev.Post != nil {
+		return "malformed event"
+	}
+	keeper, dropped := &ev.Pre[0], &ev.Pre[1]
+	if !core.Implies(keeper, dropped) {
+		return "core.Implies does not re-confirm the drop (Definition 2 consistency)"
+	}
+	if dropped.Rho < keeper.Rho {
+		return fmt.Sprintf("dropped ρ %v tighter than keeper ρ %v (Generalization runs the other way)",
+			dropped.Rho, keeper.Rho)
+	}
+	for i, tp := range rel.Tuples {
+		if !dropped.Covers(tp) {
+			continue
+		}
+		if !keeper.Covers(tp) {
+			return fmt.Sprintf("row %d covered by dropped rule but not by keeper", i)
+		}
+		dp, dok := dropped.Predict(tp)
+		kp, kok := keeper.Predict(tp)
+		if dok != kok {
+			return fmt.Sprintf("row %d: predictability keeper %v vs dropped %v", i, kok, dok)
+		}
+		if dok {
+			if d := math.Abs(dp - kp); d > bound {
+				return fmt.Sprintf("row %d: keeper drifts %g from dropped rule (bound %g)", i, d, bound)
+			}
+		}
+	}
+	return ""
+}
+
+// checkWholeSet compares the input and compacted rule sets end to end:
+// identical coverage and bounded prediction drift on every tuple, and every
+// compacted rule satisfied by the data within ρ plus drift. The slack is
+// doubled against the per-application bound because a rule can pass through
+// two drifting inferences (Translation then Implied drop).
+func checkWholeSet(t Target, pre, post *core.RuleSet, bound float64) string {
+	rel := t.Rel
+	prePreds, preCov := pre.PredictBatch(rel)
+	postPreds, postCov := post.PredictBatch(rel)
+	for i := range rel.Tuples {
+		if preCov[i] != postCov[i] {
+			return fmt.Sprintf("row %d: coverage %v → %v", i, preCov[i], postCov[i])
+		}
+		if !preCov[i] {
+			continue
+		}
+		if d := math.Abs(prePreds[i] - postPreds[i]); d > 2*bound {
+			return fmt.Sprintf("row %d: prediction drift %g exceeds bound %g", i, d, 2*bound)
+		}
+	}
+	// Bias: every compacted rule holds on the data within ρ plus drift.
+	for i, tp := range rel.Tuples {
+		if tp[post.YAttr].Null {
+			continue
+		}
+		for ri := range post.Rules {
+			r := &post.Rules[ri]
+			p, ok := r.Predict(tp)
+			if !ok {
+				continue
+			}
+			if d := math.Abs(tp[post.YAttr].Num - p); d > r.Rho+2*bound {
+				return fmt.Sprintf("rule %d violates bias at row %d: |%g − %g| = %g > ρ+drift %g",
+					ri, i, tp[post.YAttr].Num, p, d, r.Rho+2*bound)
+			}
+		}
+	}
+	return ""
+}
