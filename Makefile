@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core serve bench bench-full fuzz verify verify-quick vet fmt experiments examples clean
+.PHONY: all build test race race-core serve bench bench-full bench-serve fuzz verify verify-quick vet fmt experiments examples clean
 
 all: build test
 
@@ -40,11 +40,19 @@ bench-full:
 bench-core:
 	$(GO) test -bench=. -benchmem ./internal/core/
 
+# Serving throughput: /v1/predict over JSON vs binary columnar, handler
+# stack (go test) and SDK-through-TCP (crrbench -serve). BENCH_wire.json
+# records the curated numbers.
+bench-serve:
+	$(GO) test -bench 'BenchmarkServeBatchPredict' -benchmem -benchtime=2s ./internal/serve/
+	$(GO) run ./cmd/crrbench -serve
+
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/predicate/ -fuzz FuzzParseDNF -fuzztime 30s
 	$(GO) test ./internal/predicate/ -fuzz FuzzImplies -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzCompactSoundness -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzWireDecode -fuzztime 30s
 
 # Differential correctness harness: cross-engine oracles, inference
 # soundness, metamorphic invariants over every built-in dataset.

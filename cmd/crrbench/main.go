@@ -7,6 +7,7 @@
 //	crrbench -exp all             # everything (EXPERIMENTS.md source data)
 //	crrbench -exp fig3 -scale 0.2 # shrink instance sizes for a quick look
 //	crrbench -compare             # hot-path before/after (stats vs full pass)
+//	crrbench -serve               # /v1/predict throughput, JSON vs binary
 //	crrbench -list                # show experiment ids
 //
 // Long sweeps can be bounded with -timeout (every in-flight discovery stops
@@ -36,6 +37,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		format  = flag.String("format", "table", "output format: table or csv")
 		compare = flag.Bool("compare", false, "run the hot-path before/after comparison (sufficient statistics vs full pass) and exit")
+		sbench  = flag.Bool("serve", false, "measure /v1/predict serve throughput (JSON vs binary columnar, through the SDK) and exit")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 5m; 0 = no limit)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		metrics = flag.String("metrics", "", "write the sweep's aggregate metrics in Prometheus text format to this path (\"-\" = stdout), the same exposition crrserve serves at /metrics")
@@ -65,6 +67,13 @@ func main() {
 	}
 	if *compare {
 		if err := runCompare(ctx, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "crrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sbench {
+		if err := runServeBench(ctx, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "crrbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"github.com/crrlab/crr/internal/cliutil"
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/eval"
+	"github.com/crrlab/crr/internal/experiments"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/serve"
+	"github.com/crrlab/crr/pkg/client"
+)
+
+// serveBenchRow is one serve-throughput measurement: /v1/predict over one
+// wire format at one batch size, driven through the public SDK against a
+// live listener.
+type serveBenchRow struct {
+	Rows         int
+	Format       string
+	NsPerOp      int64
+	BytesPerOp   int64
+	AllocsPerOp  int64
+	TuplesPerSec float64
+}
+
+// runServeBench measures /v1/predict throughput over the JSON and binary
+// columnar formats and renders the comparison table. The go test
+// counterparts (BenchmarkServeBatchPredict* in internal/serve) isolate the
+// handler stack; this experiment keeps a real TCP listener and the SDK in
+// the loop, which is what a deployment sees.
+func runServeBench(ctx context.Context, scale float64) error {
+	rows, err := serveThroughput(ctx, scale)
+	if err != nil {
+		return err
+	}
+	return renderServeBenchRows(os.Stdout, rows)
+}
+
+// serveBenchSizes are the measured batch sizes before scaling: the 1k batch
+// of BENCH_wire.json plus a multi-frame 100k batch (13 chunks at the
+// default 8192-row frame size).
+var serveBenchSizes = [...]int{1000, 100_000}
+
+func serveThroughput(ctx context.Context, scale float64) ([]serveBenchRow, error) {
+	spec := experiments.TaxSpec()
+	train := spec.Gen(benchScaled(1500, scale, 300))
+	preds := predicate.Generate(train, spec.CondAttrs, predicate.GeneratorConfig{})
+	res, err := core.Discover(ctx, train, core.WithConfig(core.DiscoverConfig{
+		XAttrs:  spec.XAttrs,
+		YAttr:   spec.YAttr,
+		RhoM:    spec.RhoM,
+		Preds:   preds,
+		Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("servebench: discover: %w", err)
+	}
+	srv, err := serve.NewFromRuleSet(serve.Config{}, res.Rules, "servebench")
+	if err != nil {
+		return nil, fmt.Errorf("servebench: %w", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	formats := []struct {
+		name string
+		f    client.Format
+	}{
+		{"json", client.FormatJSON},
+		{"binary", client.FormatBinary},
+	}
+	var out []serveBenchRow
+	for _, base := range serveBenchSizes {
+		n := benchScaled(base, scale, 100)
+		rel := spec.Gen(n)
+		batch, err := cliutil.ClientBatch(rel)
+		if err != nil {
+			return nil, fmt.Errorf("servebench: batch: %w", err)
+		}
+		for _, fm := range formats {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			c := client.New(ts.URL, client.WithFormat(fm.f))
+			// Warm once outside the measurement so pools, dictionaries and
+			// the HTTP connection are established — and so request errors
+			// surface as errors, not as a zero benchmark result.
+			if _, err := c.Predict(ctx, batch); err != nil {
+				return nil, fmt.Errorf("servebench: %s predict: %w", fm.name, err)
+			}
+			var callErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Predict(ctx, batch); err != nil {
+						callErr = err
+						return
+					}
+				}
+			})
+			if callErr != nil {
+				return nil, fmt.Errorf("servebench: %s predict: %w", fm.name, callErr)
+			}
+			ns := r.NsPerOp()
+			row := serveBenchRow{
+				Rows:        n,
+				Format:      fm.name,
+				NsPerOp:     ns,
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if ns > 0 {
+				row.TuplesPerSec = float64(n) * 1e9 / float64(ns)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// renderServeBenchRows writes the throughput table with a per-size speedup
+// column (json ns/op over binary ns/op).
+func renderServeBenchRows(w *os.File, rows []serveBenchRow) error {
+	jsonNs := make(map[int]int64)
+	for _, r := range rows {
+		if r.Format == "json" {
+			jsonNs[r.Rows] = r.NsPerOp
+		}
+	}
+	t := eval.NewTable("[servebench] /v1/predict throughput through the SDK: JSON vs binary columnar",
+		"rows", "format", "ns/op", "B/op", "allocs/op", "tuples/s", "speedup")
+	for _, r := range rows {
+		speedup := "1.00x"
+		if r.Format != "json" && r.NsPerOp > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(jsonNs[r.Rows])/float64(r.NsPerOp))
+		}
+		t.AddRowf(r.Rows, r.Format, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp,
+			fmt.Sprintf("%.0f", r.TuplesPerSec), speedup)
+	}
+	return t.Render(w)
+}
+
+// benchScaled mirrors the experiment packages' size scaling: max(min,
+// round(n*scale)) with scale clamped to (0, 1].
+func benchScaled(n int, scale float64, min int) int {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}

@@ -1,0 +1,283 @@
+// Command crrclient exercises a crrserve instance through the public Go SDK
+// (pkg/client). It exists for smoke tests and operational spot checks: load
+// a CSV, run one data-plane operation, print a summary — and, with -diff,
+// run it over BOTH wire formats (JSON and binary columnar) and fail unless
+// the answers are bitwise identical.
+//
+// Usage:
+//
+//	crrclient -url http://localhost:8080 -op rules
+//	crrclient -url http://localhost:8080 -op predict -input batch.csv -explain
+//	crrclient -url http://localhost:8080 -op predict -input batch.csv -diff
+//	crrclient -url http://localhost:8080 -op impute -input gaps.csv -fallback
+//
+// Exit status is 1 on -diff divergence, 2 on errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/crrlab/crr/internal/cliutil"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/pkg/client"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "crrserve base URL (required)")
+		op       = flag.String("op", "predict", "operation: predict, check, impute, rules")
+		input    = flag.String("input", "", "CSV batch (required for predict/check/impute)")
+		format   = flag.String("format", "auto", "wire format: auto, json, binary")
+		explain  = flag.Bool("explain", false, "request per-tuple rule IDs (predict)")
+		column   = flag.String("column", "", "imputation target column (impute; default: server's target)")
+		fallback = flag.Bool("fallback", false, "fill uncovered cells with the training mean (impute)")
+		diff     = flag.Bool("diff", false, "run over both formats and require bitwise-identical answers")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-call deadline")
+	)
+	flag.Parse()
+	if err := run(*url, *op, *input, *format, *explain, *column, *fallback, *diff, *timeout); err != nil {
+		if err == errDiverged {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "crrclient:", err)
+		os.Exit(2)
+	}
+}
+
+var errDiverged = fmt.Errorf("formats diverged")
+
+func parseFormat(s string) (client.Format, error) {
+	switch s {
+	case "auto":
+		return client.FormatAuto, nil
+	case "json":
+		return client.FormatJSON, nil
+	case "binary":
+		return client.FormatBinary, nil
+	default:
+		return 0, fmt.Errorf("unknown format %q (auto, json, binary)", s)
+	}
+}
+
+func run(url, op, input, format string, explain bool, column string, fallback, diff bool, timeout time.Duration) error {
+	if url == "" {
+		return fmt.Errorf("-url is required (see -h)")
+	}
+	f, err := parseFormat(format)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	if op == "rules" {
+		c := client.New(url, client.WithTimeout(timeout))
+		info, err := c.Rules(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d rules, %d models, y=%s, x=%v (loaded %s from %s)\n",
+			url, info.Rules, info.Models, info.Y, info.X, info.LoadedAt.Format(time.RFC3339), info.Source)
+		return nil
+	}
+
+	if input == "" {
+		return fmt.Errorf("-input is required for -op %s", op)
+	}
+	file, err := os.Open(input)
+	if err != nil {
+		return err
+	}
+	rel, err := dataset.ReadCSV(file)
+	file.Close()
+	if err != nil {
+		return err
+	}
+	makeBatch := func() (*client.Batch, error) { return cliutil.ClientBatch(rel) }
+
+	if diff {
+		return runDiff(ctx, url, op, makeBatch, explain, column, fallback, timeout)
+	}
+	c := client.New(url, client.WithFormat(f), client.WithTimeout(timeout))
+	b, err := makeBatch()
+	if err != nil {
+		return err
+	}
+	switch op {
+	case "predict":
+		var opts []client.PredictOption
+		if explain {
+			opts = append(opts, client.WithExplain())
+		}
+		res, err := c.Predict(ctx, b, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("predicted %d tuples: %d covered, y=%s\n", len(res.Values), countTrue(res.Covered), res.Y)
+	case "check":
+		rep, err := c.Check(ctx, b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checked %d tuples: %d violation(s)\n", rep.Checked, len(rep.Violations))
+	case "impute":
+		opts := imputeOpts(column, fallback)
+		rep, err := c.Impute(ctx, b, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imputed %d cells (%d uncovered) in column %s\n", rep.Imputed, rep.Failed, rep.Column)
+	default:
+		return fmt.Errorf("unknown op %q (predict, check, impute, rules)", op)
+	}
+	return nil
+}
+
+func imputeOpts(column string, fallback bool) []client.ImputeOption {
+	var opts []client.ImputeOption
+	if column != "" {
+		opts = append(opts, client.WithColumn(column))
+	}
+	if fallback {
+		opts = append(opts, client.WithFallback())
+	}
+	return opts
+}
+
+// runDiff executes op under both formats and requires bitwise identity.
+func runDiff(ctx context.Context, url, op string, makeBatch func() (*client.Batch, error),
+	explain bool, column string, fallback bool, timeout time.Duration) error {
+	js := client.New(url, client.WithFormat(client.FormatJSON), client.WithTimeout(timeout))
+	bin := client.New(url, client.WithFormat(client.FormatBinary), client.WithTimeout(timeout))
+
+	switch op {
+	case "predict":
+		var opts []client.PredictOption
+		if explain {
+			opts = append(opts, client.WithExplain())
+		}
+		jb, err := makeBatch()
+		if err != nil {
+			return err
+		}
+		jres, err := js.Predict(ctx, jb, opts...)
+		if err != nil {
+			return fmt.Errorf("json predict: %w", err)
+		}
+		bb, err := makeBatch()
+		if err != nil {
+			return err
+		}
+		bres, err := bin.Predict(ctx, bb, opts...)
+		if err != nil {
+			return fmt.Errorf("binary predict: %w", err)
+		}
+		if len(jres.Values) != len(bres.Values) {
+			fmt.Fprintf(os.Stderr, "diff: json %d values, binary %d\n", len(jres.Values), len(bres.Values))
+			return errDiverged
+		}
+		for i := range jres.Values {
+			if math.Float64bits(jres.Values[i]) != math.Float64bits(bres.Values[i]) ||
+				jres.Covered[i] != bres.Covered[i] {
+				fmt.Fprintf(os.Stderr, "diff: tuple %d json (%v,%v) binary (%v,%v)\n",
+					i, jres.Values[i], jres.Covered[i], bres.Values[i], bres.Covered[i])
+				return errDiverged
+			}
+			if explain && jres.RuleIDs[i] != bres.RuleIDs[i] {
+				fmt.Fprintf(os.Stderr, "diff: tuple %d rule id json %d binary %d\n", i, jres.RuleIDs[i], bres.RuleIDs[i])
+				return errDiverged
+			}
+		}
+		fmt.Printf("parity ok: %d predictions bitwise identical across json and binary\n", len(jres.Values))
+	case "check":
+		jb, err := makeBatch()
+		if err != nil {
+			return err
+		}
+		jrep, err := js.Check(ctx, jb)
+		if err != nil {
+			return fmt.Errorf("json check: %w", err)
+		}
+		bb, err := makeBatch()
+		if err != nil {
+			return err
+		}
+		brep, err := bin.Check(ctx, bb)
+		if err != nil {
+			return fmt.Errorf("binary check: %w", err)
+		}
+		if jrep.Checked != brep.Checked || len(jrep.Violations) != len(brep.Violations) {
+			fmt.Fprintf(os.Stderr, "diff: json %d/%d, binary %d/%d\n",
+				jrep.Checked, len(jrep.Violations), brep.Checked, len(brep.Violations))
+			return errDiverged
+		}
+		for i := range jrep.Violations {
+			jv, bv := jrep.Violations[i], brep.Violations[i]
+			if jv.Tuple != bv.Tuple || jv.Rule != bv.Rule ||
+				math.Float64bits(jv.Observed) != math.Float64bits(bv.Observed) ||
+				math.Float64bits(jv.Predicted) != math.Float64bits(bv.Predicted) {
+				fmt.Fprintf(os.Stderr, "diff: violation %d json %+v binary %+v\n", i, jv, bv)
+				return errDiverged
+			}
+		}
+		fmt.Printf("parity ok: %d violations identical across json and binary\n", len(jrep.Violations))
+	case "impute":
+		opts := imputeOpts(column, fallback)
+		jb, err := makeBatch()
+		if err != nil {
+			return err
+		}
+		jrep, err := js.Impute(ctx, jb, opts...)
+		if err != nil {
+			return fmt.Errorf("json impute: %w", err)
+		}
+		bb, err := makeBatch()
+		if err != nil {
+			return err
+		}
+		brep, err := bin.Impute(ctx, bb, opts...)
+		if err != nil {
+			return fmt.Errorf("binary impute: %w", err)
+		}
+		if jrep.Imputed != brep.Imputed || jrep.Failed != brep.Failed || len(jrep.Tuples) != len(brep.Tuples) {
+			fmt.Fprintf(os.Stderr, "diff: json %d/%d/%d, binary %d/%d/%d\n",
+				jrep.Imputed, jrep.Failed, len(jrep.Tuples), brep.Imputed, brep.Failed, len(brep.Tuples))
+			return errDiverged
+		}
+		for i := range jrep.Tuples {
+			for k, jv := range jrep.Tuples[i] {
+				bv := brep.Tuples[i][k]
+				if !valueEqual(jv, bv) {
+					fmt.Fprintf(os.Stderr, "diff: tuple %d key %s json %v binary %v\n", i, k, jv, bv)
+					return errDiverged
+				}
+			}
+		}
+		fmt.Printf("parity ok: %d imputed tuples identical across json and binary\n", len(jrep.Tuples))
+	default:
+		return fmt.Errorf("-diff supports predict, check and impute, not %q", op)
+	}
+	return nil
+}
+
+func valueEqual(a, b any) bool {
+	if af, ok := a.(float64); ok {
+		bf, ok := b.(float64)
+		return ok && math.Float64bits(af) == math.Float64bits(bf)
+	}
+	return a == b
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -49,10 +49,30 @@ func xValue(cs *dataset.ColumnSet, attr, row int) float64 {
 // (rule, conjunction) in rule order whose condition holds and whose X cells
 // are non-null supplies the prediction; uncovered rows get the fallback.
 func (s *RuleSet) PredictView(v *dataset.View) (preds []float64, covered []bool) {
+	preds, covered, _ = s.predictView(v, false)
+	return preds, covered
+}
+
+// PredictViewExplained is PredictView plus the explain metadata the serving
+// plane exposes behind ?explain: ruleIDs[i] is the index of the rule that
+// supplied row i's prediction (the same first-match rule Predict uses), or
+// -1 for rows answered by the fallback. Predictions and coverage are
+// bitwise-identical to PredictView.
+func (s *RuleSet) PredictViewExplained(v *dataset.View) (preds []float64, covered []bool, ruleIDs []int) {
+	return s.predictView(v, true)
+}
+
+func (s *RuleSet) predictView(v *dataset.View, explain bool) (preds []float64, covered []bool, ruleIDs []int) {
 	cs := v.Cols
 	n := len(v.Sel)
 	preds = make([]float64, n)
 	covered = make([]bool, n)
+	if explain {
+		ruleIDs = make([]int, n)
+		for i := range ruleIDs {
+			ruleIDs[i] = -1
+		}
+	}
 	s.lookups.Add(int64(n))
 	// slot maps a row index back to its position in v.Sel; rows are dense,
 	// so a slice beats a map.
@@ -99,6 +119,9 @@ func (s *RuleSet) PredictView(v *dataset.View) (preds []float64, covered []bool)
 				i := slot[r]
 				preds[i] = rule.Model.Predict(x) + conj.Builtin.YShift
 				covered[i] = true
+				if explain {
+					ruleIDs[i] = ri
+				}
 				consumed = append(consumed, r)
 			}
 			remaining = selDiff(remaining, consumed)
@@ -108,7 +131,7 @@ func (s *RuleSet) PredictView(v *dataset.View) (preds []float64, covered []bool)
 		preds[slot[r]] = s.Fallback
 	}
 	s.misses.Add(int64(len(remaining)))
-	return preds, covered
+	return preds, covered, ruleIDs
 }
 
 // neededAttrs returns the distinct attributes the rule set reads while

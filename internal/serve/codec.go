@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// Transport-neutral codec layer. A Codec is one wire encoding of the
+// data-plane request/response pair; handlers speak only in terms of
+// dataset.ColumnSet batches and the typed results below, so adding a
+// format (gRPC, Arrow IPC, ...) is a new Codec implementation, not a
+// handler rewrite. Two codecs ship: JSON (the original name-keyed tuple
+// objects) and the binary columnar format of internal/wire, negotiated per
+// request via Content-Type / Accept.
+
+// Batch is one decoded data-plane request: a columnar tuple batch plus the
+// options that rode alongside it (imputation column, fallback flag).
+type Batch struct {
+	// Cols is the request tuples in columnar form, every schema attribute
+	// populated (absent attributes decode as all-null columns).
+	Cols *dataset.ColumnSet
+	// Opts carries the request options outside the tuple payload.
+	Opts BatchOptions
+}
+
+// BatchOptions are the per-request knobs shared by all formats.
+type BatchOptions struct {
+	// Column names the imputation target; empty means the artifact target.
+	Column string
+	// UseFallback fills uncovered tuples with the training mean.
+	UseFallback bool
+}
+
+// PredictResult is the transport-neutral /v1/predict answer.
+type PredictResult struct {
+	Y       string
+	Values  []float64
+	Covered []bool
+	// RuleIDs, when non-nil, carries the explain metadata (?explain=1):
+	// the index of the rule that supplied each prediction, -1 if fallback.
+	RuleIDs []int
+}
+
+// CheckViolation is one (tuple, rule) violation with its optional repair.
+type CheckViolation struct {
+	Tuple     int
+	Rule      int
+	Observed  float64
+	Predicted float64
+	Excess    float64
+	Repair    *float64
+}
+
+// CheckResult is the transport-neutral /v1/check answer.
+type CheckResult struct {
+	Checked    int
+	Violations []CheckViolation
+}
+
+// ImputeResult is the transport-neutral /v1/impute answer: fill statistics
+// plus the completed relation.
+type ImputeResult struct {
+	Column  string
+	Imputed int
+	Failed  int
+	Filled  *dataset.Relation
+}
+
+// Codec is one transport encoding of the serving data plane.
+type Codec interface {
+	// ContentType is the media type this codec reads and writes.
+	ContentType() string
+	// DecodeBatch parses a request body against the artifact schema.
+	DecodeBatch(r io.Reader, schema *dataset.Schema) (*Batch, error)
+	// EncodePredict / EncodeCheck / EncodeImpute write endpoint results.
+	EncodePredict(w io.Writer, res *PredictResult) error
+	EncodeCheck(w io.Writer, res *CheckResult) error
+	EncodeImpute(w io.Writer, res *ImputeResult) error
+}
+
+// The two shipped codecs are stateless; share single instances.
+var (
+	codecJSON   Codec = jsonCodec{}
+	codecBinary Codec = binaryCodec{}
+)
+
+// requestCodec picks the decode codec from Content-Type. An absent or
+// wildcard type means JSON (the historical default); an unrecognized one is
+// a 415 so clients can fall back instead of guessing at a parse error.
+func requestCodec(r *http.Request) (Codec, *apiError) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return codecJSON, nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return nil, errf(http.StatusUnsupportedMediaType, CodeUnsupportedMedia,
+			"unparseable Content-Type %q", ct)
+	}
+	switch mt {
+	case "application/json", "text/json", "*/*":
+		return codecJSON, nil
+	case "application/x-www-form-urlencoded":
+		// curl -d's default; every pre-negotiation client (and the
+		// TUTORIAL's examples) posts JSON bodies under this type.
+		return codecJSON, nil
+	case codecBinary.ContentType():
+		return codecBinary, nil
+	default:
+		return nil, errf(http.StatusUnsupportedMediaType, CodeUnsupportedMedia,
+			"unsupported Content-Type %q (use application/json or %s)", mt, codecBinary.ContentType())
+	}
+}
+
+// responseCodec picks the encode codec from Accept: an explicit mention of
+// a known type wins; otherwise the response mirrors the request format.
+func responseCodec(r *http.Request, reqCodec Codec) Codec {
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return reqCodec
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil {
+			continue
+		}
+		switch mt {
+		case codecBinary.ContentType():
+			return codecBinary
+		case "application/json", "text/json":
+			return codecJSON
+		}
+	}
+	return reqCodec
+}
+
+// negotiate resolves both directions for one data-plane request.
+func (s *Server) negotiate(r *http.Request) (reqC, respC Codec, aerr *apiError) {
+	reqC, aerr = requestCodec(r)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	return reqC, responseCodec(r, reqC), nil
+}
+
+// decodeBatch runs the negotiated decode and maps failures to the 400
+// envelope with the first offending detail.
+func decodeBatch(r *http.Request, c Codec, schema *dataset.Schema) (*Batch, *apiError) {
+	b, err := c.DecodeBatch(r.Body, schema)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, CodeInvalidArgument, "decode request: %v", err)
+	}
+	return b, nil
+}
+
+// schemaNames renders the schema's attribute names for error messages.
+func schemaNames(schema *dataset.Schema) string {
+	s := ""
+	for i := 0; i < schema.Len(); i++ {
+		if i > 0 {
+			s += ", "
+		}
+		s += schema.Attr(i).Name
+	}
+	return s
+}
+
+// wantExplain reports whether the request opted into per-tuple rule IDs.
+func wantExplain(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("explain")) {
+	case "1", "true", "rules", "yes":
+		return true
+	}
+	return false
+}

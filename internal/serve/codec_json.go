@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// jsonCodec is the original wire format: tuples as JSON objects keyed by
+// attribute NAME. The schema embedded in the artifact is the contract:
+// unknown keys are rejected (a misspelled attribute must not silently
+// become a null), values are type-checked against the attribute kind, and
+// absent keys mean missing — exactly the dataset.Null the engine already
+// treats as "satisfies no predicate". Field order is irrelevant by
+// construction. Decoded tuples are columnarized immediately; the rest of
+// the serving plane never sees row-major data.
+type jsonCodec struct{}
+
+func (jsonCodec) ContentType() string { return "application/json" }
+
+// jsonEnvelope is the shared request envelope of the data-plane endpoints:
+// exactly one of tuple (single) or tuples (batch), plus the impute options
+// (ignored by predict/check).
+type jsonEnvelope struct {
+	Tuple       map[string]any   `json:"tuple,omitempty"`
+	Tuples      []map[string]any `json:"tuples,omitempty"`
+	Column      string           `json:"column,omitempty"`
+	UseFallback bool             `json:"use_fallback,omitempty"`
+}
+
+func (jsonCodec) DecodeBatch(r io.Reader, schema *dataset.Schema) (*Batch, error) {
+	var req jsonEnvelope
+	if err := json.NewDecoder(r).Decode(&req); err != nil {
+		return nil, err
+	}
+	switch {
+	case req.Tuple != nil && req.Tuples != nil:
+		return nil, fmt.Errorf(`provide "tuple" or "tuples", not both`)
+	case req.Tuple != nil:
+		req.Tuples = []map[string]any{req.Tuple}
+	case len(req.Tuples) == 0:
+		return nil, fmt.Errorf(`empty request: provide "tuple" or "tuples"`)
+	}
+	tuples, err := decodeTuples(schema, req.Tuples)
+	if err != nil {
+		return nil, err
+	}
+	rel := &dataset.Relation{Schema: schema, Tuples: tuples}
+	return &Batch{
+		Cols: dataset.NewColumnSet(rel),
+		Opts: BatchOptions{Column: req.Column, UseFallback: req.UseFallback},
+	}, nil
+}
+
+// jsonPrediction is one answered tuple on the JSON wire.
+type jsonPrediction struct {
+	// Value is f(t.X + x) + y of the first covering rule, or the training-
+	// mean fallback when Covered is false.
+	Value float64 `json:"value"`
+	// Covered reports whether some rule's condition matched the tuple.
+	Covered bool `json:"covered"`
+	// Rule is the index of the rule that supplied Value; present only when
+	// the request asked for explain metadata, null for uncovered tuples.
+	Rule *int `json:"rule,omitempty"`
+}
+
+func (jsonCodec) EncodePredict(w io.Writer, res *PredictResult) error {
+	preds := make([]jsonPrediction, len(res.Values))
+	for i := range res.Values {
+		preds[i] = jsonPrediction{Value: res.Values[i], Covered: res.Covered[i]}
+		if res.RuleIDs != nil && res.RuleIDs[i] >= 0 {
+			id := res.RuleIDs[i]
+			preds[i].Rule = &id
+		}
+	}
+	return json.NewEncoder(w).Encode(struct {
+		Y           string           `json:"y"`
+		Count       int              `json:"count"`
+		Predictions []jsonPrediction `json:"predictions"`
+	}{res.Y, len(preds), preds})
+}
+
+// jsonViolation is one (tuple, rule) violation on the JSON wire.
+type jsonViolation struct {
+	Tuple     int     `json:"tuple"`
+	Rule      int     `json:"rule"`
+	Observed  float64 `json:"observed"`
+	Predicted float64 `json:"predicted"`
+	Excess    float64 `json:"excess"`
+	// Repair is the first covering rule's prediction — the value that would
+	// satisfy the violated constraint.
+	Repair *float64 `json:"repair,omitempty"`
+}
+
+func (jsonCodec) EncodeCheck(w io.Writer, res *CheckResult) error {
+	out := make([]jsonViolation, len(res.Violations))
+	for i, v := range res.Violations {
+		out[i] = jsonViolation{
+			Tuple:     v.Tuple,
+			Rule:      v.Rule,
+			Observed:  v.Observed,
+			Predicted: v.Predicted,
+			Excess:    v.Excess,
+			Repair:    v.Repair,
+		}
+	}
+	return json.NewEncoder(w).Encode(struct {
+		Checked    int             `json:"checked"`
+		Violations []jsonViolation `json:"violations"`
+	}{res.Checked, out})
+}
+
+func (jsonCodec) EncodeImpute(w io.Writer, res *ImputeResult) error {
+	out := make([]map[string]any, res.Filled.Len())
+	for i, t := range res.Filled.Tuples {
+		out[i] = encodeTuple(res.Filled.Schema, t)
+	}
+	return json.NewEncoder(w).Encode(struct {
+		Column  string           `json:"column"`
+		Imputed int              `json:"imputed"`
+		Failed  int              `json:"failed"`
+		Tuples  []map[string]any `json:"tuples"`
+	}{res.Column, res.Imputed, res.Failed, out})
+}
+
+// decodeTuple builds a schema-ordered tuple from one request object.
+func decodeTuple(schema *dataset.Schema, obj map[string]any) (dataset.Tuple, error) {
+	for name := range obj {
+		if _, err := schema.Index(name); err != nil {
+			return nil, fmt.Errorf("unknown attribute %q (artifact schema: %s)", name, schemaNames(schema))
+		}
+	}
+	t := make(dataset.Tuple, schema.Len())
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		raw, present := obj[a.Name]
+		if !present || raw == nil {
+			t[i] = dataset.Null()
+			continue
+		}
+		switch a.Kind {
+		case dataset.Numeric:
+			v, ok := raw.(float64)
+			if !ok {
+				return nil, fmt.Errorf("attribute %q is numeric, got %T", a.Name, raw)
+			}
+			t[i] = dataset.Num(v)
+		case dataset.Categorical:
+			v, ok := raw.(string)
+			if !ok {
+				return nil, fmt.Errorf("attribute %q is categorical, got %T", a.Name, raw)
+			}
+			t[i] = dataset.Str(v)
+		default:
+			return nil, fmt.Errorf("attribute %q has unsupported kind %v", a.Name, a.Kind)
+		}
+	}
+	return t, nil
+}
+
+// decodeTuples decodes a batch, reporting the first offending element.
+func decodeTuples(schema *dataset.Schema, objs []map[string]any) ([]dataset.Tuple, error) {
+	out := make([]dataset.Tuple, len(objs))
+	for i, obj := range objs {
+		t, err := decodeTuple(schema, obj)
+		if err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// encodeTuple renders a tuple back into the named-object wire form. Null
+// cells render as explicit JSON nulls so imputation responses distinguish
+// "still missing" from zero.
+func encodeTuple(schema *dataset.Schema, t dataset.Tuple) map[string]any {
+	obj := make(map[string]any, schema.Len())
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.Attr(i)
+		switch {
+		case t[i].Null:
+			obj[a.Name] = nil
+		case a.Kind == dataset.Categorical:
+			obj[a.Name] = t[i].Str
+		default:
+			obj[a.Name] = t[i].Num
+		}
+	}
+	return obj
+}

@@ -2,190 +2,142 @@ package serve
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"time"
 
 	"github.com/crrlab/crr/internal/core"
-	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/impute"
 )
 
-// tupleBatch is the shared request envelope of the data-plane endpoints:
-// exactly one of tuple (single) or tuples (batch).
-type tupleBatch struct {
-	Tuple  map[string]any   `json:"tuple,omitempty"`
-	Tuples []map[string]any `json:"tuples,omitempty"`
-}
+// Data-plane handlers. Each one negotiates a request and response codec
+// (JSON or binary columnar — see codec.go), decodes the body into a
+// dataset.ColumnSet batch, runs the columnar classification core, and hands
+// the transport-neutral result back to the response codec. The handlers
+// never touch format-specific types, so every format sees identical
+// semantics and the parity oracles (crrverify) can hold all of them to the
+// in-process results bitwise.
 
-// decodeBatch parses the request body into schema-validated tuples.
-func decodeBatch(r *http.Request, schema *dataset.Schema) ([]dataset.Tuple, *apiError) {
-	var req tupleBatch
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, errf(http.StatusBadRequest, "decode request: %v", err)
-	}
-	switch {
-	case req.Tuple != nil && req.Tuples != nil:
-		return nil, errf(http.StatusBadRequest, `provide "tuple" or "tuples", not both`)
-	case req.Tuple != nil:
-		req.Tuples = []map[string]any{req.Tuple}
-	case len(req.Tuples) == 0:
-		return nil, errf(http.StatusBadRequest, `empty request: provide "tuple" or "tuples"`)
-	}
-	tuples, err := decodeTuples(schema, req.Tuples)
-	if err != nil {
-		return nil, errf(http.StatusBadRequest, "%v", err)
-	}
-	return tuples, nil
-}
-
-// prediction is one answered tuple.
-type prediction struct {
-	// Value is f(t.X + x) + y of the first covering rule, or the training-
-	// mean fallback when Covered is false.
-	Value float64 `json:"value"`
-	// Covered reports whether some rule's condition matched the tuple.
-	Covered bool `json:"covered"`
-}
-
-// handlePredict answers POST /v1/predict. Single-tuple requests go through
-// the interval-indexed RuleSet.Predict; batches build a request-local
-// ColumnSet and classify columnar-first (PredictBatch), which is
-// bitwise-identical to the per-tuple path.
+// handlePredict answers POST /v1/predict: one columnar PredictView pass
+// over the decoded batch, bitwise-identical to per-tuple RuleSet.Predict.
+// With ?explain=1 the response carries the index of the rule that supplied
+// each prediction (explain metadata), sparing clients a second /v1/rules
+// correlation round trip.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) *apiError {
 	art := s.artifactNow()
-	tuples, aerr := decodeBatch(r, art.rules.Schema)
+	reqC, respC, aerr := s.negotiate(r)
+	if aerr != nil {
+		return aerr
+	}
+	batch, aerr := decodeBatch(r, reqC, art.rules.Schema)
 	if aerr != nil {
 		return aerr
 	}
 	if aerr := ctxExpired(r.Context()); aerr != nil {
 		return aerr
 	}
-	preds := make([]prediction, len(tuples))
-	if len(tuples) == 1 {
-		v, covered := art.rules.Predict(tuples[0])
-		preds[0] = prediction{Value: v, Covered: covered}
+	res := &PredictResult{Y: art.rules.YName()}
+	if wantExplain(r) {
+		res.Values, res.Covered, res.RuleIDs = art.rules.PredictViewExplained(batch.Cols.View())
 	} else {
-		rel := &dataset.Relation{Schema: art.rules.Schema, Tuples: tuples}
-		vals, covered := art.rules.PredictBatch(rel)
-		for i := range vals {
-			preds[i] = prediction{Value: vals[i], Covered: covered[i]}
-		}
+		res.Values, res.Covered = art.rules.PredictView(batch.Cols.View())
 	}
-	return writeJSON(w, struct {
-		Y           string       `json:"y"`
-		Count       int          `json:"count"`
-		Predictions []prediction `json:"predictions"`
-	}{art.rules.YName(), len(preds), preds})
-}
-
-// violationOut is one (tuple, rule) violation on the wire.
-type violationOut struct {
-	Tuple     int     `json:"tuple"`
-	Rule      int     `json:"rule"`
-	Observed  float64 `json:"observed"`
-	Predicted float64 `json:"predicted"`
-	Excess    float64 `json:"excess"`
-	// Repair is the first covering rule's prediction — the value that would
-	// satisfy the violated constraint.
-	Repair *float64 `json:"repair,omitempty"`
+	return encodeResponse(w, respC, func(body io.Writer) error {
+		return respC.EncodePredict(body, res)
+	})
 }
 
 // handleCheck answers POST /v1/check: the integrity-constraint reading of
-// the rule set (§II-A), reusing core.Violations verbatim — which builds one
-// ColumnSet over the request body and detects violations columnar-first.
+// the rule set (§II-A) via core.ViolationsColumns over the decoded batch,
+// with the first covering rule's prediction attached as the repair.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) *apiError {
 	art := s.artifactNow()
-	tuples, aerr := decodeBatch(r, art.rules.Schema)
+	reqC, respC, aerr := s.negotiate(r)
+	if aerr != nil {
+		return aerr
+	}
+	batch, aerr := decodeBatch(r, reqC, art.rules.Schema)
 	if aerr != nil {
 		return aerr
 	}
 	if aerr := ctxExpired(r.Context()); aerr != nil {
 		return aerr
 	}
-	rel := &dataset.Relation{Schema: art.rules.Schema, Tuples: tuples}
-	vs := core.Violations(rel, art.rules)
-	out := make([]violationOut, len(vs))
-	for i, v := range vs {
-		out[i] = violationOut{
-			Tuple:     v.TupleIndex,
-			Rule:      v.RuleIndex,
-			Observed:  v.Observed,
-			Predicted: v.Predicted,
-			Excess:    v.Excess,
-		}
-		if val, ok := core.Repair(tuples[v.TupleIndex], art.rules); ok {
-			out[i].Repair = &val
+	vs := core.ViolationsColumns(batch.Cols, art.rules)
+	res := &CheckResult{Checked: batch.Cols.Len()}
+	if len(vs) > 0 {
+		res.Violations = make([]CheckViolation, len(vs))
+		for i, v := range vs {
+			res.Violations[i] = CheckViolation{
+				Tuple:     v.TupleIndex,
+				Rule:      v.RuleIndex,
+				Observed:  v.Observed,
+				Predicted: v.Predicted,
+				Excess:    v.Excess,
+			}
+			if val, ok := core.Repair(batch.Cols.MaterializeRow(v.TupleIndex), art.rules); ok {
+				res.Violations[i].Repair = &val
+			}
 		}
 	}
-	return writeJSON(w, struct {
-		Checked    int            `json:"checked"`
-		Violations []violationOut `json:"violations"`
-	}{len(tuples), out})
-}
-
-// imputeRequest extends the shared batch envelope with the impute options.
-type imputeRequest struct {
-	tupleBatch
-	// Column names the attribute to fill; default: the artifact's target.
-	Column string `json:"column,omitempty"`
-	// UseFallback fills uncovered tuples with the training mean instead of
-	// leaving them missing.
-	UseFallback bool `json:"use_fallback,omitempty"`
+	return encodeResponse(w, respC, func(body io.Writer) error {
+		return respC.EncodeCheck(body, res)
+	})
 }
 
 // handleImpute answers POST /v1/impute by wrapping internal/impute over the
-// request batch: null cells of the chosen numeric column are filled from the
-// rule set, and the completed tuples are returned.
+// request batch: null cells of the chosen numeric column are filled from
+// the rule set, and the completed tuples are returned in the negotiated
+// format.
 func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) *apiError {
 	art := s.artifactNow()
-	var req imputeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return errf(http.StatusBadRequest, "decode request: %v", err)
+	reqC, respC, aerr := s.negotiate(r)
+	if aerr != nil {
+		return aerr
 	}
-	switch {
-	case req.Tuple != nil && req.Tuples != nil:
-		return errf(http.StatusBadRequest, `provide "tuple" or "tuples", not both`)
-	case req.Tuple != nil:
-		req.Tuples = []map[string]any{req.Tuple}
-	case len(req.Tuples) == 0:
-		return errf(http.StatusBadRequest, `empty request: provide "tuple" or "tuples"`)
-	}
-	tuples, err := decodeTuples(art.rules.Schema, req.Tuples)
-	if err != nil {
-		return errf(http.StatusBadRequest, "%v", err)
+	batch, aerr := decodeBatch(r, reqC, art.rules.Schema)
+	if aerr != nil {
+		return aerr
 	}
 	col := art.rules.YAttr
-	if req.Column != "" {
-		col, err = art.rules.Schema.Index(req.Column)
+	if batch.Opts.Column != "" {
+		var err error
+		col, err = art.rules.Schema.Index(batch.Opts.Column)
 		if err != nil {
-			return errf(http.StatusBadRequest, "%v", err)
+			return errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 		}
 	}
 	if aerr := ctxExpired(r.Context()); aerr != nil {
 		return aerr
 	}
-	rel := &dataset.Relation{Schema: art.rules.Schema, Tuples: tuples}
-	p := impute.RuleSetPredictor{Rules: art.rules, UseFallback: req.UseFallback}
+	rel := batch.Cols.Materialize()
+	p := impute.RuleSetPredictor{Rules: art.rules, UseFallback: batch.Opts.UseFallback}
 	st, err := impute.Fill(rel, col, p)
 	if err != nil {
 		if errors.Is(err, impute.ErrColumnKind) {
-			return errf(http.StatusBadRequest, "%v", err)
+			return errf(http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 		}
-		return errf(http.StatusInternalServerError, "%v", err)
+		return errf(http.StatusInternalServerError, CodeInternal, "%v", err)
 	}
-	out := make([]map[string]any, len(rel.Tuples))
-	for i, t := range rel.Tuples {
-		out[i] = encodeTuple(art.rules.Schema, t)
+	res := &ImputeResult{
+		Column:  art.rules.Schema.Attr(col).Name,
+		Imputed: st.Imputed,
+		Failed:  st.Failed,
+		Filled:  rel,
 	}
-	return writeJSON(w, struct {
-		Column  string           `json:"column"`
-		Imputed int              `json:"imputed"`
-		Failed  int              `json:"failed"`
-		Tuples  []map[string]any `json:"tuples"`
-	}{art.rules.Schema.Attr(col).Name, st.Imputed, st.Failed, out})
+	return encodeResponse(w, respC, func(body io.Writer) error {
+		return respC.EncodeImpute(body, res)
+	})
+}
+
+// encodeResponse stamps the negotiated content type and streams the result.
+// Encode failures after the header is out are connection-level: nothing
+// recoverable remains, so nothing is surfaced.
+func encodeResponse(w http.ResponseWriter, c Codec, encode func(io.Writer) error) *apiError {
+	w.Header().Set("Content-Type", c.ContentType())
+	_ = encode(w)
+	return nil
 }
 
 // ruleSetInfo is the GET /v1/rules summary.
@@ -236,15 +188,15 @@ func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) *apiError {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) *apiError {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return errf(http.StatusBadRequest, "read body: %v", err)
+		return errf(http.StatusBadRequest, CodeInvalidArgument, "read body: %v", err)
 	}
 	if len(bytes.TrimSpace(body)) == 0 {
 		if err := s.Reload(); err != nil {
-			return errf(http.StatusUnprocessableEntity, "%v", err)
+			return errf(http.StatusUnprocessableEntity, CodeReloadFailed, "%v", err)
 		}
 	} else {
 		if err := s.ReloadFrom(bytes.NewReader(body), "reload-body"); err != nil {
-			return errf(http.StatusUnprocessableEntity, "%v", err)
+			return errf(http.StatusUnprocessableEntity, CodeReloadFailed, "%v", err)
 		}
 	}
 	art := s.artifactNow()
@@ -260,7 +212,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) *apiError 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) *apiError {
 	art := s.artifactNow()
 	if art == nil {
-		return errf(http.StatusServiceUnavailable, "no rule set loaded")
+		return errf(http.StatusServiceUnavailable, CodeUnavailable, "no rule set loaded")
 	}
 	return writeJSON(w, struct {
 		Status   string    `json:"status"`

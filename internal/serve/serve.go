@@ -292,14 +292,38 @@ func (s *Server) ep(name string) *endpoint {
 	}
 }
 
+// Stable machine-readable error codes carried in the JSON error envelope
+// ({"error":{"code","message"}}). Codes are the contract clients switch on;
+// messages are human-readable detail and may change freely. Documented in
+// docs/API.md.
+const (
+	// CodeInvalidArgument: the request body or parameters failed validation.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeUnsupportedMedia: the Content-Type names no supported codec.
+	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeOverloaded: the in-flight limit was hit; retry after backoff.
+	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded: the per-request processing deadline passed.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeReloadFailed: the artifact in a reload request did not parse.
+	CodeReloadFailed = "reload_failed"
+	// CodeUnavailable: no rule set is loaded.
+	CodeUnavailable = "unavailable"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
 // apiError is a handler failure destined for the JSON error envelope.
 type apiError struct {
 	status int
+	code   string
 	msg    string
 }
 
-func errf(status int, format string, args ...any) *apiError {
-	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+func errf(status int, code string, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
 // gate is the shared middleware: method check, optional load shedding,
@@ -310,7 +334,8 @@ func (s *Server) gate(ep *endpoint, method string, shed bool, h func(http.Respon
 		if r.Method != method {
 			ep.errors.Inc()
 			w.Header().Set("Allow", method)
-			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed, use %s", r.Method, method)
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				"method %s not allowed, use %s", r.Method, method)
 			return
 		}
 		// The deadline covers the whole admitted request, the OnRequest shim
@@ -332,7 +357,8 @@ func (s *Server) gate(ep *endpoint, method string, shed bool, h func(http.Respon
 				s.ctrShed.Inc()
 				ep.errors.Inc()
 				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "server at its in-flight limit (%d), retry later", s.cfg.MaxInFlight)
+				writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+					"server at its in-flight limit (%d), retry later", s.cfg.MaxInFlight)
 				return
 			}
 			if s.cfg.OnRequest != nil {
@@ -348,16 +374,27 @@ func (s *Server) gate(ep *endpoint, method string, shed bool, h func(http.Respon
 			if err.status == http.StatusGatewayTimeout {
 				s.ctrTimeout.Inc()
 			}
-			writeError(w, err.status, "%s", err.msg)
+			writeError(w, err.status, err.code, "%s", err.msg)
 		}
 	})
 }
 
-// writeError emits the JSON error envelope.
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+// writeError emits the structured JSON error envelope. Errors are always
+// JSON, whatever format the request negotiated — a client that cannot parse
+// a columnar response can always parse the failure that replaced it.
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	if code == "" {
+		code = CodeInternal
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	type errBody struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	_ = json.NewEncoder(w).Encode(struct {
+		Error errBody `json:"error"`
+	}{errBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // writeJSON emits a 200 JSON response.
@@ -375,5 +412,6 @@ func ctxExpired(ctx context.Context) *apiError {
 	if ctx.Err() == nil {
 		return nil
 	}
-	return errf(http.StatusGatewayTimeout, "request abandoned after deadline (%v)", ctx.Err())
+	return errf(http.StatusGatewayTimeout, CodeDeadlineExceeded,
+		"request abandoned after deadline (%v)", ctx.Err())
 }

@@ -230,9 +230,17 @@ func TestPredictPayloadValidation(t *testing.T) {
 		if status != http.StatusBadRequest {
 			t.Errorf("%s: status %d (%s), want 400", c.name, status, body)
 		}
-		var e map[string]string
-		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+		var e struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
 			t.Errorf("%s: missing error envelope: %s", c.name, body)
+		}
+		if e.Error.Code != CodeInvalidArgument {
+			t.Errorf("%s: error code %q, want %q", c.name, e.Error.Code, CodeInvalidArgument)
 		}
 	}
 

@@ -2,22 +2,27 @@ package verify
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 
+	"github.com/crrlab/crr/internal/cliutil"
 	"github.com/crrlab/crr/internal/core"
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/serve"
+	"github.com/crrlab/crr/pkg/client"
 )
 
 // Served-endpoint parity: the HTTP data plane must classify exactly like the
-// in-process rule set. Tuples cross the wire as name-keyed JSON objects and
-// predictions come back as JSON numbers; Go's encoder emits the shortest
-// round-tripping representation for finite float64s, so parity is checked
-// bitwise.
+// in-process rule set, over EVERY negotiated format. Tuples cross the wire
+// as name-keyed JSON objects and as binary columnar frames (through the
+// public SDK); predictions come back as JSON numbers and float64 lanes.
+// Go's JSON encoder emits the shortest round-tripping representation for
+// finite float64s and the binary format carries the exact bits, so parity
+// is checked bitwise on all paths.
 
 // singleProbes bounds how many leading tuples are additionally checked
 // through the single-tuple request shape (one HTTP round trip each); the
@@ -113,6 +118,73 @@ func (rn *runner) serveOracles(t Target, rules *core.RuleSet, label string) erro
 		return fmt.Errorf("serve %s check: %w", label, err)
 	}
 	rn.check("serve/check/"+label, diffServedViolations(rel, rules, &cr))
+
+	// Binary columnar path through the public SDK: the same batch, answered
+	// bitwise-identically to the in-process classifier — and therefore to
+	// the JSON path just verified.
+	if err := rn.serveBinaryOracles(ts.URL, t, rules, label); err != nil {
+		return err
+	}
+	return nil
+}
+
+// serveBinaryOracles drives /v1/predict and /v1/check through pkg/client in
+// binary columnar format and holds the answers to the in-process results.
+func (rn *runner) serveBinaryOracles(url string, t Target, rules *core.RuleSet, label string) error {
+	rel := t.Rel
+	batch, err := cliutil.ClientBatch(rel)
+	if err != nil {
+		return fmt.Errorf("serve %s binary batch: %w", label, err)
+	}
+	c := client.New(url, client.WithFormat(client.FormatBinary))
+	res, err := c.Predict(context.Background(), batch, client.WithExplain())
+	if err != nil {
+		return fmt.Errorf("serve %s binary predict: %w", label, err)
+	}
+	detail := ""
+	if len(res.Values) != len(rel.Tuples) {
+		detail = fmt.Sprintf("served %d predictions for %d tuples", len(res.Values), len(rel.Tuples))
+	} else {
+		for i, tp := range rel.Tuples {
+			want, wcov := rules.Predict(tp)
+			if res.Covered[i] != wcov || !bitsEqual(res.Values[i], want) {
+				detail = fmt.Sprintf("row %d: binary (%g,%v) vs in-process (%g,%v)",
+					i, res.Values[i], res.Covered[i], want, wcov)
+				break
+			}
+			if !res.Covered[i] && res.RuleIDs[i] != -1 {
+				detail = fmt.Sprintf("row %d: uncovered but rule id %d", i, res.RuleIDs[i])
+				break
+			}
+		}
+	}
+	rn.check("serve/predict-binary/"+label, detail)
+
+	batch, err = cliutil.ClientBatch(rel)
+	if err != nil {
+		return fmt.Errorf("serve %s binary batch: %w", label, err)
+	}
+	rep, err := c.Check(context.Background(), batch)
+	if err != nil {
+		return fmt.Errorf("serve %s binary check: %w", label, err)
+	}
+	detail = ""
+	want := core.Violations(rel, rules)
+	if rep.Checked != len(rel.Tuples) || len(rep.Violations) != len(want) {
+		detail = fmt.Sprintf("binary check %d/%d vs in-process %d/%d",
+			rep.Checked, len(rep.Violations), len(rel.Tuples), len(want))
+	} else {
+		for i, got := range rep.Violations {
+			w := want[i]
+			if got.Tuple != w.TupleIndex || got.Rule != w.RuleIndex ||
+				!bitsEqual(got.Observed, w.Observed) || !bitsEqual(got.Predicted, w.Predicted) ||
+				!bitsEqual(got.Excess, w.Excess) {
+				detail = fmt.Sprintf("violation %d: binary %+v vs in-process %+v", i, got, w)
+				break
+			}
+		}
+	}
+	rn.check("serve/check-binary/"+label, detail)
 	return nil
 }
 

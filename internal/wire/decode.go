@@ -1,0 +1,383 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrFormat wraps every malformed-stream error, so callers can map any
+// decode failure to one "bad request" class without string matching.
+var ErrFormat = errors.New("wire: malformed stream")
+
+func formatErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(format, args...))
+}
+
+// DecodeBatch reads one complete batch stream from r. It never trusts a
+// length it has not verified against bytes actually present: frame payloads
+// are read fully (bounded by lim.MaxFrameBytes) before parsing, row counts
+// are checked against the payload size before any row-proportional
+// allocation, and dictionary codes are validated against the dictionary
+// received so far. Null float lanes are normalized to zero and NullCode
+// cells to set null bits, so a decoded batch has exactly one representation
+// per logical value.
+func DecodeBatch(r io.Reader, lim DecodeLimits) (*Batch, error) {
+	br := getReader(r)
+	defer putReader(br)
+
+	if err := readHeader(br, msgBatch); err != nil {
+		return nil, err
+	}
+	opts, err := readOptions(br)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := readSchema(br, lim)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{Schema: schema, Cols: make([]Col, schema.Cols()), Options: opts}
+	if err := readFrames(br, b, lim); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// readHeader consumes and validates magic, version and message type.
+func readHeader(br *bufio.Reader, wantType byte) error {
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return formatErr("short header: %v", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return formatErr("bad magic %q", hdr[:4])
+	}
+	if hdr[4] != Version {
+		return formatErr("unsupported version %d (want %d)", hdr[4], Version)
+	}
+	if hdr[5] != wantType {
+		return formatErr("message type %#x (want %#x)", hdr[5], wantType)
+	}
+	return nil
+}
+
+// maxOptionPairs and maxStringLen bound header strings independently of the
+// frame limits; both are far above any legitimate use.
+const (
+	maxOptionPairs = 256
+	maxStringLen   = 1 << 16
+)
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, formatErr("short varint: %v", err)
+	}
+	return v, nil
+}
+
+// readString reads a length-prefixed string, capped.
+func readString(br *bufio.Reader, maxLen int) (string, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(maxLen) {
+		return "", formatErr("string length %d exceeds cap %d", n, maxLen)
+	}
+	// Strings are small (capped); read through the bufio buffer without a
+	// separate scratch allocation when possible.
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", formatErr("short string: %v", err)
+	}
+	return string(buf), nil
+}
+
+func readOptions(br *bufio.Reader) (map[string]string, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > maxOptionPairs {
+		return nil, formatErr("%d option pairs exceed cap %d", n, maxOptionPairs)
+	}
+	opts := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := readString(br, maxStringLen)
+		if err != nil {
+			return nil, err
+		}
+		v, err := readString(br, maxStringLen)
+		if err != nil {
+			return nil, err
+		}
+		opts[k] = v
+	}
+	return opts, nil
+}
+
+func readSchema(br *bufio.Reader, lim DecodeLimits) (Schema, error) {
+	n, err := readUvarint(br)
+	if err != nil {
+		return Schema{}, err
+	}
+	if n > uint64(lim.maxCols()) {
+		return Schema{}, formatErr("%d columns exceed cap %d", n, lim.maxCols())
+	}
+	s := Schema{Names: make([]string, n), Kinds: make([]Kind, n)}
+	for i := range s.Names {
+		name, err := readString(br, maxStringLen)
+		if err != nil {
+			return Schema{}, err
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return Schema{}, formatErr("short schema: %v", err)
+		}
+		if Kind(kind) != Float64 && Kind(kind) != String {
+			return Schema{}, formatErr("column %q has unknown kind %d", name, kind)
+		}
+		s.Names[i] = name
+		s.Kinds[i] = Kind(kind)
+	}
+	return s, nil
+}
+
+// cursor walks one fully-read frame payload with bounds-checked reads.
+type cursor struct {
+	buf []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.buf) - c.off }
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, formatErr("frame truncated: need %d bytes, have %d", n, c.remaining())
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *cursor) byte1() (byte, error) {
+	b, err := c.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.buf[c.off:])
+	if n <= 0 {
+		return 0, formatErr("frame truncated: bad varint")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) str(maxLen int) (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(maxLen) {
+		return "", formatErr("string length %d exceeds cap %d", n, maxLen)
+	}
+	b, err := c.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// minRowBytes is the guaranteed per-row payload cost of one frame under
+// schema s — the check that stops a hostile row count from provoking a
+// large allocation the payload cannot back.
+func minRowBytes(s Schema) int {
+	n := 0
+	for _, k := range s.Kinds {
+		if k == Float64 {
+			n += 8
+		} else {
+			n += 4
+		}
+	}
+	return n
+}
+
+// readFrames accumulates row frames into b until the zero-row terminator.
+func readFrames(br *bufio.Reader, b *Batch, lim DecodeLimits) error {
+	perRow := minRowBytes(b.Schema)
+	payload := getBuf()
+	defer putBuf(payload)
+	for {
+		var lenb [4]byte
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return formatErr("short frame length: %v", err)
+		}
+		frameLen := int(binary.LittleEndian.Uint32(lenb[:]))
+		if frameLen < 4 {
+			return formatErr("frame payload of %d bytes is shorter than its row count", frameLen)
+		}
+		if frameLen > lim.maxFrameBytes() {
+			return formatErr("frame payload %d exceeds cap %d", frameLen, lim.maxFrameBytes())
+		}
+		if cap(*payload) < frameLen {
+			*payload = make([]byte, frameLen)
+		}
+		*payload = (*payload)[:frameLen]
+		if _, err := io.ReadFull(br, *payload); err != nil {
+			return formatErr("short frame: %v", err)
+		}
+		cur := &cursor{buf: *payload}
+		rowsb, _ := cur.bytes(4)
+		rows := int(binary.LittleEndian.Uint32(rowsb))
+		if rows == 0 {
+			if cur.remaining() != 0 {
+				return formatErr("terminator frame carries %d trailing bytes", cur.remaining())
+			}
+			return nil
+		}
+		if b.Schema.Cols() == 0 {
+			return formatErr("%d rows with an empty schema", rows)
+		}
+		if rows > lim.maxRows()-b.Rows {
+			return formatErr("batch exceeds row cap %d", lim.maxRows())
+		}
+		// Every data frame carries at least flags + dense lanes per column;
+		// verify before any rows-sized allocation below.
+		if need := b.Schema.Cols() + rows*perRow; cur.remaining() < need {
+			return formatErr("frame of %d bytes cannot hold %d rows (needs ≥ %d)", cur.remaining(), rows, need)
+		}
+		if err := readFrameColumns(cur, b, rows); err != nil {
+			return err
+		}
+		if cur.remaining() != 0 {
+			return formatErr("frame carries %d trailing bytes", cur.remaining())
+		}
+		b.Rows += rows
+	}
+}
+
+func readFrameColumns(cur *cursor, b *Batch, rows int) error {
+	base := b.Rows
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		flags, err := cur.byte1()
+		if err != nil {
+			return err
+		}
+		if flags&^byte(1) != 0 {
+			return formatErr("column %q has unknown flags %#x", b.Schema.Names[c], flags)
+		}
+		hasNulls := flags&1 != 0
+
+		var lanes []byte // raw float lanes, decoded after the bitmap is known
+		var codes []byte // raw code lanes, validated after the bitmap is known
+		switch b.Schema.Kinds[c] {
+		case Float64:
+			lanes, err = cur.bytes(rows * 8)
+			if err != nil {
+				return err
+			}
+		case String:
+			add, err := cur.uvarint()
+			if err != nil {
+				return err
+			}
+			// Each added entry costs ≥ 1 payload byte (its length varint).
+			if add > uint64(cur.remaining()) {
+				return formatErr("column %q dictionary addition %d exceeds frame", b.Schema.Names[c], add)
+			}
+			for i := uint64(0); i < add; i++ {
+				s, err := cur.str(maxStringLen)
+				if err != nil {
+					return err
+				}
+				col.Dict = append(col.Dict, s)
+			}
+			codes, err = cur.bytes(rows * 4)
+			if err != nil {
+				return err
+			}
+		}
+		var bitmap []byte
+		if hasNulls {
+			bitmap, err = cur.bytes(bitmapWords(rows) * 8)
+			if err != nil {
+				return err
+			}
+		}
+
+		// Frame-local null bits merge into the batch-wide bitmap at the
+		// frame's base row offset.
+		isNull := func(i int) bool {
+			return bitmap != nil && bitmap[(i>>6)*8+((i>>3)&7)]&(1<<(uint(i)&7)) != 0
+		}
+		setNull := func(i int) {
+			if col.Nulls == nil {
+				col.Nulls = make([]uint64, 0, bitmapWords(base+rows))
+			}
+			for len(col.Nulls) < bitmapWords(base+rows) {
+				col.Nulls = append(col.Nulls, 0)
+			}
+			r := base + i
+			col.Nulls[r>>6] |= 1 << (uint(r) & 63)
+		}
+		if col.Nulls != nil {
+			// Earlier frames had nulls; keep the bitmap row-aligned.
+			for len(col.Nulls) < bitmapWords(base+rows) {
+				col.Nulls = append(col.Nulls, 0)
+			}
+		}
+
+		switch b.Schema.Kinds[c] {
+		case Float64:
+			if cap(col.Floats)-len(col.Floats) < rows {
+				grown := make([]float64, len(col.Floats), len(col.Floats)+rows)
+				copy(grown, col.Floats)
+				col.Floats = grown
+			}
+			for i := 0; i < rows; i++ {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(lanes[i*8:]))
+				if isNull(i) {
+					// Normalize: a null lane carries exactly what
+					// dataset.Null() does — zero.
+					v = 0
+					setNull(i)
+				}
+				col.Floats = append(col.Floats, v)
+			}
+		case String:
+			if cap(col.Codes)-len(col.Codes) < rows {
+				grown := make([]uint32, len(col.Codes), len(col.Codes)+rows)
+				copy(grown, col.Codes)
+				col.Codes = grown
+			}
+			dictLen := uint32(len(col.Dict))
+			for i := 0; i < rows; i++ {
+				code := binary.LittleEndian.Uint32(codes[i*4:])
+				if isNull(i) {
+					code = NullCode
+				}
+				if code == NullCode {
+					setNull(i)
+				} else if code >= dictLen {
+					return formatErr("column %q code %d outside dictionary of %d", b.Schema.Names[c], code, dictLen)
+				}
+				col.Codes = append(col.Codes, code)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// appendString appends a length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// EncodeBatch writes b as one complete batch stream: header, options,
+// schema, row frames of at most opt.ChunkRows rows each, and the zero-row
+// terminator. Column data is read directly from the Batch slices — no
+// intermediate tuple materialization — and the frame scratch buffer is
+// pooled, so steady-state encoding allocates only what the io.Writer does.
+func EncodeBatch(w io.Writer, b *Batch, opt EncodeOptions) error {
+	if err := validateBatch(b); err != nil {
+		return err
+	}
+	chunk := opt.ChunkRows
+	if chunk <= 0 {
+		chunk = DefaultChunkRows
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+
+	*buf = appendHeader((*buf)[:0], msgBatch)
+	*buf = appendOptions(*buf, b.Options)
+	*buf = appendSchema(*buf, b.Schema)
+	if _, err := w.Write(*buf); err != nil {
+		return err
+	}
+
+	// dictSent[c] counts dictionary entries already on the wire for column
+	// c; each frame carries only the additions since the previous one.
+	dictSent := make([]int, b.Schema.Cols())
+	for start := 0; start < b.Rows; start += chunk {
+		end := start + chunk
+		if end > b.Rows {
+			end = b.Rows
+		}
+		if err := writeFrame(w, buf, b, start, end, dictSent); err != nil {
+			return err
+		}
+	}
+	// Terminator: a frame whose payload is just rows=0.
+	*buf = (*buf)[:0]
+	*buf = binary.LittleEndian.AppendUint32(*buf, 4)
+	*buf = binary.LittleEndian.AppendUint32(*buf, 0)
+	_, err := w.Write(*buf)
+	return err
+}
+
+func validateBatch(b *Batch) error {
+	if b.Schema.Cols() != len(b.Schema.Kinds) {
+		return fmt.Errorf("wire: schema has %d names but %d kinds", len(b.Schema.Names), len(b.Schema.Kinds))
+	}
+	if len(b.Cols) != b.Schema.Cols() {
+		return fmt.Errorf("wire: %d columns for a %d-column schema", len(b.Cols), b.Schema.Cols())
+	}
+	if b.Rows > 0 && b.Schema.Cols() == 0 {
+		return fmt.Errorf("wire: %d rows with an empty schema", b.Rows)
+	}
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		switch b.Schema.Kinds[c] {
+		case Float64:
+			if len(col.Floats) != b.Rows {
+				return fmt.Errorf("wire: column %q has %d float lanes for %d rows", b.Schema.Names[c], len(col.Floats), b.Rows)
+			}
+		case String:
+			if len(col.Codes) != b.Rows {
+				return fmt.Errorf("wire: column %q has %d codes for %d rows", b.Schema.Names[c], len(col.Codes), b.Rows)
+			}
+			for _, code := range col.Codes {
+				if code != NullCode && int(code) >= len(col.Dict) {
+					return fmt.Errorf("wire: column %q code %d outside dictionary of %d", b.Schema.Names[c], code, len(col.Dict))
+				}
+			}
+		default:
+			return fmt.Errorf("wire: column %q has unsupported kind %d", b.Schema.Names[c], b.Schema.Kinds[c])
+		}
+		if col.Nulls != nil && len(col.Nulls) < bitmapWords(b.Rows) {
+			return fmt.Errorf("wire: column %q null bitmap has %d words for %d rows", b.Schema.Names[c], len(col.Nulls), b.Rows)
+		}
+	}
+	return nil
+}
+
+func appendHeader(buf []byte, msgtype byte) []byte {
+	buf = append(buf, magic[:]...)
+	return append(buf, Version, msgtype)
+}
+
+// appendOptions writes the option pairs in sorted key order, so identical
+// requests encode identically.
+func appendOptions(buf []byte, opts map[string]string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(opts)))
+	if len(opts) == 0 {
+		return buf
+	}
+	keys := make([]string, 0, len(opts))
+	for k := range opts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = appendString(buf, k)
+		buf = appendString(buf, opts[k])
+	}
+	return buf
+}
+
+func appendSchema(buf []byte, s Schema) []byte {
+	buf = binary.AppendUvarint(buf, uint64(s.Cols()))
+	for i, name := range s.Names {
+		buf = appendString(buf, name)
+		buf = append(buf, byte(s.Kinds[i]))
+	}
+	return buf
+}
+
+// writeFrame encodes rows [start, end) of every column as one frame.
+func writeFrame(w io.Writer, scratch *[]byte, b *Batch, start, end int, dictSent []int) error {
+	rows := end - start
+	buf := (*scratch)[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // frameLen backpatched below
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rows))
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		hasNulls := frameHasNulls(col.Nulls, start, end)
+		flags := byte(0)
+		if hasNulls {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		switch b.Schema.Kinds[c] {
+		case Float64:
+			off := len(buf)
+			buf = append(buf, make([]byte, rows*8)...)
+			dst := buf[off:]
+			for i, v := range col.Floats[start:end] {
+				binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+			}
+		case String:
+			add := col.Dict[dictSent[c]:]
+			buf = binary.AppendUvarint(buf, uint64(len(add)))
+			for _, s := range add {
+				buf = appendString(buf, s)
+			}
+			dictSent[c] = len(col.Dict)
+			off := len(buf)
+			buf = append(buf, make([]byte, rows*4)...)
+			dst := buf[off:]
+			for i, code := range col.Codes[start:end] {
+				binary.LittleEndian.PutUint32(dst[i*4:], code)
+			}
+		}
+		if hasNulls {
+			off := len(buf)
+			words := bitmapWords(rows)
+			buf = append(buf, make([]byte, words*8)...)
+			dst := buf[off:]
+			for i := 0; i < rows; i++ {
+				if col.IsNull(start + i) {
+					dst[(i>>6)*8+((i>>3)&7)] |= 1 << (uint(i) & 7)
+				}
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	*scratch = buf
+	_, err := w.Write(buf)
+	return err
+}
+
+// frameHasNulls reports whether any row of [start, end) is null.
+func frameHasNulls(bitmap []uint64, start, end int) bool {
+	if bitmap == nil {
+		return false
+	}
+	for r := start; r < end; r++ {
+		if bitmap[r>>6]&(1<<(uint(r)&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzWireDecode holds the decoder's safety line: arbitrary bytes — bad
+// magic, truncated frames, hostile length prefixes, null bitmaps past the
+// row count — must produce ErrFormat-class errors, never a panic, and never
+// an allocation sized by an unverified length. The limits are kept tiny so
+// the fuzzer can reach the cap paths cheaply, and every decoded batch is
+// re-encoded and re-decoded to assert the accepted subset round-trips.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with valid streams of every message type, so mutation starts
+	// from deep inside the format instead of dying at the magic check.
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, fuzzSeedBatch(), EncodeOptions{ChunkRows: 3}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	buf = bytes.Buffer{}
+	if err := EncodePredictions(&buf, &Predictions{
+		Y:       "y",
+		Values:  []float64{1, math.Inf(-1), 3},
+		Covered: []bool{true, false, true},
+		RuleIDs: []int{0, -1, 2},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	repair := 5.0
+	buf = bytes.Buffer{}
+	if err := EncodeCheck(&buf, &CheckReport{
+		Checked:    9,
+		Violations: []Violation{{Tuple: 1, Rule: 2, Observed: 3, Predicted: 4, Excess: 1, Repair: &repair}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	buf = bytes.Buffer{}
+	if err := EncodeImpute(&buf, &ImputeReport{Column: "x", Imputed: 1, Batch: fuzzSeedBatch()}, EncodeOptions{}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	// Hand-built hostile streams: giant claimed rows, bitmap flag with no
+	// bitmap bytes, dictionary additions past the frame end.
+	hostile := appendHeader(nil, msgBatch)
+	hostile = append(hostile, 0)
+	hostile = appendSchema(hostile, Schema{Names: []string{"x"}, Kinds: []Kind{String}})
+	hostile = append(hostile, 12, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f, 1, 0xff, 0xff, 0x01)
+	f.Add(hostile)
+
+	lim := DecodeLimits{MaxFrameBytes: 1 << 16, MaxCols: 16, MaxRows: 1 << 12}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if b, err := DecodeBatch(bytes.NewReader(data), lim); err == nil {
+			// Accepted streams must re-encode and re-decode to the same batch:
+			// the decoder's output is always a valid encoder input.
+			var out bytes.Buffer
+			if err := EncodeBatch(&out, b, EncodeOptions{ChunkRows: 2}); err != nil {
+				t.Fatalf("decoded batch does not re-encode: %v", err)
+			}
+			if _, err := DecodeBatch(&out, lim); err != nil {
+				t.Fatalf("re-encoded batch does not decode: %v", err)
+			}
+		}
+		_, _ = DecodePredictions(bytes.NewReader(data), lim)
+		_, _ = DecodeCheck(bytes.NewReader(data), lim)
+		_, _ = DecodeImpute(bytes.NewReader(data), lim)
+	})
+}
+
+func fuzzSeedBatch() *Batch {
+	return &Batch{
+		Schema: Schema{Names: []string{"a", "b"}, Kinds: []Kind{Float64, String}},
+		Rows:   5,
+		Cols: []Col{
+			{Floats: []float64{1, 2, 0, 4, 5}, Nulls: []uint64{0b00100}},
+			{Codes: []uint32{0, 1, NullCode, 0, 1}, Dict: []string{"u", "v"}, Nulls: []uint64{0b00100}},
+		},
+	}
+}

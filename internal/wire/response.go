@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Endpoint results travel in the same dialect as batches: fixed header,
+// then dense typed payloads. Predictions are the hot path — a 1000-tuple
+// answer is ~8 KiB of float64 lanes plus a 16-word coverage bitmap, encoded
+// straight out of the classifier's output slices.
+
+// Predictions is the /v1/predict result: one value and coverage flag per
+// input row, plus the rule that supplied each prediction when the caller
+// asked for explain metadata (RuleIDs non-nil; -1 marks an uncovered row).
+type Predictions struct {
+	Y       string
+	Values  []float64
+	Covered []bool
+	RuleIDs []int
+}
+
+// EncodePredictions writes p as one predictions message.
+func EncodePredictions(w io.Writer, p *Predictions) error {
+	if len(p.Covered) != len(p.Values) {
+		return fmt.Errorf("wire: %d covered flags for %d values", len(p.Covered), len(p.Values))
+	}
+	if p.RuleIDs != nil && len(p.RuleIDs) != len(p.Values) {
+		return fmt.Errorf("wire: %d rule ids for %d values", len(p.RuleIDs), len(p.Values))
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	b := appendHeader((*buf)[:0], msgPredictions)
+	b = appendString(b, p.Y)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Values)))
+	flags := byte(0)
+	if p.RuleIDs != nil {
+		flags |= 1
+	}
+	b = append(b, flags)
+	off := len(b)
+	b = append(b, make([]byte, len(p.Values)*8)...)
+	for i, v := range p.Values {
+		binary.LittleEndian.PutUint64(b[off+i*8:], math.Float64bits(v))
+	}
+	words := bitmapWords(len(p.Covered))
+	off = len(b)
+	b = append(b, make([]byte, words*8)...)
+	for i, c := range p.Covered {
+		if c {
+			b[off+(i>>6)*8+((i>>3)&7)] |= 1 << (uint(i) & 7)
+		}
+	}
+	if p.RuleIDs != nil {
+		off = len(b)
+		b = append(b, make([]byte, len(p.RuleIDs)*4)...)
+		for i, id := range p.RuleIDs {
+			binary.LittleEndian.PutUint32(b[off+i*4:], uint32(int32(id)))
+		}
+	}
+	*buf = b
+	_, err := w.Write(b)
+	return err
+}
+
+// DecodePredictions reads one predictions message. Large arrays are read
+// in bounded chunks, so a hostile count cannot provoke an allocation the
+// stream does not back.
+func DecodePredictions(r io.Reader, lim DecodeLimits) (*Predictions, error) {
+	br := getReader(r)
+	defer putReader(br)
+	if err := readHeader(br, msgPredictions); err != nil {
+		return nil, err
+	}
+	y, err := readString(br, maxStringLen)
+	if err != nil {
+		return nil, err
+	}
+	var cntb [4]byte
+	if _, err := io.ReadFull(br, cntb[:]); err != nil {
+		return nil, formatErr("short count: %v", err)
+	}
+	count := int(binary.LittleEndian.Uint32(cntb[:]))
+	if count > lim.maxRows() {
+		return nil, formatErr("prediction count %d exceeds cap %d", count, lim.maxRows())
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, formatErr("short flags: %v", err)
+	}
+	if flags&^byte(1) != 0 {
+		return nil, formatErr("unknown prediction flags %#x", flags)
+	}
+	p := &Predictions{Y: y}
+	raw, err := readChunked(br, count*8)
+	if err != nil {
+		return nil, err
+	}
+	p.Values = make([]float64, count)
+	for i := range p.Values {
+		p.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	bitmap, err := readChunked(br, bitmapWords(count)*8)
+	if err != nil {
+		return nil, err
+	}
+	p.Covered = make([]bool, count)
+	for i := range p.Covered {
+		p.Covered[i] = bitmap[(i>>6)*8+((i>>3)&7)]&(1<<(uint(i)&7)) != 0
+	}
+	if flags&1 != 0 {
+		raw, err := readChunked(br, count*4)
+		if err != nil {
+			return nil, err
+		}
+		p.RuleIDs = make([]int, count)
+		for i := range p.RuleIDs {
+			p.RuleIDs[i] = int(int32(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	}
+	return p, nil
+}
+
+// readChunked reads exactly n bytes, growing the result as data actually
+// arrives (64 KiB steps) instead of allocating n upfront.
+func readChunked(br io.Reader, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, formatErr("negative length")
+	}
+	const step = 64 << 10
+	out := make([]byte, 0, min(n, step))
+	for len(out) < n {
+		take := min(n-len(out), step)
+		off := len(out)
+		out = append(out, make([]byte, take)...)
+		if _, err := io.ReadFull(br, out[off:]); err != nil {
+			return nil, formatErr("short payload: %v", err)
+		}
+	}
+	return out, nil
+}
+
+// Violation is one (tuple, rule) constraint breach on the wire, with the
+// optional repair value (the first covering rule's prediction).
+type Violation struct {
+	Tuple     int
+	Rule      int
+	Observed  float64
+	Predicted float64
+	Excess    float64
+	Repair    *float64
+}
+
+// CheckReport is the /v1/check result.
+type CheckReport struct {
+	Checked    int
+	Violations []Violation
+}
+
+// EncodeCheck writes rep as one check message.
+func EncodeCheck(w io.Writer, rep *CheckReport) error {
+	buf := getBuf()
+	defer putBuf(buf)
+	b := appendHeader((*buf)[:0], msgCheck)
+	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Checked))
+	b = binary.AppendUvarint(b, uint64(len(rep.Violations)))
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		b = binary.AppendUvarint(b, uint64(v.Tuple))
+		b = binary.AppendUvarint(b, uint64(v.Rule))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Observed))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Predicted))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Excess))
+		if v.Repair != nil {
+			b = append(b, 1)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(*v.Repair))
+		} else {
+			b = append(b, 0)
+		}
+	}
+	*buf = b
+	_, err := w.Write(b)
+	return err
+}
+
+// DecodeCheck reads one check message. Violations are appended as records
+// actually parse, so the count varint cannot drive allocation.
+func DecodeCheck(r io.Reader, lim DecodeLimits) (*CheckReport, error) {
+	br := getReader(r)
+	defer putReader(br)
+	if err := readHeader(br, msgCheck); err != nil {
+		return nil, err
+	}
+	var cntb [4]byte
+	if _, err := io.ReadFull(br, cntb[:]); err != nil {
+		return nil, formatErr("short count: %v", err)
+	}
+	rep := &CheckReport{Checked: int(binary.LittleEndian.Uint32(cntb[:]))}
+	n, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var v Violation
+		tuple, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		rule, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		var f [25]byte // observed + predicted + excess + repair flag
+		if _, err := io.ReadFull(br, f[:]); err != nil {
+			return nil, formatErr("short violation: %v", err)
+		}
+		v.Tuple = int(tuple)
+		v.Rule = int(rule)
+		v.Observed = math.Float64frombits(binary.LittleEndian.Uint64(f[0:]))
+		v.Predicted = math.Float64frombits(binary.LittleEndian.Uint64(f[8:]))
+		v.Excess = math.Float64frombits(binary.LittleEndian.Uint64(f[16:]))
+		switch f[24] {
+		case 0:
+		case 1:
+			var rb [8]byte
+			if _, err := io.ReadFull(br, rb[:]); err != nil {
+				return nil, formatErr("short repair: %v", err)
+			}
+			rv := math.Float64frombits(binary.LittleEndian.Uint64(rb[:]))
+			v.Repair = &rv
+		default:
+			return nil, formatErr("bad repair flag %d", f[24])
+		}
+		rep.Violations = append(rep.Violations, v)
+	}
+	return rep, nil
+}
+
+// ImputeReport is the /v1/impute result: fill statistics plus the completed
+// batch, re-encoded in the same columnar dialect as requests.
+type ImputeReport struct {
+	Column  string
+	Imputed int
+	Failed  int
+	Batch   *Batch
+}
+
+// EncodeImpute writes rep as one impute message: a small header followed by
+// the completed batch's schema section and row frames.
+func EncodeImpute(w io.Writer, rep *ImputeReport, opt EncodeOptions) error {
+	if err := validateBatch(rep.Batch); err != nil {
+		return err
+	}
+	chunk := opt.ChunkRows
+	if chunk <= 0 {
+		chunk = DefaultChunkRows
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	b := appendHeader((*buf)[:0], msgImpute)
+	b = appendString(b, rep.Column)
+	b = binary.AppendUvarint(b, uint64(rep.Imputed))
+	b = binary.AppendUvarint(b, uint64(rep.Failed))
+	b = appendSchema(b, rep.Batch.Schema)
+	*buf = b
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	dictSent := make([]int, rep.Batch.Schema.Cols())
+	for start := 0; start < rep.Batch.Rows; start += chunk {
+		end := min(start+chunk, rep.Batch.Rows)
+		if err := writeFrame(w, buf, rep.Batch, start, end, dictSent); err != nil {
+			return err
+		}
+	}
+	*buf = (*buf)[:0]
+	*buf = binary.LittleEndian.AppendUint32(*buf, 4)
+	*buf = binary.LittleEndian.AppendUint32(*buf, 0)
+	_, err := w.Write(*buf)
+	return err
+}
+
+// DecodeImpute reads one impute message.
+func DecodeImpute(r io.Reader, lim DecodeLimits) (*ImputeReport, error) {
+	br := getReader(r)
+	defer putReader(br)
+	if err := readHeader(br, msgImpute); err != nil {
+		return nil, err
+	}
+	column, err := readString(br, maxStringLen)
+	if err != nil {
+		return nil, err
+	}
+	imputed, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	failed, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := readSchema(br, lim)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{Schema: schema, Cols: make([]Col, schema.Cols())}
+	if err := readFrames(br, b, lim); err != nil {
+		return nil, err
+	}
+	return &ImputeReport{
+		Column:  column,
+		Imputed: int(imputed),
+		Failed:  int(failed),
+		Batch:   b,
+	}, nil
+}

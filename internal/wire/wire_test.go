@@ -1,0 +1,356 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testBatch builds a three-column batch (float, string, float-with-nulls)
+// exercising every wire feature: dictionary codes, null bitmaps on both
+// kinds, and values whose bit patterns are easy to corrupt silently.
+func testBatch(rows int) *Batch {
+	b := &Batch{
+		Schema: Schema{
+			Names: []string{"Salary", "State", "Tax"},
+			Kinds: []Kind{Float64, String, Float64},
+		},
+		Rows: rows,
+		Cols: make([]Col, 3),
+		Options: map[string]string{
+			OptColumn:   "Tax",
+			OptFallback: "1",
+		},
+	}
+	dict := []string{"CA", "NY", "TX", "WA"}
+	b.Cols[0].Floats = make([]float64, rows)
+	b.Cols[1].Codes = make([]uint32, rows)
+	b.Cols[1].Dict = dict
+	b.Cols[2].Floats = make([]float64, rows)
+	b.Cols[2].Nulls = make([]uint64, bitmapWords(rows))
+	for r := 0; r < rows; r++ {
+		b.Cols[0].Floats[r] = float64(r)*1.25 - 3
+		if r%7 == 3 {
+			b.Cols[1].Codes[r] = NullCode
+			if b.Cols[1].Nulls == nil {
+				b.Cols[1].Nulls = make([]uint64, bitmapWords(rows))
+			}
+			b.Cols[1].Nulls[r>>6] |= 1 << (uint(r) & 63)
+		} else {
+			b.Cols[1].Codes[r] = uint32(r % len(dict))
+		}
+		if r%5 == 0 {
+			b.Cols[2].Nulls[r>>6] |= 1 << (uint(r) & 63)
+		} else {
+			b.Cols[2].Floats[r] = math.Sqrt(float64(r)) * 100
+		}
+	}
+	return b
+}
+
+func roundTrip(t *testing.T, b *Batch, opt EncodeOptions) *Batch {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, b, opt); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeBatch(&buf, DecodeLimits{})
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func assertBatchEqual(t *testing.T, got, want *Batch) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Schema, want.Schema) {
+		t.Fatalf("schema = %+v, want %+v", got.Schema, want.Schema)
+	}
+	if got.Rows != want.Rows {
+		t.Fatalf("rows = %d, want %d", got.Rows, want.Rows)
+	}
+	if !reflect.DeepEqual(got.Options, want.Options) {
+		t.Fatalf("options = %v, want %v", got.Options, want.Options)
+	}
+	for c := range want.Cols {
+		g, w := &got.Cols[c], &want.Cols[c]
+		for r := 0; r < want.Rows; r++ {
+			if g.IsNull(r) != w.IsNull(r) {
+				t.Fatalf("col %d row %d: null = %v, want %v", c, r, g.IsNull(r), w.IsNull(r))
+			}
+		}
+		switch want.Schema.Kinds[c] {
+		case Float64:
+			for r := 0; r < want.Rows; r++ {
+				wv := w.Floats[r]
+				if w.IsNull(r) {
+					wv = 0 // decoder normalizes null lanes
+				}
+				if math.Float64bits(g.Floats[r]) != math.Float64bits(wv) {
+					t.Fatalf("col %d row %d: %v, want %v", c, r, g.Floats[r], wv)
+				}
+			}
+		case String:
+			if !reflect.DeepEqual(g.Dict, w.Dict) {
+				t.Fatalf("col %d dict = %v, want %v", c, g.Dict, w.Dict)
+			}
+			for r := 0; r < want.Rows; r++ {
+				if g.Codes[r] != w.Codes[r] {
+					t.Fatalf("col %d row %d: code %d, want %d", c, r, g.Codes[r], w.Codes[r])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRoundTrip: a single-frame batch survives the wire bit-for-bit.
+func TestBatchRoundTrip(t *testing.T) {
+	want := testBatch(100)
+	got := roundTrip(t, want, EncodeOptions{})
+	assertBatchEqual(t, got, want)
+}
+
+// TestBatchRoundTripChunked: a batch split across many frames reassembles
+// identically — codes in later frames index the dictionary from frame one,
+// and per-frame null bitmaps merge at the right global row offsets.
+func TestBatchRoundTripChunked(t *testing.T) {
+	want := testBatch(1000)
+	for _, chunk := range []int{1, 7, 64, 333, 1000, 4096} {
+		got := roundTrip(t, want, EncodeOptions{ChunkRows: chunk})
+		assertBatchEqual(t, got, want)
+	}
+}
+
+// TestBatchRoundTripEmpty: zero rows encode as just the terminator and
+// decode back to an empty batch (the serving layer rejects empties, but the
+// format itself is total).
+func TestBatchRoundTripEmpty(t *testing.T) {
+	want := &Batch{
+		Schema: Schema{Names: []string{"X"}, Kinds: []Kind{Float64}},
+		Cols:   []Col{{}},
+	}
+	got := roundTrip(t, want, EncodeOptions{})
+	if got.Rows != 0 {
+		t.Fatalf("rows = %d, want 0", got.Rows)
+	}
+}
+
+// TestNullLaneNormalization: whatever garbage an encoder leaves in a null
+// float lane, the decoder yields exactly the dataset.Null() representation —
+// a zero value plus a set null bit. This is what makes the binary path
+// bitwise-identical to JSON decoding.
+func TestNullLaneNormalization(t *testing.T) {
+	b := &Batch{
+		Schema: Schema{Names: []string{"X"}, Kinds: []Kind{Float64}},
+		Rows:   2,
+		Cols: []Col{{
+			Floats: []float64{math.NaN(), 7},
+			Nulls:  []uint64{1}, // row 0 null, lane carries NaN garbage
+		}},
+	}
+	got := roundTrip(t, b, EncodeOptions{})
+	if !got.Cols[0].IsNull(0) || got.Cols[0].IsNull(1) {
+		t.Fatalf("null bits = %v,%v", got.Cols[0].IsNull(0), got.Cols[0].IsNull(1))
+	}
+	if got.Cols[0].Floats[0] != 0 {
+		t.Fatalf("null lane = %v, want normalized 0", got.Cols[0].Floats[0])
+	}
+	if got.Cols[0].Floats[1] != 7 {
+		t.Fatalf("live lane = %v, want 7", got.Cols[0].Floats[1])
+	}
+}
+
+// TestEncodeValidation: malformed in-memory batches are refused before any
+// bytes hit the wire.
+func TestEncodeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Batch
+	}{
+		{"kind count mismatch", &Batch{Schema: Schema{Names: []string{"a"}, Kinds: nil}}},
+		{"col count mismatch", &Batch{Schema: Schema{Names: []string{"a"}, Kinds: []Kind{Float64}}}},
+		{"rows without schema", &Batch{Rows: 3}},
+		{"short float column", &Batch{
+			Schema: Schema{Names: []string{"a"}, Kinds: []Kind{Float64}},
+			Rows:   2, Cols: []Col{{Floats: []float64{1}}},
+		}},
+		{"code outside dict", &Batch{
+			Schema: Schema{Names: []string{"a"}, Kinds: []Kind{String}},
+			Rows:   1, Cols: []Col{{Codes: []uint32{5}, Dict: []string{"x"}}},
+		}},
+		{"short bitmap", &Batch{
+			Schema: Schema{Names: []string{"a"}, Kinds: []Kind{Float64}},
+			Rows:   65, Cols: []Col{{Floats: make([]float64, 65), Nulls: []uint64{0}}},
+		}},
+	}
+	for _, c := range cases {
+		if err := EncodeBatch(new(bytes.Buffer), c.b, EncodeOptions{}); err == nil {
+			t.Errorf("%s: encode succeeded, want error", c.name)
+		}
+	}
+}
+
+// TestDecodeRejects: every malformed-stream class maps to ErrFormat, never
+// a panic and never a stream-driven allocation.
+func TestDecodeRejects(t *testing.T) {
+	var valid bytes.Buffer
+	if err := EncodeBatch(&valid, testBatch(10), EncodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := valid.Bytes()
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), raw...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"bad version", mutate(func(b []byte) []byte { b[4] = 9; return b })},
+		{"wrong msgtype", mutate(func(b []byte) []byte { b[5] = msgCheck; return b })},
+		{"truncated header", raw[:3]},
+		{"truncated mid-frame", raw[:len(raw)-20]},
+		{"missing terminator", raw[:len(raw)-8]},
+		{"trailing bytes in terminator", mutate(func(b []byte) []byte {
+			// Grow the terminator payload by one byte.
+			b[len(b)-8] = 5
+			return append(b, 0)
+		})},
+	}
+	for _, c := range cases {
+		_, err := DecodeBatch(bytes.NewReader(c.data), DecodeLimits{})
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error", c.name)
+		}
+	}
+}
+
+// TestDecodeLimits: the caps bound schema width, total rows, and frame size
+// regardless of what the length prefixes claim.
+func TestDecodeLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, testBatch(100), EncodeOptions{ChunkRows: 10}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := DecodeBatch(bytes.NewReader(raw), DecodeLimits{MaxCols: 2}); err == nil {
+		t.Error("MaxCols=2 accepted a 3-column schema")
+	}
+	if _, err := DecodeBatch(bytes.NewReader(raw), DecodeLimits{MaxRows: 50}); err == nil {
+		t.Error("MaxRows=50 accepted a 100-row stream")
+	}
+	if _, err := DecodeBatch(bytes.NewReader(raw), DecodeLimits{MaxFrameBytes: 16}); err == nil {
+		t.Error("MaxFrameBytes=16 accepted a larger frame")
+	}
+	if _, err := DecodeBatch(bytes.NewReader(raw), DecodeLimits{}); err != nil {
+		t.Errorf("default limits rejected a valid stream: %v", err)
+	}
+}
+
+// TestHostileRowCount: a frame claiming 2^24-ish rows with a tiny payload is
+// rejected by the minimum-row-bytes check before any row-sized allocation.
+func TestHostileRowCount(t *testing.T) {
+	var buf bytes.Buffer
+	b := appendHeader(nil, msgBatch)
+	b = append(b, 0) // no options
+	b = appendSchema(b, Schema{Names: []string{"x"}, Kinds: []Kind{Float64}})
+	b = append(b, 8, 0, 0, 0)             // frameLen = 8
+	b = append(b, 0xff, 0xff, 0xff, 0x00) // rows = 16777215
+	b = append(b, 0, 0, 0, 0)             // 4 payload bytes
+	buf.Write(b)
+	if _, err := DecodeBatch(&buf, DecodeLimits{}); err == nil {
+		t.Fatal("hostile row count accepted")
+	}
+}
+
+// TestPredictionsRoundTrip covers both explain variants.
+func TestPredictionsRoundTrip(t *testing.T) {
+	base := &Predictions{
+		Y:       "Tax",
+		Values:  []float64{1.5, -2.25, 0, math.Inf(1)},
+		Covered: []bool{true, false, true, true},
+	}
+	withRules := &Predictions{
+		Y:       base.Y,
+		Values:  base.Values,
+		Covered: base.Covered,
+		RuleIDs: []int{3, -1, 0, 12},
+	}
+	for _, want := range []*Predictions{base, withRules} {
+		var buf bytes.Buffer
+		if err := EncodePredictions(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodePredictions(&buf, DecodeLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestCheckRoundTrip covers violations with and without repairs.
+func TestCheckRoundTrip(t *testing.T) {
+	repair := 42.5
+	want := &CheckReport{
+		Checked: 500,
+		Violations: []Violation{
+			{Tuple: 3, Rule: 1, Observed: 10, Predicted: 8, Excess: 2, Repair: &repair},
+			{Tuple: 499, Rule: 0, Observed: -1, Predicted: 1, Excess: 2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeCheck(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheck(&buf, DecodeLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+// TestImputeRoundTrip: header fields plus the embedded batch.
+func TestImputeRoundTrip(t *testing.T) {
+	want := &ImputeReport{
+		Column:  "Tax",
+		Imputed: 7,
+		Failed:  2,
+		Batch:   testBatch(50),
+	}
+	// Response batches carry no request options; only requests do.
+	want.Batch.Options = nil
+	var buf bytes.Buffer
+	if err := EncodeImpute(&buf, want, EncodeOptions{ChunkRows: 13}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImpute(&buf, DecodeLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Column != want.Column || got.Imputed != want.Imputed || got.Failed != want.Failed {
+		t.Fatalf("header = %q/%d/%d, want %q/%d/%d",
+			got.Column, got.Imputed, got.Failed, want.Column, want.Imputed, want.Failed)
+	}
+	assertBatchEqual(t, got.Batch, want.Batch)
+}
+
+// TestOversizedString: header strings beyond the cap are refused.
+func TestOversizedString(t *testing.T) {
+	b := appendHeader(nil, msgBatch)
+	b = append(b, 1) // one option pair
+	b = appendString(b, strings.Repeat("k", maxStringLen+1))
+	if _, err := DecodeBatch(bytes.NewReader(b), DecodeLimits{}); err == nil {
+		t.Fatal("oversized option key accepted")
+	}
+}

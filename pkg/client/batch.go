@@ -1,0 +1,263 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/crrlab/crr/internal/wire"
+)
+
+// Batch is a column-oriented request payload. Build one with NewBatch plus
+// Float64/String calls (zero-copy into the binary encoder), or from
+// name-keyed tuple maps with BatchFromMaps. A Batch is write-once: build
+// it, send it, drop it. Builder errors (row-count mismatches, duplicate
+// columns) are deferred to the first call that uses the batch, so the
+// fluent chain needs no error handling.
+type Batch struct {
+	names []string
+	kinds []wire.Kind
+	cols  []wire.Col
+	rows  int
+	set   bool // rows has been fixed by the first column
+	err   error
+}
+
+// NewBatch starts an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Rows returns the batch's row count.
+func (b *Batch) Rows() int { return b.rows }
+
+// Err returns the first builder error, if any. Calls that send the batch
+// return it too, so checking here is optional.
+func (b *Batch) Err() error { return b.err }
+
+func (b *Batch) addCol(name string, rows int) bool {
+	if b.err != nil {
+		return false
+	}
+	for _, n := range b.names {
+		if n == name {
+			b.err = fmt.Errorf("client: duplicate column %q", name)
+			return false
+		}
+	}
+	if b.set && rows != b.rows {
+		b.err = fmt.Errorf("client: column %q has %d rows, batch has %d", name, rows, b.rows)
+		return false
+	}
+	b.rows, b.set = rows, true
+	b.names = append(b.names, name)
+	return true
+}
+
+// nullBitmap converts a []bool mask to the wire bitmap, nil when clean.
+func nullBitmap(nulls []bool) []uint64 {
+	var bm []uint64
+	for r, isNull := range nulls {
+		if !isNull {
+			continue
+		}
+		if bm == nil {
+			bm = make([]uint64, (len(nulls)+63)/64)
+		}
+		bm[r>>6] |= 1 << (uint(r) & 63)
+	}
+	return bm
+}
+
+// Float64 adds a numeric column. nulls, when non-nil, must be value-aligned
+// and marks missing cells (their lane values are ignored). The values slice
+// is adopted, not copied.
+func (b *Batch) Float64(name string, values []float64, nulls []bool) *Batch {
+	if !b.addCol(name, len(values)) {
+		return b
+	}
+	if nulls != nil && len(nulls) != len(values) {
+		b.err = fmt.Errorf("client: column %q has %d null flags for %d values", name, len(nulls), len(values))
+		return b
+	}
+	b.kinds = append(b.kinds, wire.Float64)
+	b.cols = append(b.cols, wire.Col{Floats: values, Nulls: nullBitmap(nulls)})
+	return b
+}
+
+// String adds a categorical column, dictionary-encoding the values. nulls,
+// when non-nil, marks missing cells (their string values are ignored).
+func (b *Batch) String(name string, values []string, nulls []bool) *Batch {
+	if !b.addCol(name, len(values)) {
+		return b
+	}
+	if nulls != nil && len(nulls) != len(values) {
+		b.err = fmt.Errorf("client: column %q has %d null flags for %d values", name, len(nulls), len(values))
+		return b
+	}
+	codes := make([]uint32, len(values))
+	var dict []string
+	lookup := map[string]uint32{}
+	for r, s := range values {
+		if nulls != nil && nulls[r] {
+			codes[r] = wire.NullCode
+			continue
+		}
+		code, ok := lookup[s]
+		if !ok {
+			code = uint32(len(dict))
+			lookup[s] = code
+			dict = append(dict, s)
+		}
+		codes[r] = code
+	}
+	b.kinds = append(b.kinds, wire.String)
+	b.cols = append(b.cols, wire.Col{Codes: codes, Dict: dict, Nulls: nullBitmap(nulls)})
+	return b
+}
+
+// BatchFromMaps columnarizes name-keyed tuples (the JSON request shape):
+// float64 values become numeric columns, strings categorical ones, nil or
+// absent values nulls. A key whose value is present in no tuple is dropped —
+// an absent column already means all-null on every wire format. Mixed types
+// under one key are an error.
+func BatchFromMaps(tuples []map[string]any) (*Batch, error) {
+	b := NewBatch()
+	if len(tuples) == 0 {
+		return b, nil
+	}
+	// Deterministic column order: sorted key union.
+	keySet := map[string]bool{}
+	for _, t := range tuples {
+		for k := range t {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		var kind wire.Kind
+		known := false
+		for _, t := range tuples {
+			v, ok := t[k]
+			if !ok || v == nil {
+				continue
+			}
+			var vk wire.Kind
+			switch v.(type) {
+			case float64:
+				vk = wire.Float64
+			case string:
+				vk = wire.String
+			default:
+				return nil, fmt.Errorf("client: key %q has unsupported type %T", k, v)
+			}
+			if known && vk != kind {
+				return nil, fmt.Errorf("client: key %q mixes numeric and string values", k)
+			}
+			kind, known = vk, true
+		}
+		if !known {
+			continue // all-null: absence already means that
+		}
+		nulls := make([]bool, len(tuples))
+		if kind == wire.Float64 {
+			vals := make([]float64, len(tuples))
+			for r, t := range tuples {
+				if v, ok := t[k]; ok && v != nil {
+					vals[r] = v.(float64)
+				} else {
+					nulls[r] = true
+				}
+			}
+			b.Float64(k, vals, nulls)
+		} else {
+			vals := make([]string, len(tuples))
+			for r, t := range tuples {
+				if v, ok := t[k]; ok && v != nil {
+					vals[r] = v.(string)
+				} else {
+					nulls[r] = true
+				}
+			}
+			b.String(k, vals, nulls)
+		}
+	}
+	if b.rows == 0 {
+		// Every cell of every tuple was null; preserve the row count so the
+		// server sees the batch size (JSON spelling: empty objects).
+		b.rows, b.set = len(tuples), true
+	}
+	return b, b.err
+}
+
+// wireBatch views the batch as a wire message with the given options.
+func (b *Batch) wireBatch(opts map[string]string) (*wire.Batch, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	wb := &wire.Batch{
+		Schema: wire.Schema{Names: b.names, Kinds: b.kinds},
+		Rows:   b.rows,
+		Cols:   b.cols,
+	}
+	if len(opts) > 0 {
+		wb.Options = opts
+	}
+	return wb, nil
+}
+
+// maps renders the batch as name-keyed tuples — the JSON fallback encoding.
+// Null cells are omitted (absent key == null).
+func (b *Batch) maps() []map[string]any {
+	out := make([]map[string]any, b.rows)
+	for r := range out {
+		out[r] = make(map[string]any, len(b.names))
+	}
+	for c, name := range b.names {
+		col := &b.cols[c]
+		for r := 0; r < b.rows; r++ {
+			if col.IsNull(r) {
+				continue
+			}
+			if b.kinds[c] == wire.Float64 {
+				out[r][name] = col.Floats[r]
+			} else if code := col.Codes[r]; code != wire.NullCode {
+				out[r][name] = col.Dict[code]
+			}
+		}
+	}
+	return out
+}
+
+// mapsFromWire converts a response batch back to name-keyed tuples, null
+// cells as explicit nil values (matching the JSON impute response, which
+// renders them as JSON nulls).
+func mapsFromWire(wb *wire.Batch) ([]map[string]any, error) {
+	out := make([]map[string]any, wb.Rows)
+	for r := range out {
+		out[r] = make(map[string]any, wb.Schema.Cols())
+	}
+	for c, name := range wb.Schema.Names {
+		col := &wb.Cols[c]
+		for r := 0; r < wb.Rows; r++ {
+			switch {
+			case col.IsNull(r):
+				out[r][name] = nil
+			case wb.Schema.Kinds[c] == wire.Float64:
+				out[r][name] = col.Floats[r]
+			default:
+				code := col.Codes[r]
+				if code == wire.NullCode {
+					out[r][name] = nil
+				} else if int(code) >= len(col.Dict) {
+					return nil, fmt.Errorf("client: response code %d outside dictionary of %d", code, len(col.Dict))
+				} else {
+					out[r][name] = col.Dict[code]
+				}
+			}
+		}
+	}
+	return out, nil
+}

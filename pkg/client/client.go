@@ -1,0 +1,505 @@
+// Package client is the public Go SDK for a crrserve rule-serving instance.
+// It speaks both wire formats of the /v1 data plane — JSON and the binary
+// columnar protocol — and negotiates between them automatically: the first
+// data-plane call tries the binary format and pins it on success, falling
+// back to JSON if the server answers 415 (an older deployment). Batches
+// upload as streams, so a large Predict never buffers its full binary
+// encoding in memory.
+//
+//	c := client.New("http://localhost:8080")
+//	b := client.NewBatch().
+//		Float64("Salary", salaries, nil).
+//		String("State", states, nil)
+//	res, err := c.Predict(ctx, b, client.WithExplain())
+//
+// Per-call deadlines come from the context; New's WithTimeout option sets a
+// default applied when the context has none.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/crrlab/crr/internal/wire"
+)
+
+// Format selects the data-plane wire format.
+type Format int32
+
+const (
+	// FormatAuto tries the binary protocol first and falls back to JSON if
+	// the server does not support it. The outcome is pinned per client.
+	FormatAuto Format = iota
+	// FormatJSON forces the JSON tuple encoding.
+	FormatJSON
+	// FormatBinary forces the binary columnar encoding; servers without it
+	// fail with an *APIError rather than silently degrading.
+	FormatBinary
+)
+
+// Client talks to one crrserve base URL. It is safe for concurrent use.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	timeout time.Duration
+	// format is the pinned negotiation outcome: starts at the configured
+	// Format; FormatAuto flips to FormatJSON on the first 415.
+	format atomic.Int32
+	auto   bool
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom transport,
+// TLS, proxies). The default is a dedicated client with sane timeouts.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithFormat pins the wire format instead of negotiating.
+func WithFormat(f Format) Option {
+	return func(c *Client) {
+		c.format.Store(int32(f))
+		c.auto = f == FormatAuto
+	}
+}
+
+// WithTimeout sets the default per-call deadline applied when the caller's
+// context has none. Zero means no default deadline.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// New builds a client for the crrserve instance at base, e.g.
+// "http://localhost:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		httpc: &http.Client{Timeout: 5 * time.Minute},
+		auto:  true,
+	}
+	c.format.Store(int32(FormatAuto))
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a structured error answer from the server: the HTTP status
+// plus the stable machine-readable code and human message of the error
+// envelope (docs/API.md).
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("server: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+	}
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+}
+
+// parseAPIError maps a non-2xx response to *APIError. Error bodies are
+// always the JSON envelope, whatever format was negotiated.
+func parseAPIError(status int, body []byte) *APIError {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Message != "" {
+		return &APIError{Status: status, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	msg := strings.TrimSpace(string(body))
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	return &APIError{Status: status, Message: msg}
+}
+
+// Predictions is the Predict answer: one value and coverage flag per input
+// row. RuleIDs is non-nil iff the call asked for explain metadata; -1 marks
+// a row answered by the fallback.
+type Predictions struct {
+	Y       string
+	Values  []float64
+	Covered []bool
+	RuleIDs []int
+}
+
+// Violation is one integrity-constraint breach reported by Check.
+type Violation struct {
+	Tuple     int
+	Rule      int
+	Observed  float64
+	Predicted float64
+	Excess    float64
+	// Repair, when present, is the prediction that would satisfy the rule.
+	Repair *float64
+}
+
+// CheckReport is the Check answer.
+type CheckReport struct {
+	Checked    int
+	Violations []Violation
+}
+
+// ImputeReport is the Impute answer: fill statistics plus the completed
+// tuples in the same name-keyed form BatchFromMaps accepts.
+type ImputeReport struct {
+	Column  string
+	Imputed int
+	Failed  int
+	Tuples  []map[string]any
+}
+
+// RuleSetInfo summarizes the served rule set (the /v1/rules answer).
+type RuleSetInfo struct {
+	Source       string    `json:"source"`
+	LoadedAt     time.Time `json:"loaded_at"`
+	X            []string  `json:"x"`
+	Y            string    `json:"y"`
+	CondAttrs    []string  `json:"cond_attrs"`
+	Rules        int       `json:"rules"`
+	Models       int       `json:"models"`
+	Conjunctions int       `json:"conjunctions"`
+	MinRho       float64   `json:"min_rho"`
+	MaxRho       float64   `json:"max_rho"`
+	Fallback     float64   `json:"fallback"`
+	Formatted    []string  `json:"formatted"`
+}
+
+// ReloadInfo summarizes a successful Reload.
+type ReloadInfo struct {
+	Rules    int       `json:"rules"`
+	Source   string    `json:"source"`
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// PredictOption configures Predict.
+type PredictOption func(*predictOpts)
+
+type predictOpts struct{ explain bool }
+
+// WithExplain asks for per-row rule IDs alongside the predictions.
+func WithExplain() PredictOption { return func(o *predictOpts) { o.explain = true } }
+
+// ImputeOption configures Impute.
+type ImputeOption func(*imputeOpts)
+
+type imputeOpts struct {
+	column      string
+	useFallback bool
+}
+
+// WithColumn overrides the imputation target column (default: the rule
+// set's regression target).
+func WithColumn(name string) ImputeOption { return func(o *imputeOpts) { o.column = name } }
+
+// WithFallback fills uncovered rows with the training-mean fallback instead
+// of leaving them null.
+func WithFallback() ImputeOption { return func(o *imputeOpts) { o.useFallback = true } }
+
+// Predict classifies every row of b.
+func (c *Client) Predict(ctx context.Context, b *Batch, opts ...PredictOption) (*Predictions, error) {
+	var po predictOpts
+	for _, o := range opts {
+		o(&po)
+	}
+	path := "/v1/predict"
+	if po.explain {
+		path += "?explain=1"
+	}
+	var out *Predictions
+	err := c.dataPlane(ctx, path, b, nil,
+		func(body io.Reader) error {
+			p, err := wire.DecodePredictions(body, wire.DecodeLimits{})
+			if err != nil {
+				return err
+			}
+			out = &Predictions{Y: p.Y, Values: p.Values, Covered: p.Covered, RuleIDs: p.RuleIDs}
+			return nil
+		},
+		func(body io.Reader) error {
+			var resp struct {
+				Y           string `json:"y"`
+				Predictions []struct {
+					Value   float64 `json:"value"`
+					Covered bool    `json:"covered"`
+					Rule    *int    `json:"rule"`
+				} `json:"predictions"`
+			}
+			if err := json.NewDecoder(body).Decode(&resp); err != nil {
+				return err
+			}
+			out = &Predictions{
+				Y:       resp.Y,
+				Values:  make([]float64, len(resp.Predictions)),
+				Covered: make([]bool, len(resp.Predictions)),
+			}
+			if po.explain {
+				out.RuleIDs = make([]int, len(resp.Predictions))
+			}
+			for i, p := range resp.Predictions {
+				out.Values[i] = p.Value
+				out.Covered[i] = p.Covered
+				if po.explain {
+					out.RuleIDs[i] = -1
+					if p.Rule != nil {
+						out.RuleIDs[i] = *p.Rule
+					}
+				}
+			}
+			return nil
+		})
+	return out, err
+}
+
+// Check reports the rows of b that violate the served rule set.
+func (c *Client) Check(ctx context.Context, b *Batch) (*CheckReport, error) {
+	var out *CheckReport
+	err := c.dataPlane(ctx, "/v1/check", b, nil,
+		func(body io.Reader) error {
+			rep, err := wire.DecodeCheck(body, wire.DecodeLimits{})
+			if err != nil {
+				return err
+			}
+			out = &CheckReport{Checked: rep.Checked, Violations: make([]Violation, len(rep.Violations))}
+			for i, v := range rep.Violations {
+				out.Violations[i] = Violation{
+					Tuple: v.Tuple, Rule: v.Rule,
+					Observed: v.Observed, Predicted: v.Predicted, Excess: v.Excess,
+					Repair: v.Repair,
+				}
+			}
+			return nil
+		},
+		func(body io.Reader) error {
+			var resp struct {
+				Checked    int         `json:"checked"`
+				Violations []Violation `json:"violations"`
+			}
+			if err := json.NewDecoder(body).Decode(&resp); err != nil {
+				return err
+			}
+			out = &CheckReport{Checked: resp.Checked, Violations: resp.Violations}
+			return nil
+		})
+	return out, err
+}
+
+// Impute fills null cells of the target column in b from the served rules
+// and returns the completed tuples.
+func (c *Client) Impute(ctx context.Context, b *Batch, opts ...ImputeOption) (*ImputeReport, error) {
+	var io_ imputeOpts
+	for _, o := range opts {
+		o(&io_)
+	}
+	wopts := map[string]string{}
+	if io_.column != "" {
+		wopts[wire.OptColumn] = io_.column
+	}
+	if io_.useFallback {
+		wopts[wire.OptFallback] = "1"
+	}
+	var out *ImputeReport
+	err := c.dataPlane(ctx, "/v1/impute", b, wopts,
+		func(body io.Reader) error {
+			rep, err := wire.DecodeImpute(body, wire.DecodeLimits{})
+			if err != nil {
+				return err
+			}
+			tuples, err := mapsFromWire(rep.Batch)
+			if err != nil {
+				return err
+			}
+			out = &ImputeReport{Column: rep.Column, Imputed: rep.Imputed, Failed: rep.Failed, Tuples: tuples}
+			return nil
+		},
+		func(body io.Reader) error {
+			var resp struct {
+				Column  string           `json:"column"`
+				Imputed int              `json:"imputed"`
+				Failed  int              `json:"failed"`
+				Tuples  []map[string]any `json:"tuples"`
+			}
+			if err := json.NewDecoder(body).Decode(&resp); err != nil {
+				return err
+			}
+			out = &ImputeReport{Column: resp.Column, Imputed: resp.Imputed, Failed: resp.Failed, Tuples: resp.Tuples}
+			return nil
+		})
+	return out, err
+}
+
+// Rules fetches the served rule-set summary.
+func (c *Client) Rules(ctx context.Context) (*RuleSetInfo, error) {
+	var info RuleSetInfo
+	if err := c.getJSON(ctx, "/v1/rules", &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.getJSON(ctx, "/healthz", &struct{}{})
+}
+
+// Reload asks the server to re-read its artifact (artifact == nil) or to
+// swap in the artifact streamed from artifact.
+func (c *Client) Reload(ctx context.Context, artifact io.Reader) (*ReloadInfo, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	if artifact == nil {
+		artifact = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/reload", artifact)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, parseAPIError(resp.StatusCode, body)
+	}
+	var info ReloadInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, fmt.Errorf("parse reload response: %w", err)
+	}
+	return &info, nil
+}
+
+func (c *Client) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); !ok && c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return ctx, func() {}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return parseAPIError(resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// dataPlane runs one negotiated POST: binary first when the pinned format
+// allows it (streaming the request through a pipe), JSON otherwise or as
+// the 415 fallback. decodeBinary/decodeJSON parse the success body of the
+// respective response format.
+func (c *Client) dataPlane(ctx context.Context, path string, b *Batch, wopts map[string]string,
+	decodeBinary, decodeJSON func(io.Reader) error) error {
+	if b == nil {
+		return fmt.Errorf("client: nil batch")
+	}
+	if b.err != nil {
+		return b.err
+	}
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+
+	if Format(c.format.Load()) != FormatJSON {
+		err := c.postBinary(ctx, path, b, wopts, decodeBinary)
+		var aerr *APIError
+		if c.auto && errors.As(err, &aerr) && aerr.Status == http.StatusUnsupportedMediaType {
+			// Older server without the binary codec: pin JSON and retry.
+			c.format.Store(int32(FormatJSON))
+		} else {
+			return err
+		}
+	}
+	return c.postJSON(ctx, path, b, wopts, decodeJSON)
+}
+
+// postBinary streams the batch's wire encoding through a pipe — the request
+// body is produced frame by frame while the transport sends it, so memory
+// stays bounded by the frame chunk, not the batch.
+func (c *Client) postBinary(ctx context.Context, path string, b *Batch, wopts map[string]string,
+	decode func(io.Reader) error) error {
+	wb, err := b.wireBatch(wopts)
+	if err != nil {
+		return err
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(wire.EncodeBatch(pw, wb, wire.EncodeOptions{}))
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, pr)
+	if err != nil {
+		pr.Close()
+		return err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		return parseAPIError(resp.StatusCode, body)
+	}
+	return decode(resp.Body)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, b *Batch, wopts map[string]string,
+	decode func(io.Reader) error) error {
+	env := map[string]any{"tuples": b.maps()}
+	if col := wopts[wire.OptColumn]; col != "" {
+		env["column"] = col
+	}
+	if wopts[wire.OptFallback] == "1" {
+		env["use_fallback"] = true
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		return parseAPIError(resp.StatusCode, out)
+	}
+	return decode(resp.Body)
+}

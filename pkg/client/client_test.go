@@ -1,0 +1,351 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/serve"
+)
+
+// The SDK's contract: every format choice (binary, JSON, auto) yields
+// bitwise-identical answers, equal to the in-process classifier.
+
+func taxSetup(t testing.TB) (*dataset.Relation, *core.RuleSet, *httptest.Server) {
+	t.Helper()
+	rel := dataset.GenerateTax(dataset.TaxConfig{Rows: 800, Noise: 0.5, Seed: 4})
+	state := rel.Schema.MustIndex("State")
+	preds := predicate.Generate(rel, []int{state}, predicate.GeneratorConfig{})
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
+		XAttrs:  []int{rel.Schema.MustIndex("Salary")},
+		YAttr:   rel.Schema.MustIndex("Tax"),
+		RhoM:    60,
+		Preds:   preds,
+		Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.NewFromRuleSet(serve.Config{}, res.Rules, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return rel, res.Rules, ts
+}
+
+// relationBatch builds a client Batch from the relation's columns.
+func relationBatch(t testing.TB, rel *dataset.Relation, n int) *Batch {
+	t.Helper()
+	b := NewBatch()
+	for a := 0; a < rel.Schema.Len(); a++ {
+		attr := rel.Schema.Attr(a)
+		nulls := make([]bool, n)
+		if attr.Kind == dataset.Numeric {
+			vals := make([]float64, n)
+			for r := 0; r < n; r++ {
+				vals[r] = rel.Tuples[r][a].Num
+				nulls[r] = rel.Tuples[r][a].Null
+			}
+			b.Float64(attr.Name, vals, nulls)
+		} else {
+			vals := make([]string, n)
+			for r := 0; r < n; r++ {
+				vals[r] = rel.Tuples[r][a].Str
+				nulls[r] = rel.Tuples[r][a].Null
+			}
+			b.String(attr.Name, vals, nulls)
+		}
+	}
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	return b
+}
+
+// TestPredictAllFormats: binary, JSON and auto-negotiated predictions are
+// bitwise-identical to in-process PredictViewExplained.
+func TestPredictAllFormats(t *testing.T) {
+	rel, rules, ts := taxSetup(t)
+	n := 200
+	wantP, wantC, wantIDs := rules.PredictViewExplained(
+		dataset.NewColumnSet(&dataset.Relation{Schema: rel.Schema, Tuples: rel.Tuples[:n]}).View())
+
+	for _, f := range []Format{FormatBinary, FormatJSON, FormatAuto} {
+		c := New(ts.URL, WithFormat(f))
+		res, err := c.Predict(context.Background(), relationBatch(t, rel, n), WithExplain())
+		if err != nil {
+			t.Fatalf("format %d: %v", f, err)
+		}
+		if len(res.Values) != n {
+			t.Fatalf("format %d: %d values, want %d", f, len(res.Values), n)
+		}
+		for i := range wantP {
+			if math.Float64bits(res.Values[i]) != math.Float64bits(wantP[i]) ||
+				res.Covered[i] != wantC[i] || res.RuleIDs[i] != wantIDs[i] {
+				t.Fatalf("format %d tuple %d: (%v,%v,%d), want (%v,%v,%d)",
+					f, i, res.Values[i], res.Covered[i], res.RuleIDs[i], wantP[i], wantC[i], wantIDs[i])
+			}
+		}
+	}
+}
+
+// TestCheckAndImpute: the two remaining data-plane calls answer identically
+// under both formats.
+func TestCheckAndImpute(t *testing.T) {
+	rel, _, ts := taxSetup(t)
+	n := 100
+	ytax := rel.Schema.MustIndex("Tax")
+
+	// Shift some targets to force violations, null others for imputation.
+	vals := make([]float64, n)
+	nulls := make([]bool, n)
+	for r := 0; r < n; r++ {
+		vals[r] = rel.Tuples[r][ytax].Num
+		if r%4 == 0 {
+			vals[r] += 500
+		}
+		if r%5 == 1 {
+			nulls[r] = true
+		}
+	}
+	build := func() *Batch {
+		b := NewBatch()
+		for a := 0; a < rel.Schema.Len(); a++ {
+			attr := rel.Schema.Attr(a)
+			if a == ytax {
+				b.Float64(attr.Name, vals, nulls)
+				continue
+			}
+			if attr.Kind == dataset.Numeric {
+				col := make([]float64, n)
+				for r := 0; r < n; r++ {
+					col[r] = rel.Tuples[r][a].Num
+				}
+				b.Float64(attr.Name, col, nil)
+			} else {
+				col := make([]string, n)
+				for r := 0; r < n; r++ {
+					col[r] = rel.Tuples[r][a].Str
+				}
+				b.String(attr.Name, col, nil)
+			}
+		}
+		return b
+	}
+
+	bin := New(ts.URL, WithFormat(FormatBinary))
+	js := New(ts.URL, WithFormat(FormatJSON))
+
+	bc, err := bin.Check(context.Background(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := js.Check(context.Background(), build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Checked != jc.Checked || len(bc.Violations) != len(jc.Violations) {
+		t.Fatalf("check: binary %d/%d, json %d/%d", bc.Checked, len(bc.Violations), jc.Checked, len(jc.Violations))
+	}
+	if len(bc.Violations) == 0 {
+		t.Fatal("no violations; check parity vacuous")
+	}
+	for i := range bc.Violations {
+		bv, jv := bc.Violations[i], jc.Violations[i]
+		if bv.Tuple != jv.Tuple || bv.Rule != jv.Rule ||
+			math.Float64bits(bv.Observed) != math.Float64bits(jv.Observed) {
+			t.Fatalf("violation %d: binary %+v, json %+v", i, bv, jv)
+		}
+	}
+
+	bi, err := bin.Impute(context.Background(), build(), WithFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ji, err := js.Impute(context.Background(), build(), WithFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bi.Imputed != ji.Imputed || bi.Failed != ji.Failed || bi.Column != ji.Column {
+		t.Fatalf("impute: binary %s/%d/%d, json %s/%d/%d",
+			bi.Column, bi.Imputed, bi.Failed, ji.Column, ji.Imputed, ji.Failed)
+	}
+	if bi.Imputed == 0 {
+		t.Fatal("nothing imputed; parity vacuous")
+	}
+	for i := range bi.Tuples {
+		bb, _ := json.Marshal(bi.Tuples[i])
+		jb, _ := json.Marshal(ji.Tuples[i])
+		if string(bb) != string(jb) {
+			t.Fatalf("tuple %d: binary %s, json %s", i, bb, jb)
+		}
+	}
+}
+
+// TestAutoFallback: against a server that rejects the binary content type
+// with 415, FormatAuto retries as JSON, pins it, and succeeds.
+func TestAutoFallback(t *testing.T) {
+	rel, _, ts := taxSetup(t)
+
+	var binaryAttempts int
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Content-Type") != "application/json" && r.Header.Get("Content-Type") != "" {
+			binaryAttempts++
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnsupportedMediaType)
+			w.Write([]byte(`{"error":{"code":"unsupported_media_type","message":"json only"}}`))
+			return
+		}
+		proxyTo(w, r, ts.URL)
+	}))
+	defer legacy.Close()
+
+	c := New(legacy.URL)
+	for call := 0; call < 3; call++ {
+		res, err := c.Predict(context.Background(), relationBatch(t, rel, 10))
+		if err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+		if len(res.Values) != 10 {
+			t.Fatalf("call %d: %d values", call, len(res.Values))
+		}
+	}
+	if binaryAttempts != 1 {
+		t.Fatalf("binary attempted %d times, want 1 (then pinned to JSON)", binaryAttempts)
+	}
+}
+
+// proxyTo forwards one request to the real server.
+func proxyTo(w http.ResponseWriter, r *http.Request, target string) {
+	req, err := http.NewRequest(r.Method, target+r.URL.Path+"?"+r.URL.RawQuery, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n])
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TestRulesReloadHealth: control-plane calls parse and API errors carry the
+// stable code.
+func TestRulesReloadHealth(t *testing.T) {
+	_, rules, ts := taxSetup(t)
+	c := New(ts.URL)
+
+	info, err := c.Rules(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rules != rules.NumRules() || info.Y == "" {
+		t.Fatalf("rules info = %+v", info)
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A no-path server cannot reload from disk: expect the coded error.
+	_, err = c.Reload(context.Background(), nil)
+	var aerr *APIError
+	if err == nil || !asAPIError(err, &aerr) {
+		t.Fatalf("reload error = %v, want *APIError", err)
+	}
+	if aerr.Code == "" {
+		t.Fatalf("reload error carries no code: %+v", aerr)
+	}
+}
+
+func asAPIError(err error, target **APIError) bool {
+	e, ok := err.(*APIError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// TestBatchFromMaps: the map form columnarizes to the same answers as the
+// typed builder.
+func TestBatchFromMaps(t *testing.T) {
+	rel, rules, ts := taxSetup(t)
+	n := 50
+	maps := make([]map[string]any, n)
+	for r := 0; r < n; r++ {
+		m := map[string]any{}
+		for a := 0; a < rel.Schema.Len(); a++ {
+			v := rel.Tuples[r][a]
+			if v.Null {
+				continue
+			}
+			if rel.Schema.Attr(a).Kind == dataset.Numeric {
+				m[rel.Schema.Attr(a).Name] = v.Num
+			} else {
+				m[rel.Schema.Attr(a).Name] = v.Str
+			}
+		}
+		maps[r] = m
+	}
+	b, err := BatchFromMaps(maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows() != n {
+		t.Fatalf("rows = %d, want %d", b.Rows(), n)
+	}
+	c := New(ts.URL, WithFormat(FormatBinary))
+	res, err := c.Predict(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP, wantC := rules.PredictView(
+		dataset.NewColumnSet(&dataset.Relation{Schema: rel.Schema, Tuples: rel.Tuples[:n]}).View())
+	for i := range wantP {
+		if math.Float64bits(res.Values[i]) != math.Float64bits(wantP[i]) || res.Covered[i] != wantC[i] {
+			t.Fatalf("tuple %d: (%v,%v), want (%v,%v)", i, res.Values[i], res.Covered[i], wantP[i], wantC[i])
+		}
+	}
+}
+
+// TestBatchBuilderErrors: mismatched rows and duplicate columns surface at
+// call time with a useful message.
+func TestBatchBuilderErrors(t *testing.T) {
+	b := NewBatch().Float64("x", []float64{1, 2}, nil).Float64("x", []float64{3, 4}, nil)
+	if b.Err() == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	b = NewBatch().Float64("x", []float64{1, 2}, nil).String("s", []string{"a"}, nil)
+	if b.Err() == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	c := New("http://127.0.0.1:1")
+	if _, err := c.Predict(context.Background(), b); err == nil {
+		t.Fatal("predict on a broken batch succeeded")
+	}
+}
