@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core serve bench bench-full bench-serve fuzz verify verify-quick vet fmt experiments examples clean
+.PHONY: all build test race race-core serve bench bench-full bench-core bench-serve bench-stream fuzz verify verify-quick vet fmt experiments examples clean
 
 all: build test
 
@@ -15,11 +15,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The CI race job: discovery/compaction engines, telemetry, and the serving
-# subsystem (hot reload + drain) under the detector.
+# The CI race job: discovery/compaction engines, telemetry, the serving
+# subsystem (hot reload + drain + generation CAS) and the stream maintainer
+# under the detector.
 race-core:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/experiments/... ./internal/serve/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/experiments/... ./internal/serve/... ./internal/stream/...
 
 # Serve a discovered artifact over HTTP (see docs/TUTORIAL.md §7):
 #   make serve RULES=rules.json [ADDR=:8080]
@@ -46,6 +47,12 @@ bench-core:
 bench-serve:
 	$(GO) test -bench 'BenchmarkServeBatchPredict' -benchmem -benchtime=2s ./internal/serve/
 	$(GO) run ./cmd/crrbench -serve
+
+# Incremental stream maintenance vs full rediscovery, per 1k appended rows
+# on the canonical Electricity workload. BENCH_stream.json records the
+# curated numbers.
+bench-stream:
+	$(GO) test -bench 'BenchmarkStream' -benchmem -benchtime=10x ./internal/stream/
 
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s

@@ -1,0 +1,273 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// appendTestSchema mixes numeric and categorical columns, both nullable.
+func appendTestSchema() *Schema {
+	return MustSchema(
+		Attribute{Name: "t", Kind: Numeric},
+		Attribute{Name: "y", Kind: Numeric},
+		Attribute{Name: "cat", Kind: Categorical},
+		Attribute{Name: "wide", Kind: Categorical}, // > smallDict values, forces map spill
+	)
+}
+
+// randomTuple draws a tuple with occasional nulls and a wide categorical
+// domain (40 values > smallDict) so the dictionary spill path is exercised.
+func randomTuple(rng *rand.Rand, i int) Tuple {
+	cells := Tuple{Num(float64(i)), Num(rng.NormFloat64()), Str([]string{"a", "b", "c"}[rng.Intn(3)]), Str(string(rune('A' + rng.Intn(40))))}
+	if rng.Intn(11) == 0 {
+		cells[1] = Null()
+	}
+	if rng.Intn(13) == 0 {
+		cells[2] = Null()
+	}
+	return cells
+}
+
+// sameColumnSet asserts bitwise identity of two column sets over their full
+// row range: dictionaries (order included), code and numeric columns, and
+// null bits per row.
+func sameColumnSet(t *testing.T, got, want *ColumnSet) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("rows: got %d want %d", got.Len(), want.Len())
+	}
+	width := want.Schema.Len()
+	for a := 0; a < width; a++ {
+		gd, wd := got.Dict(a), want.Dict(a)
+		if len(gd) != len(wd) {
+			t.Fatalf("attr %d: dict size %d vs %d", a, len(gd), len(wd))
+		}
+		for i := range wd {
+			if gd[i] != wd[i] {
+				t.Fatalf("attr %d: dict[%d] = %q vs %q (first-appearance order broken)", a, i, gd[i], wd[i])
+			}
+		}
+		for r := 0; r < want.Len(); r++ {
+			if want.Schema.Attr(a).Kind == Numeric {
+				g, w := got.Float(a)[r], want.Float(a)[r]
+				if math.Float64bits(g) != math.Float64bits(w) {
+					t.Fatalf("attr %d row %d: %v vs %v", a, r, g, w)
+				}
+			} else if got.Codes(a)[r] != want.Codes(a)[r] {
+				t.Fatalf("attr %d row %d: code %d vs %d", a, r, got.Codes(a)[r], want.Codes(a)[r])
+			}
+			if got.IsNull(a, r) != want.IsNull(a, r) {
+				t.Fatalf("attr %d row %d: null %v vs %v", a, r, got.IsNull(a, r), want.IsNull(a, r))
+			}
+		}
+		if (got.HasNulls(a)) != (want.HasNulls(a)) {
+			t.Fatalf("attr %d: HasNulls %v vs %v", a, got.HasNulls(a), want.HasNulls(a))
+		}
+	}
+}
+
+// TestAppenderMatchesBatchBuild: appending rows one at a time produces a
+// mirror bitwise-identical to NewColumnSet over the same rows.
+func TestAppenderMatchesBatchBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	schema := appendTestSchema()
+	rel := NewRelation(schema)
+	app := NewColumnAppender(schema)
+	for i := 0; i < 500; i++ {
+		tp := randomTuple(rng, i)
+		rel.MustAppend(tp)
+		if got := app.MustAppend(tp); got != i {
+			t.Fatalf("row id %d, want %d", got, i)
+		}
+	}
+	sameColumnSet(t, app.Cols(), NewColumnSet(rel))
+}
+
+func TestAppenderArity(t *testing.T) {
+	app := NewColumnAppender(appendTestSchema())
+	if _, err := app.Append(Tuple{Num(1)}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if app.Len() != 0 {
+		t.Fatal("failed append mutated the appender")
+	}
+}
+
+// TestSlidingWindowProperty is the append-path property test of the bugfix
+// sweep: any interleaving of appends and capacity-driven expirations must
+// leave the window equivalent to its live rows, and after Compact the
+// columnar mirror must be bitwise-identical to building from the final rows
+// directly — dict codes, null bitmaps and selection vectors included.
+func TestSlidingWindowProperty(t *testing.T) {
+	schema := appendTestSchema()
+	f := func(seed int64, capRaw uint8, nRaw uint16) bool {
+		capacity := int(capRaw)%97 + 3
+		n := int(nRaw) % 2000
+		rng := rand.New(rand.NewSource(seed))
+		w, err := NewSlidingWindow(schema, capacity)
+		if err != nil {
+			return false
+		}
+		var live []Tuple
+		for i := 0; i < n; i++ {
+			tp := randomTuple(rng, i)
+			expired, err := w.Append(tp)
+			if err != nil {
+				return false
+			}
+			live = append(live, tp)
+			if len(live) > capacity {
+				if expired == nil || &expired[0] != &live[0][0] {
+					return false // must hand back exactly the evicted tuple
+				}
+				live = live[1:]
+			} else if expired != nil {
+				return false
+			}
+			// Invariants that must hold mid-stream, between compactions.
+			if w.Len() != len(live) || len(w.Sel()) != w.Len() {
+				return false
+			}
+		}
+		// Selection strictly increasing and semantic row equality mid-stream.
+		sel := w.Sel()
+		cols := w.Cols()
+		for i, r := range sel {
+			if i > 0 && r <= sel[i-1] {
+				return false
+			}
+			for a := 0; a < schema.Len(); a++ {
+				v := live[i][a]
+				if v.Null != cols.IsNull(a, r) {
+					return false
+				}
+				if schema.Attr(a).Kind == Numeric {
+					if math.Float64bits(cols.Float(a)[r]) != math.Float64bits(v.Num) {
+						return false
+					}
+				} else if !v.Null {
+					code := cols.Codes(a)[r]
+					if code == NullCode || cols.Dict(a)[code] != v.Str {
+						return false
+					}
+				} else if cols.Codes(a)[r] != NullCode {
+					return false
+				}
+			}
+		}
+		// After compaction: bitwise identity with the direct build.
+		w.Compact()
+		direct := NewColumnSet(&Relation{Schema: schema, Tuples: live})
+		if w.Cols().Len() != direct.Len() {
+			return false
+		}
+		for i, r := range w.Sel() {
+			if i != r { // identity selection after compact
+				return false
+			}
+		}
+		return columnSetsBitwiseEqual(w.Cols(), direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// columnSetsBitwiseEqual is sameColumnSet as a predicate, for quick.Check.
+func columnSetsBitwiseEqual(got, want *ColumnSet) bool {
+	if got.Len() != want.Len() {
+		return false
+	}
+	width := want.Schema.Len()
+	for a := 0; a < width; a++ {
+		gd, wd := got.Dict(a), want.Dict(a)
+		if len(gd) != len(wd) {
+			return false
+		}
+		for i := range wd {
+			if gd[i] != wd[i] {
+				return false
+			}
+		}
+		if got.HasNulls(a) != want.HasNulls(a) {
+			return false
+		}
+		for r := 0; r < want.Len(); r++ {
+			if want.Schema.Attr(a).Kind == Numeric {
+				if math.Float64bits(got.Float(a)[r]) != math.Float64bits(want.Float(a)[r]) {
+					return false
+				}
+			} else if got.Codes(a)[r] != want.Codes(a)[r] {
+				return false
+			}
+			if got.IsNull(a, r) != want.IsNull(a, r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSlidingWindowAutoCompactBoundsStorage: a long stream through a small
+// window must keep appender storage proportional to the window, not to the
+// stream.
+func TestSlidingWindowAutoCompactBoundsStorage(t *testing.T) {
+	schema := appendTestSchema()
+	w, err := NewSlidingWindow(schema, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		if _, err := w.Append(randomTuple(rng, i)); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Cols().Len(); got > 2*50+1 {
+			t.Fatalf("appender grew to %d rows for a 50-row window at step %d", got, i)
+		}
+	}
+	if w.Len() != 50 {
+		t.Fatalf("live rows %d, want 50", w.Len())
+	}
+}
+
+// TestSlidingWindowFilterParity: the vectorized predicate filters over the
+// window's (Cols, Sel) must select exactly the rows a tuple-at-a-time scan
+// of the live rows selects — the property stream re-validation depends on.
+func TestSlidingWindowFilterParity(t *testing.T) {
+	schema := appendTestSchema()
+	w, err := NewSlidingWindow(schema, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		w.Append(randomTuple(rng, i))
+	}
+	cols, sel := w.Cols(), w.Sel()
+	rows := w.Rows()
+	// Numeric range scan against a rowwise reference.
+	var wantPos []int
+	for i, tp := range rows {
+		if !tp[1].Null && tp[1].Num > 0 {
+			wantPos = append(wantPos, i)
+		}
+	}
+	var got []int
+	col := cols.Float(1)
+	for pos, r := range sel {
+		if !cols.IsNull(1, r) && col[r] > 0 {
+			got = append(got, pos)
+		}
+	}
+	if len(got) != len(wantPos) {
+		t.Fatalf("filter parity: %d vs %d rows", len(got), len(wantPos))
+	}
+	for i := range got {
+		if got[i] != wantPos[i] {
+			t.Fatalf("filter parity at %d: %d vs %d", i, got[i], wantPos[i])
+		}
+	}
+}

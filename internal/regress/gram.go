@@ -2,6 +2,7 @@ package regress
 
 import (
 	"errors"
+	"math"
 
 	"github.com/crrlab/crr/internal/mat"
 )
@@ -68,6 +69,63 @@ func (g *Gram) Add(row []float64, y float64) {
 	}
 	g.YtY += y * y
 	g.N++
+}
+
+// Downdate removes one observation previously accumulated with Add — the
+// rank-1 inverse of Add, used by windowed stream maintenance when a row
+// expires from the sliding window. Like Sub, the subtraction cancels in
+// floating point: repeated update/downdate cycles drift the carried
+// statistics by ulps per cycle and can even leave the Gram matrix
+// indefinite. Callers that keep a Gram alive across many cycles must watch
+// Degenerate() (or a failed SPD solve) and fall back to fresh accumulation
+// over the surviving rows. row must have length Dim().
+func (g *Gram) Downdate(row []float64, y float64) {
+	d1 := len(row) + 1
+	data := g.XtX.Data
+	data[0]--
+	for j, v := range row {
+		data[j+1] -= v
+		data[(j+1)*d1] -= v
+	}
+	for i, vi := range row {
+		base := (i+1)*d1 + 1
+		for j, vj := range row {
+			data[base+j] -= vi * vj
+		}
+	}
+	g.XtY[0] -= y
+	for i, v := range row {
+		g.XtY[i+1] -= v * y
+	}
+	g.YtY -= y * y
+	g.N--
+}
+
+// Degenerate reports whether the carried statistics have lost the shape a
+// sufficient-statistics fit needs: a non-positive row count, a diagonal
+// entry of XᵀX that cancellation has driven negative (the Gram matrix of any
+// real design has Σ v² ≥ 0 on the diagonal, so a negative entry is pure
+// floating-point debris and the SPD solve would consume garbage), a target
+// second moment below zero, or an intercept count drifted away from N. It is
+// a cheap O(d) guard, not a full positive-definiteness test — the Cholesky
+// pivot check inside the SPD solve remains the authoritative gate, and
+// callers should treat a solve failure exactly like Degenerate() == true:
+// rebuild the statistics fresh from the surviving rows.
+func (g *Gram) Degenerate() bool {
+	if g.N <= 0 || g.YtY < 0 {
+		return true
+	}
+	d1 := len(g.XtY)
+	data := g.XtX.Data
+	for i := 0; i < d1; i++ {
+		if !(data[i*d1+i] >= 0) { // catches negatives and NaN
+			return true
+		}
+	}
+	// The [0,0] entry accumulates exactly 1 per Add, so it must track N;
+	// drifting off by more than ½ means update/downdate cycles have chewed
+	// through the integer range where float64 is exact.
+	return math.Abs(data[0]-float64(g.N)) > 0.5
 }
 
 // Clone deep-copies the statistics.

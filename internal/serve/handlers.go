@@ -201,10 +201,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) *apiError 
 	}
 	art := s.artifactNow()
 	return writeJSON(w, struct {
-		Rules    int       `json:"rules"`
-		Source   string    `json:"source"`
-		LoadedAt time.Time `json:"loaded_at"`
-	}{art.rules.NumRules(), art.source, art.loadedAt})
+		Rules      int       `json:"rules"`
+		Source     string    `json:"source"`
+		LoadedAt   time.Time `json:"loaded_at"`
+		Generation uint64    `json:"generation"`
+	}{art.rules.NumRules(), art.source, art.loadedAt, art.gen})
 }
 
 // handleHealthz answers GET /healthz. It stays outside the in-flight gate,
@@ -215,10 +216,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) *apiError
 		return errf(http.StatusServiceUnavailable, CodeUnavailable, "no rule set loaded")
 	}
 	return writeJSON(w, struct {
-		Status   string    `json:"status"`
-		Rules    int       `json:"rules"`
-		LoadedAt time.Time `json:"loaded_at"`
-	}{"ok", art.rules.NumRules(), art.loadedAt})
+		Status     string    `json:"status"`
+		Rules      int       `json:"rules"`
+		LoadedAt   time.Time `json:"loaded_at"`
+		Generation uint64    `json:"generation"`
+	}{"ok", art.rules.NumRules(), art.loadedAt, art.gen})
 }
 
 // handleMetrics answers GET /metrics with the Prometheus text exposition of

@@ -84,6 +84,11 @@ type artifact struct {
 	summary  core.Summary
 	source   string
 	loadedAt time.Time
+	// gen is the artifact's generation: a server-scoped counter incremented
+	// by every successful install, the token InstallIfGeneration compares
+	// against so two writers (an operator reload and a stream maintainer)
+	// cannot silently overwrite each other's swap.
+	gen uint64
 }
 
 // Server is the HTTP rule-serving subsystem. Create with New or
@@ -93,7 +98,8 @@ type Server struct {
 	reg *telemetry.Registry
 
 	art      atomic.Pointer[artifact]
-	reloadMu sync.Mutex // serializes reloads; the swap itself is atomic
+	reloadMu sync.Mutex    // serializes installs/reloads; the swap itself is atomic
+	genCtr   atomic.Uint64 // allocates artifact generations, monotone
 
 	inflight    chan struct{}
 	inflightNow atomic.Int64
@@ -185,21 +191,72 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// install makes rules the served artifact. Concurrent requests keep using
-// the artifact they started with; new requests see the new one.
-func (s *Server) install(rules *core.RuleSet, source string) {
+// install makes rules the served artifact and returns its generation.
+// Concurrent requests keep using the artifact they started with; new requests
+// see the new one. Callers other than construction must hold reloadMu — the
+// pointer swap is atomic, but two unserialized installs could otherwise
+// interleave generation allocation and storeing, breaking the monotone
+// served-generation guarantee InstallIfGeneration relies on.
+func (s *Server) install(rules *core.RuleSet, source string) uint64 {
 	rules.SetTelemetry(s.reg)
+	gen := s.genCtr.Add(1)
 	s.art.Store(&artifact{
 		rules:    rules,
 		summary:  core.Summarize(rules),
 		source:   source,
 		loadedAt: time.Now(),
+		gen:      gen,
 	})
-	s.logf("serve: installed %d rules (y=%s) from %s", rules.NumRules(), rules.YName(), source)
+	s.logf("serve: installed %d rules (y=%s, gen %d) from %s", rules.NumRules(), rules.YName(), gen, source)
+	return gen
 }
 
 // artifactNow returns the currently served artifact.
 func (s *Server) artifactNow() *artifact { return s.art.Load() }
+
+// Generation returns the generation of the currently served artifact. Every
+// successful install (construction, reload, Install, InstallIfGeneration)
+// bumps it; it never moves backwards.
+func (s *Server) Generation() uint64 {
+	if a := s.art.Load(); a != nil {
+		return a.gen
+	}
+	return 0
+}
+
+// Install swaps rules in as the served artifact unconditionally, serialized
+// with reloads, and returns the new generation. This is the in-process
+// counterpart of POST /v1/reload for embedders that already hold a rule set —
+// the stream maintainer's hot-swap path.
+func (s *Server) Install(rules *core.RuleSet, source string) (uint64, error) {
+	if rules == nil || rules.Schema == nil {
+		return 0, errors.New("serve: rule set must carry a schema (payloads are validated by attribute name)")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	s.ctrReloads.Inc()
+	return s.install(rules, source), nil
+}
+
+// InstallIfGeneration swaps rules in only when the served artifact still has
+// generation ifGen, returning the resulting current generation and whether
+// the swap happened. This is the compare-and-swap form of Install: a writer
+// that derived its rule set from generation G passes ifGen=G, and a
+// concurrent operator reload (which bumped the generation) makes the stale
+// swap a no-op instead of silently reverting the operator's artifact. On
+// failure the caller re-derives from the returned generation and retries.
+func (s *Server) InstallIfGeneration(rules *core.RuleSet, source string, ifGen uint64) (uint64, bool, error) {
+	if rules == nil || rules.Schema == nil {
+		return 0, false, errors.New("serve: rule set must carry a schema (payloads are validated by attribute name)")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if cur := s.Generation(); cur != ifGen {
+		return cur, false, nil
+	}
+	s.ctrReloads.Inc()
+	return s.install(rules, source), true, nil
+}
 
 // Reload re-reads the artifact from Config.RulesPath and swaps it in without
 // interrupting in-flight requests. A broken file leaves the served set

@@ -80,13 +80,40 @@ func ChiSquareQuantile(alpha float64, df int) (float64, error) {
 // and compares p·F against the chi-squared (1−alpha) quantile with p degrees
 // of freedom (the large-denominator approximation). reject reports whether
 // equality is rejected — i.e. the parts genuinely need separate models.
+//
+// Degenerate regimes are guarded, not propagated: the statistic divides by
+// n − 2p, so windows too small to fit two separate models (n ≤ 2p) return
+// ErrDomain instead of a ±Inf statistic — stream maintenance treats that as
+// "cannot test, keep the rule". SSE inputs come out of floating-point
+// residual accumulations, so tiny negatives (cancellation) are clamped to 0
+// and non-finite values (NaN/Inf residuals from a garbage fit) return
+// ErrDomain rather than silently deciding reject = false through a NaN
+// comparison. Exactly-zero split SSE (perfect per-part fits, common on the
+// tiny windows the stream layer re-validates) resolves by comparing the
+// joint excess against a relative tolerance instead of dividing by zero.
 func ModelEqualityTest(sseJoint, sseSplit float64, p, n int, alpha float64) (reject bool, stat float64, err error) {
 	if p <= 0 || n <= 2*p {
 		return false, 0, ErrDomain
 	}
+	if math.IsNaN(sseJoint) || math.IsInf(sseJoint, 0) ||
+		math.IsNaN(sseSplit) || math.IsInf(sseSplit, 0) {
+		return false, 0, ErrDomain
+	}
+	// Cancellation in the residual sums can leave tiny negatives; a genuinely
+	// negative SSE has no statistical meaning, so clamp rather than let the
+	// ratio change sign.
+	if sseJoint < 0 {
+		sseJoint = 0
+	}
 	if sseSplit <= 0 {
-		// Perfect per-part fits: any joint excess is evidence of difference.
-		return sseJoint > 1e-12, math.Inf(1), nil
+		// Perfect per-part fits: any joint excess beyond float noise is
+		// evidence of difference. The tolerance scales with the joint SSE so
+		// a 1e-13-noise "excess" on data measured in the 1e-15 range still
+		// rejects, while the same absolute noise on unit-scale data does not.
+		if sseJoint > 1e-12*(1+math.Abs(sseJoint)) {
+			return true, math.Inf(1), nil
+		}
+		return false, 0, nil
 	}
 	f := ((sseJoint - sseSplit) / float64(p)) / (sseSplit / float64(n-2*p))
 	if f < 0 {

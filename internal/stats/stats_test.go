@@ -133,6 +133,60 @@ func TestModelEqualityTestDomain(t *testing.T) {
 	}
 }
 
+// TestModelEqualityTestDegenerateRegimes is the table-driven audit of the
+// regimes the stream layer hits on small windows: n ≤ 2p (no residual
+// degrees of freedom), zero and negative SSEs from cancellation, and
+// non-finite SSEs from garbage fits. None of them may produce a NaN-driven
+// silent verdict; they either decide finitely or return ErrDomain.
+func TestModelEqualityTestDegenerateRegimes(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name               string
+		sseJoint, sseSplit float64
+		p, n               int
+		wantErr            bool
+		wantReject         bool
+	}{
+		{"n exactly 2p", 10, 5, 2, 4, true, false},
+		{"n below 2p", 10, 5, 2, 3, true, false},
+		{"n = 2p+1 smallest testable", 100, 1, 2, 5, false, true},
+		{"window of one", 1, 1, 1, 1, true, false},
+		{"p zero", 1, 1, 0, 100, true, false},
+		{"p negative", 1, 1, -1, 100, true, false},
+		{"both SSE zero", 0, 0, 2, 100, false, false},
+		{"split zero joint noise", 5e-13, 0, 2, 100, false, false},
+		{"split zero joint real", 1, 0, 2, 100, false, true},
+		{"split tiny negative (cancellation)", 1, -1e-15, 2, 100, false, true},
+		{"joint tiny negative (cancellation)", -1e-15, 0, 2, 100, false, false},
+		{"joint below split", 5, 10, 2, 100, false, false},
+		{"joint NaN", math.NaN(), 1, 2, 100, true, false},
+		{"split NaN", 1, math.NaN(), 2, 100, true, false},
+		{"joint +Inf", inf, 1, 2, 100, true, false},
+		{"split +Inf", 1, inf, 2, 100, true, false},
+		{"both NaN", math.NaN(), math.NaN(), 2, 100, true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reject, stat, err := ModelEqualityTest(c.sseJoint, c.sseSplit, c.p, c.n, 0.05)
+			if c.wantErr {
+				if !errors.Is(err, ErrDomain) {
+					t.Fatalf("err = %v, want ErrDomain", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if reject != c.wantReject {
+				t.Errorf("reject = %v (stat=%v), want %v", reject, stat, c.wantReject)
+			}
+			if math.IsNaN(stat) {
+				t.Errorf("NaN statistic leaked: %v", stat)
+			}
+		})
+	}
+}
+
 // Property: the test is monotone in the joint SSE — a worse joint fit can
 // only move the decision toward rejection.
 func TestModelEqualityMonotone(t *testing.T) {

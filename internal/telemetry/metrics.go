@@ -46,6 +46,22 @@ const (
 	MetricVerifyOraclesRun  = "verify.oracles_run" // counter: oracle checks executed
 	MetricVerifyDivergences = "verify.divergences" // counter: divergences detected
 
+	// Stream-maintenance metrics (internal/stream): the windowed ingestion
+	// and incremental re-fit layer. rows_ingested counts appends accepted
+	// into the sliding window; refits counts per-rule model re-fits from the
+	// carried sufficient statistics; drift_events counts Chow-test rejections
+	// (the window no longer plausibly follows the rule's single model);
+	// retires counts rules dropped because the refit could not restore the
+	// bias bound; rebuilds counts carried Grams rebuilt from scratch after
+	// losing numerical health (the downdate-cancellation fallback); swaps
+	// counts refreshed rule sets handed to the hot-reload hook.
+	MetricStreamRowsIngested = "stream.rows_ingested" // counter: rows appended to the window
+	MetricStreamRefits       = "stream.refits"        // counter: incremental per-rule model re-fits
+	MetricStreamDriftEvents  = "stream.drift_events"  // counter: Chow-test drift rejections
+	MetricStreamRetires      = "stream.retires"       // counter: rules retired on unrecoverable drift
+	MetricStreamRebuilds     = "stream.rebuilds"      // counter: Gram statistics rebuilt after degeneracy
+	MetricStreamSwaps        = "stream.swaps"         // counter: refreshed rule sets swapped out
+
 	// Serving-layer metrics (internal/serve). Per-endpoint metrics are
 	// derived with ServeRequests/ServeErrors/ServeLatency below.
 	MetricServeInFlight     = "serve.in_flight"     // gauge: concurrently handled API requests (Max = high-water mark)

@@ -211,6 +211,11 @@ func (rn *runner) runTarget(ctx context.Context, t Target) (*DatasetReport, erro
 	rn.classificationOracles(t, rules, "discovered")
 	rn.codecOracle(t, rules, "discovered")
 
+	rn.logf("[%s] windowed stream maintenance", t.Name)
+	if err := rn.streamOracle(t, rules); err != nil {
+		return nil, err
+	}
+
 	rn.logf("[%s] compaction soundness", t.Name)
 	compacted, err := rn.soundness(ctx, t, rules)
 	if err != nil {
