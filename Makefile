@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core serve bench bench-full bench-core bench-serve bench-stream fuzz verify verify-quick vet fmt experiments examples clean
+.PHONY: all build test race race-core serve bench bench-full bench-core bench-serve bench-stream bench-cluster fuzz verify verify-quick vet fmt experiments examples clean
 
 all: build test
 
@@ -20,7 +20,7 @@ race:
 # under the detector.
 race-core:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/experiments/... ./internal/serve/... ./internal/stream/...
+	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/experiments/... ./internal/serve/... ./internal/stream/... ./internal/registry/... ./internal/cluster/... ./internal/router/...
 
 # Serve a discovered artifact over HTTP (see docs/TUTORIAL.md §7):
 #   make serve RULES=rules.json [ADDR=:8080]
@@ -53,6 +53,12 @@ bench-serve:
 # curated numbers.
 bench-stream:
 	$(GO) test -bench 'BenchmarkStream' -benchmem -benchtime=10x ./internal/stream/
+
+# Router overhead: the same 1k-row binary batch predict through the SDK,
+# direct-to-node vs through crrrouter. BENCH_cluster.json records the
+# curated numbers (acceptance: routed <= 1.15x direct ns/op).
+bench-cluster:
+	$(GO) test -bench 'BatchPredictBinary' -benchmem -benchtime=3s ./internal/router/
 
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s

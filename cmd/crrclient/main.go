@@ -10,6 +10,7 @@
 //	crrclient -url http://localhost:8080 -op predict -input batch.csv -explain
 //	crrclient -url http://localhost:8080 -op predict -input batch.csv -diff
 //	crrclient -url http://localhost:8080 -op impute -input gaps.csv -fallback
+//	crrclient -url http://localhost:8090 -tenant acme -op predict -input batch.csv
 //
 // Exit status is 1 on -diff divergence, 2 on errors.
 package main
@@ -37,10 +38,11 @@ func main() {
 		column   = flag.String("column", "", "imputation target column (impute; default: server's target)")
 		fallback = flag.Bool("fallback", false, "fill uncovered cells with the training mean (impute)")
 		diff     = flag.Bool("diff", false, "run over both formats and require bitwise-identical answers")
+		tenant   = flag.String("tenant", "", "tenant to address (multi-tenant node or crrrouter; default: the server's default tenant)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-call deadline")
 	)
 	flag.Parse()
-	if err := run(*url, *op, *input, *format, *explain, *column, *fallback, *diff, *timeout); err != nil {
+	if err := run(*url, *op, *input, *format, *tenant, *explain, *column, *fallback, *diff, *timeout); err != nil {
 		if err == errDiverged {
 			os.Exit(1)
 		}
@@ -64,7 +66,7 @@ func parseFormat(s string) (client.Format, error) {
 	}
 }
 
-func run(url, op, input, format string, explain bool, column string, fallback, diff bool, timeout time.Duration) error {
+func run(url, op, input, format, tenant string, explain bool, column string, fallback, diff bool, timeout time.Duration) error {
 	if url == "" {
 		return fmt.Errorf("-url is required (see -h)")
 	}
@@ -75,7 +77,7 @@ func run(url, op, input, format string, explain bool, column string, fallback, d
 	ctx := context.Background()
 
 	if op == "rules" {
-		c := client.New(url, client.WithTimeout(timeout))
+		c := client.New(url, client.WithTimeout(timeout), client.WithTenant(tenant))
 		info, err := c.Rules(ctx)
 		if err != nil {
 			return err
@@ -100,9 +102,9 @@ func run(url, op, input, format string, explain bool, column string, fallback, d
 	makeBatch := func() (*client.Batch, error) { return cliutil.ClientBatch(rel) }
 
 	if diff {
-		return runDiff(ctx, url, op, makeBatch, explain, column, fallback, timeout)
+		return runDiff(ctx, url, op, makeBatch, tenant, explain, column, fallback, timeout)
 	}
-	c := client.New(url, client.WithFormat(f), client.WithTimeout(timeout))
+	c := client.New(url, client.WithFormat(f), client.WithTimeout(timeout), client.WithTenant(tenant))
 	b, err := makeBatch()
 	if err != nil {
 		return err
@@ -150,9 +152,9 @@ func imputeOpts(column string, fallback bool) []client.ImputeOption {
 
 // runDiff executes op under both formats and requires bitwise identity.
 func runDiff(ctx context.Context, url, op string, makeBatch func() (*client.Batch, error),
-	explain bool, column string, fallback bool, timeout time.Duration) error {
-	js := client.New(url, client.WithFormat(client.FormatJSON), client.WithTimeout(timeout))
-	bin := client.New(url, client.WithFormat(client.FormatBinary), client.WithTimeout(timeout))
+	tenant string, explain bool, column string, fallback bool, timeout time.Duration) error {
+	js := client.New(url, client.WithFormat(client.FormatJSON), client.WithTimeout(timeout), client.WithTenant(tenant))
+	bin := client.New(url, client.WithFormat(client.FormatBinary), client.WithTimeout(timeout), client.WithTenant(tenant))
 
 	switch op {
 	case "predict":

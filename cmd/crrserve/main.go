@@ -9,6 +9,7 @@
 //
 //	crrdiscover -input data.csv -y Tax -x Salary -compact -save rules.json
 //	crrserve    -rules rules.json -addr :8080
+//	crrserve    -registry /var/lib/crr/registry -addr :8080   # multi-tenant node
 //
 //	curl -s localhost:8080/v1/predict -d '{"tuple":{"Salary":82000,"State":"IA"}}'
 //	curl -s localhost:8080/v1/check   -d '{"tuples":[{"Salary":82000,"State":"IA","Tax":3050}]}'
@@ -28,37 +29,54 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/crrlab/crr/internal/registry"
 	"github.com/crrlab/crr/internal/serve"
+	"github.com/crrlab/crr/internal/telemetry"
 )
 
 func main() {
 	var (
-		rules      = flag.String("rules", "", "rule-set artifact to serve (crrdiscover -save; required)")
-		addr       = flag.String("addr", ":8080", "listen address")
-		inflight   = flag.Int("max-inflight", 64, "concurrent data-plane requests before shedding with 429")
-		reqTimeout = flag.Duration("timeout", 30*time.Second, "per-request processing deadline")
-		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
-		quiet      = flag.Bool("quiet", false, "suppress lifecycle log lines")
+		rules       = flag.String("rules", "", "rule-set artifact to serve for the default tenant (crrdiscover -save)")
+		registryDir = flag.String("registry", "", "versioned artifact-registry directory (multi-tenant; enables /v1/registry)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		inflight    = flag.Int("max-inflight", 64, "concurrent data-plane requests before shedding with 429")
+		reqTimeout  = flag.Duration("timeout", 30*time.Second, "per-request processing deadline")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		drainNotice = flag.Duration("drain-notice", 2*time.Second, "time /healthz reports draining before the listener closes (lets routers re-route)")
+		quiet       = flag.Bool("quiet", false, "suppress lifecycle log lines")
 	)
 	flag.Parse()
-	if err := run(*rules, *addr, *inflight, *reqTimeout, *drain, *quiet); err != nil {
+	if err := run(*rules, *registryDir, *addr, *inflight, *reqTimeout, *drain, *drainNotice, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "crrserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rules, addr string, inflight int, reqTimeout, drain time.Duration, quiet bool) error {
-	if rules == "" {
-		return fmt.Errorf("-rules is required (see -h)")
+func run(rules, registryDir, addr string, inflight int, reqTimeout, drain, drainNotice time.Duration, quiet bool) error {
+	if rules == "" && registryDir == "" {
+		return fmt.Errorf("-rules or -registry is required (see -h)")
 	}
 	logf := log.Printf
 	if quiet {
 		logf = func(string, ...any) {}
 	}
+	// One telemetry registry for the whole node: the artifact store's
+	// registry.* counters surface on the same /metrics page as serve.*.
+	reg := telemetry.New()
+	var store *registry.Registry
+	if registryDir != "" {
+		var err error
+		store, err = registry.Open(registryDir, reg)
+		if err != nil {
+			return err
+		}
+	}
 	srv, err := serve.New(serve.Config{
 		RulesPath:      rules,
+		Store:          store,
 		MaxInFlight:    inflight,
 		RequestTimeout: reqTimeout,
+		Registry:       reg,
 		Logf:           logf,
 	})
 	if err != nil {
@@ -89,6 +107,15 @@ func run(rules, addr string, inflight int, reqTimeout, drain time.Duration, quie
 	case <-ctx.Done():
 	}
 	stop() // a second signal now kills immediately rather than draining
+
+	// Announce the drain before closing the listener: routers probing
+	// /healthz see "draining", pull this node out of the assignment ring,
+	// and stop sending new work — then the listener can close without
+	// racing in-flight forwards.
+	srv.StartDrain()
+	if drainNotice > 0 {
+		time.Sleep(drainNotice)
+	}
 
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

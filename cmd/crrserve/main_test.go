@@ -15,10 +15,10 @@ import (
 )
 
 func TestRunFlagValidation(t *testing.T) {
-	if err := run("", ":0", 4, time.Second, time.Second, true); err == nil {
+	if err := run("", "", ":0", 4, time.Second, time.Second, 0, true); err == nil {
 		t.Error("missing -rules accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "absent.json"), ":0", 4, time.Second, time.Second, true); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "absent.json"), "", ":0", 4, time.Second, time.Second, 0, true); err == nil {
 		t.Error("nonexistent artifact accepted")
 	}
 }
@@ -50,7 +50,7 @@ func TestRunLifecycle(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- run(path, "127.0.0.1:0", 4, time.Second, 5*time.Second, true)
+		done <- run(path, "", "127.0.0.1:0", 4, time.Second, 5*time.Second, 0, true)
 	}()
 	time.Sleep(200 * time.Millisecond)
 

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+// fakeNode is a minimal /healthz endpoint with a switchable status.
+type fakeNode struct {
+	status atomic.Value // string: "ok" | "draining"
+	gen    atomic.Uint64
+	ts     *httptest.Server
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	n.status.Store("ok")
+	n.gen.Store(1)
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":     n.status.Load(),
+			"generation": n.gen.Load(),
+		})
+	}))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+func trackerT(t *testing.T, specs []NodeSpec, cfg TrackerConfig) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTrackerStates(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	reg := telemetry.New()
+	tr := trackerT(t, []NodeSpec{
+		{Name: "a", URL: a.ts.URL},
+		{Name: "b", URL: b.ts.URL},
+	}, TrackerConfig{FailThreshold: 2, Registry: reg})
+
+	v0 := tr.Version()
+	tr.ProbeOnce(context.Background())
+	m := tr.Snapshot()
+	for _, n := range m.Nodes {
+		if n.State != NodeUp || n.Generation != 1 {
+			t.Fatalf("node %s: %+v after healthy probe", n.Name, n)
+		}
+	}
+	if m.Version != v0 {
+		t.Fatalf("healthy probe of already-up nodes bumped version %d → %d", v0, m.Version)
+	}
+	if got := reg.Snapshot().Gauges[telemetry.MetricClusterNodesUp].Last; got != 2 {
+		t.Fatalf("nodes_up gauge %v", got)
+	}
+
+	// Draining is observed on the next probe and removes the node from the
+	// ring while keeping it as a read fallback.
+	b.status.Store("draining")
+	tr.ProbeOnce(context.Background())
+	m = tr.Snapshot()
+	if m.Version == v0 {
+		t.Fatal("drain transition did not bump the shard-map version")
+	}
+	var states []NodeState
+	for _, n := range m.Nodes {
+		states = append(states, n.State)
+	}
+	if states[0] != NodeUp || states[1] != NodeDraining {
+		t.Fatalf("states %v", states)
+	}
+	for _, tenant := range []string{"t1", "t2", "t3", "t4"} {
+		cands := tr.Route(tenant)
+		if len(cands) == 0 || cands[0].Name != "a" {
+			t.Fatalf("tenant %s: draining node still takes assignments: %+v", tenant, cands)
+		}
+		last := cands[len(cands)-1]
+		if last.Name != "b" || last.State != NodeDraining {
+			t.Fatalf("tenant %s: draining node not readable as fallback: %+v", tenant, cands)
+		}
+	}
+
+	// A dead node needs FailThreshold consecutive failures to go down.
+	a.ts.Close()
+	tr.ProbeOnce(context.Background())
+	if s := tr.Snapshot().Nodes[0].State; s != NodeUp {
+		t.Fatalf("one failed probe already moved node a to %s", s)
+	}
+	tr.ProbeOnce(context.Background())
+	if s := tr.Snapshot().Nodes[0].State; s != NodeDown {
+		t.Fatalf("node a is %s after %d failed probes", s, 2)
+	}
+	if got := reg.Snapshot().Gauges[telemetry.MetricClusterNodesUp].Last; got != 0 {
+		t.Fatalf("nodes_up gauge %v with a down and b draining", got)
+	}
+	if reg.Snapshot().Counters[telemetry.MetricClusterRingRebuilds] < 2 {
+		t.Fatal("ring rebuilds not counted")
+	}
+}
+
+func TestTrackerMarkDownAndRecovery(t *testing.T) {
+	a, b := newFakeNode(t), newFakeNode(t)
+	tr := trackerT(t, []NodeSpec{
+		{Name: "a", URL: a.ts.URL},
+		{Name: "b", URL: b.ts.URL},
+	}, TrackerConfig{})
+
+	v0 := tr.Version()
+	tr.MarkDown("a")
+	if tr.Version() == v0 {
+		t.Fatal("MarkDown did not bump the version")
+	}
+	for _, tenant := range []string{"x", "y", "z"} {
+		cands := tr.Route(tenant)
+		if len(cands) != 1 || cands[0].Name != "b" {
+			t.Fatalf("tenant %s routed to %+v with a down", tenant, cands)
+		}
+	}
+	// A successful probe resurrects the node.
+	tr.ProbeOnce(context.Background())
+	if s := tr.Snapshot().Nodes[0].State; s != NodeUp {
+		t.Fatalf("node a did not recover: %s", s)
+	}
+}
+
+func TestShardMapRouteAndETag(t *testing.T) {
+	m := ShardMap{
+		Version:  7,
+		VNodes:   64,
+		Replicas: 2,
+		Nodes: []NodeInfo{
+			{Name: "a", URL: "http://a", State: NodeUp},
+			{Name: "b", URL: "http://b", State: NodeUp},
+			{Name: "c", URL: "http://c", State: NodeDown},
+		},
+	}
+	cands := m.Route("tenant-1")
+	if len(cands) != 2 {
+		t.Fatalf("route returned %d candidates", len(cands))
+	}
+	for _, c := range cands {
+		if c.Name == "c" {
+			t.Fatal("down node routed")
+		}
+	}
+	if m.ETag() != `"crr-shardmap-v7"` {
+		t.Fatalf("etag %s", m.ETag())
+	}
+}
+
+func TestParseNodeSpec(t *testing.T) {
+	s, err := ParseNodeSpec("n1=http://10.0.0.1:8080/")
+	if err != nil || s.Name != "n1" || s.URL != "http://10.0.0.1:8080" {
+		t.Fatalf("%+v, %v", s, err)
+	}
+	s, err = ParseNodeSpec("http://10.0.0.2:9090")
+	if err != nil || s.Name != "10.0.0.2:9090" || s.URL != "http://10.0.0.2:9090" {
+		t.Fatalf("%+v, %v", s, err)
+	}
+	if _, err := ParseNodeSpec("=x"); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}

@@ -1,0 +1,510 @@
+// Package registry is the durable, versioned rule-artifact store behind
+// multi-tenant serving: named tenants, each with an append-only version
+// history and an active pointer, backed by content-addressed blobs on disk.
+// It generalizes crrserve's push-deploy path (POST /v1/reload with a body)
+// into storage with history — publish is atomic, any retained version can be
+// rolled back to byte-for-byte, and blobs no version references anymore are
+// garbage-collected.
+//
+// On-disk layout under the data dir:
+//
+//	blobs/sha256-<hex>.crr   content-addressed artifact bytes (codec v2 JSON)
+//	manifest.json            tenant → version history + active pointers
+//
+// Both the manifest and every blob are written to a temp file in the same
+// directory, fsynced, and renamed into place, so a crash mid-publish leaves
+// either the old state or the new state — never a torn manifest. Stray temp
+// files from an interrupted publish are swept on Open; a blob that was
+// renamed into place before the crash is simply unreferenced and reclaimed
+// by the next GC.
+package registry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+// manifestSchema is the manifest.json format version.
+const manifestSchema = 1
+
+// maxArtifactBytes bounds a single published artifact (64 MiB), mirroring
+// the serving layer's body cap with headroom.
+const maxArtifactBytes = 64 << 20
+
+// ErrUnknownTenant reports an operation on a tenant with no published
+// versions.
+var ErrUnknownTenant = errors.New("registry: unknown tenant")
+
+// ErrUnknownVersion reports an activate/rollback target that was never
+// published or has been garbage-collected.
+var ErrUnknownVersion = errors.New("registry: unknown version")
+
+// VersionInfo describes one published artifact version of a tenant.
+type VersionInfo struct {
+	// Version is the tenant-scoped monotone version number, starting at 1.
+	Version uint64 `json:"version"`
+	// Blob is the content address (sha256 hex) of the artifact bytes.
+	Blob string `json:"blob"`
+	// Size is the artifact byte length.
+	Size int64 `json:"size"`
+	// Rules is the rule count parsed at publish time.
+	Rules int `json:"rules"`
+	// Source labels where the artifact came from (an operator note).
+	Source string `json:"source,omitempty"`
+	// PublishedAt is the publish wall-clock time.
+	PublishedAt time.Time `json:"published_at"`
+}
+
+// TenantInfo is one tenant's version history plus its active pointer.
+type TenantInfo struct {
+	// Active is the version currently served; 0 means none.
+	Active uint64 `json:"active"`
+	// Versions is the retained history, ascending by version.
+	Versions []VersionInfo `json:"versions"`
+}
+
+// manifest is the persisted root document.
+type manifest struct {
+	Schema  int                    `json:"schema"`
+	Tenants map[string]*TenantInfo `json:"tenants"`
+}
+
+// Registry is the on-disk store. All methods are safe for concurrent use;
+// mutations serialize on an internal mutex and persist through atomic
+// renames.
+type Registry struct {
+	dir string
+
+	mu  sync.Mutex
+	man manifest
+
+	ctrPublishes *telemetry.Counter
+	ctrRollbacks *telemetry.Counter
+	ctrGCBlobs   *telemetry.Counter
+}
+
+// testHookBeforeManifestRename, when non-nil, runs after the temp manifest
+// is written but before it is renamed into place — the crash-injection point
+// of the atomicity tests.
+var testHookBeforeManifestRename func() error
+
+// Open loads (or initializes) the registry rooted at dir. Stray temp files
+// from an interrupted publish are removed; a missing manifest means an empty
+// store.
+func Open(dir string, reg *telemetry.Registry) (*Registry, error) {
+	if dir == "" {
+		return nil, errors.New("registry: data dir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	r := &Registry{
+		dir:          dir,
+		man:          manifest{Schema: manifestSchema, Tenants: map[string]*TenantInfo{}},
+		ctrPublishes: reg.Counter(telemetry.MetricRegistryPublishes),
+		ctrRollbacks: reg.Counter(telemetry.MetricRegistryRollbacks),
+		ctrGCBlobs:   reg.Counter(telemetry.MetricRegistryGCBlobs),
+	}
+	raw, err := os.ReadFile(r.manifestPath())
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh store.
+	case err != nil:
+		return nil, fmt.Errorf("registry: read manifest: %w", err)
+	default:
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("registry: manifest %s is corrupt: %w", r.manifestPath(), err)
+		}
+		if m.Schema != manifestSchema {
+			return nil, fmt.Errorf("registry: manifest schema %d unsupported (want %d)", m.Schema, manifestSchema)
+		}
+		if m.Tenants == nil {
+			m.Tenants = map[string]*TenantInfo{}
+		}
+		r.man = m
+	}
+	r.sweepTemp()
+	return r, nil
+}
+
+// Dir returns the data-dir root.
+func (r *Registry) Dir() string { return r.dir }
+
+func (r *Registry) manifestPath() string { return filepath.Join(r.dir, "manifest.json") }
+
+func (r *Registry) blobPath(hash string) string {
+	return filepath.Join(r.dir, "blobs", "sha256-"+hash+".crr")
+}
+
+// sweepTemp removes temp files left by an interrupted publish. They are
+// named *.tmp-* and were never renamed into place, so deleting them cannot
+// lose referenced data.
+func (r *Registry) sweepTemp() {
+	for _, d := range []string{r.dir, filepath.Join(r.dir, "blobs")} {
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.Contains(e.Name(), ".tmp-") {
+				_ = os.Remove(filepath.Join(d, e.Name()))
+			}
+		}
+	}
+}
+
+// ValidTenant reports whether name is usable as a tenant key: non-empty,
+// ≤128 bytes, and free of path separators and control characters (the name
+// appears in URLs, headers and the manifest).
+func ValidTenant(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Publish validates, stores and activates a new artifact version for tenant,
+// returning its VersionInfo. The artifact must parse as a rule set (the same
+// validation the serving reload path applies); publishing identical bytes
+// twice shares one blob but still allocates a new version. The new version
+// becomes active immediately — publish is the push-deploy path.
+func (r *Registry) Publish(tenant string, artifact io.Reader, source string) (VersionInfo, error) {
+	if !ValidTenant(tenant) {
+		return VersionInfo{}, fmt.Errorf("registry: invalid tenant name %q", tenant)
+	}
+	raw, err := io.ReadAll(io.LimitReader(artifact, maxArtifactBytes+1))
+	if err != nil {
+		return VersionInfo{}, fmt.Errorf("registry: read artifact: %w", err)
+	}
+	if len(raw) > maxArtifactBytes {
+		return VersionInfo{}, fmt.Errorf("registry: artifact exceeds %d bytes", maxArtifactBytes)
+	}
+	rules, err := core.ReadRuleSet(bytes.NewReader(raw))
+	if err != nil {
+		return VersionInfo{}, fmt.Errorf("registry: artifact rejected: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	hash := hex.EncodeToString(sum[:])
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.writeBlob(hash, raw); err != nil {
+		return VersionInfo{}, err
+	}
+	ti := r.man.Tenants[tenant]
+	if ti == nil {
+		ti = &TenantInfo{}
+	}
+	var next uint64 = 1
+	if n := len(ti.Versions); n > 0 {
+		next = ti.Versions[n-1].Version + 1
+	}
+	vi := VersionInfo{
+		Version:     next,
+		Blob:        hash,
+		Size:        int64(len(raw)),
+		Rules:       rules.NumRules(),
+		Source:      source,
+		PublishedAt: time.Now().UTC(),
+	}
+	// Mutate a copy so a failed manifest write leaves the in-memory view
+	// consistent with disk.
+	nti := &TenantInfo{Active: next, Versions: append(append([]VersionInfo{}, ti.Versions...), vi)}
+	if err := r.commit(func(m *manifest) { m.Tenants[tenant] = nti }); err != nil {
+		return VersionInfo{}, err
+	}
+	r.ctrPublishes.Inc()
+	return vi, nil
+}
+
+// writeBlob persists the content-addressed artifact bytes atomically. An
+// existing blob with the same hash is reused untouched.
+func (r *Registry) writeBlob(hash string, raw []byte) error {
+	path := r.blobPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	return atomicWrite(path, raw)
+}
+
+// commit applies mut to a deep copy of the manifest, persists it atomically,
+// and adopts it in memory only after the rename succeeded. Callers hold mu.
+func (r *Registry) commit(mut func(*manifest)) error {
+	next := manifest{Schema: manifestSchema, Tenants: make(map[string]*TenantInfo, len(r.man.Tenants))}
+	for name, ti := range r.man.Tenants {
+		cp := *ti
+		cp.Versions = append([]VersionInfo{}, ti.Versions...)
+		next.Tenants[name] = &cp
+	}
+	mut(&next)
+	raw, err := json.MarshalIndent(&next, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: encode manifest: %w", err)
+	}
+	if err := atomicWriteHook(r.manifestPath(), raw, testHookBeforeManifestRename); err != nil {
+		return err
+	}
+	r.man = next
+	return nil
+}
+
+// atomicWrite writes data to path via a same-directory temp file, fsync and
+// rename — the crash-safe publish primitive.
+func atomicWrite(path string, data []byte) error {
+	return atomicWriteHook(path, data, nil)
+}
+
+func atomicWriteHook(path string, data []byte, beforeRename func() error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() { _ = os.Remove(tmp) }
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		cleanup()
+		return fmt.Errorf("registry: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		cleanup()
+		return fmt.Errorf("registry: sync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("registry: close %s: %w", path, err)
+	}
+	if beforeRename != nil {
+		if err := beforeRename(); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		cleanup()
+		return fmt.Errorf("registry: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// Activate moves tenant's active pointer to version. The version must be
+// retained. Moving to a version older than the current active one counts as
+// a rollback.
+func (r *Registry) Activate(tenant string, version uint64) (VersionInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ti := r.man.Tenants[tenant]
+	if ti == nil {
+		return VersionInfo{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	vi, ok := findVersion(ti.Versions, version)
+	if !ok {
+		return VersionInfo{}, fmt.Errorf("%w: tenant %q version %d", ErrUnknownVersion, tenant, version)
+	}
+	rollback := version < ti.Active
+	if err := r.commit(func(m *manifest) { m.Tenants[tenant].Active = version }); err != nil {
+		return VersionInfo{}, err
+	}
+	if rollback {
+		r.ctrRollbacks.Inc()
+	}
+	return vi, nil
+}
+
+// Rollback moves tenant's active pointer to version, or — when version is 0
+// — to the newest retained version older than the active one.
+func (r *Registry) Rollback(tenant string, version uint64) (VersionInfo, error) {
+	if version != 0 {
+		return r.Activate(tenant, version)
+	}
+	r.mu.Lock()
+	ti := r.man.Tenants[tenant]
+	if ti == nil {
+		r.mu.Unlock()
+		return VersionInfo{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	var prev uint64
+	for _, vi := range ti.Versions {
+		if vi.Version < ti.Active && vi.Version > prev {
+			prev = vi.Version
+		}
+	}
+	r.mu.Unlock()
+	if prev == 0 {
+		return VersionInfo{}, fmt.Errorf("%w: tenant %q has no version older than active %d", ErrUnknownVersion, tenant, ti.Active)
+	}
+	return r.Activate(tenant, prev)
+}
+
+// Active returns tenant's active version descriptor.
+func (r *Registry) Active(tenant string) (VersionInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ti := r.man.Tenants[tenant]
+	if ti == nil {
+		return VersionInfo{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	vi, ok := findVersion(ti.Versions, ti.Active)
+	if !ok {
+		return VersionInfo{}, fmt.Errorf("%w: tenant %q active version %d", ErrUnknownVersion, tenant, ti.Active)
+	}
+	return vi, nil
+}
+
+// Artifact returns the stored artifact bytes of tenant's given version
+// (0 = active). The bytes are exactly what Publish stored — rollback
+// restores a prior version byte-for-byte.
+func (r *Registry) Artifact(tenant string, version uint64) ([]byte, VersionInfo, error) {
+	r.mu.Lock()
+	ti := r.man.Tenants[tenant]
+	if ti == nil {
+		r.mu.Unlock()
+		return nil, VersionInfo{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	if version == 0 {
+		version = ti.Active
+	}
+	vi, ok := findVersion(ti.Versions, version)
+	r.mu.Unlock()
+	if !ok {
+		return nil, VersionInfo{}, fmt.Errorf("%w: tenant %q version %d", ErrUnknownVersion, tenant, version)
+	}
+	raw, err := os.ReadFile(r.blobPath(vi.Blob))
+	if err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("registry: blob %s: %w", vi.Blob, err)
+	}
+	if sum := sha256.Sum256(raw); hex.EncodeToString(sum[:]) != vi.Blob {
+		return nil, VersionInfo{}, fmt.Errorf("registry: blob %s fails its content hash", vi.Blob)
+	}
+	return raw, vi, nil
+}
+
+// RuleSet loads and parses tenant's given version (0 = active).
+func (r *Registry) RuleSet(tenant string, version uint64) (*core.RuleSet, VersionInfo, error) {
+	raw, vi, err := r.Artifact(tenant, version)
+	if err != nil {
+		return nil, VersionInfo{}, err
+	}
+	rules, err := core.ReadRuleSet(bytes.NewReader(raw))
+	if err != nil {
+		return nil, VersionInfo{}, fmt.Errorf("registry: parse blob %s: %w", vi.Blob, err)
+	}
+	return rules, vi, nil
+}
+
+// Tenants lists tenant names, sorted.
+func (r *Registry) Tenants() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.man.Tenants))
+	for name := range r.man.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List returns a deep copy of the full manifest view, sorted-iterable via
+// Tenants.
+func (r *Registry) List() map[string]TenantInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]TenantInfo, len(r.man.Tenants))
+	for name, ti := range r.man.Tenants {
+		cp := *ti
+		cp.Versions = append([]VersionInfo{}, ti.Versions...)
+		out[name] = cp
+	}
+	return out
+}
+
+// GC trims every tenant's history to its retain most recent versions (the
+// active version is always kept, whatever its age) and deletes blobs no
+// retained version references — including orphans from crashed publishes.
+// retain ≤ 0 keeps all versions and still collects orphaned blobs. Returns
+// the number of blobs deleted.
+func (r *Registry) GC(retain int) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.commit(func(m *manifest) {
+		if retain <= 0 {
+			return
+		}
+		for _, ti := range m.Tenants {
+			if len(ti.Versions) <= retain {
+				continue
+			}
+			keep := ti.Versions[len(ti.Versions)-retain:]
+			if _, ok := findVersion(keep, ti.Active); !ok {
+				if avi, ok := findVersion(ti.Versions, ti.Active); ok {
+					keep = append([]VersionInfo{avi}, keep...)
+				}
+			}
+			ti.Versions = keep
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	referenced := map[string]bool{}
+	for _, ti := range r.man.Tenants {
+		for _, vi := range ti.Versions {
+			referenced[vi.Blob] = true
+		}
+	}
+	ents, err := os.ReadDir(filepath.Join(r.dir, "blobs"))
+	if err != nil {
+		return 0, fmt.Errorf("registry: %w", err)
+	}
+	removed := 0
+	for _, e := range ents {
+		name := e.Name()
+		hash, ok := strings.CutPrefix(name, "sha256-")
+		if !ok {
+			continue
+		}
+		hash, ok = strings.CutSuffix(hash, ".crr")
+		if !ok || referenced[hash] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(r.dir, "blobs", name)); err == nil {
+			removed++
+		}
+	}
+	r.ctrGCBlobs.Add(int64(removed))
+	return removed, nil
+}
+
+func findVersion(versions []VersionInfo, v uint64) (VersionInfo, bool) {
+	for _, vi := range versions {
+		if vi.Version == v {
+			return vi, true
+		}
+	}
+	return VersionInfo{}, false
+}

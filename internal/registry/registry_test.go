@@ -1,0 +1,270 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+// artifactBytes mines a small Tax rule set and serializes it, varying the
+// noise seed so distinct calls produce distinct artifacts.
+func artifactBytes(t *testing.T, seed int64) []byte {
+	t.Helper()
+	rel := dataset.GenerateTax(dataset.TaxConfig{Rows: 400, Noise: 0.5, Seed: seed})
+	state := rel.Schema.MustIndex("State")
+	preds := predicate.Generate(rel, []int{state}, predicate.GeneratorConfig{})
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
+		XAttrs:  []int{rel.Schema.MustIndex("Salary")},
+		YAttr:   rel.Schema.MustIndex("Tax"),
+		RhoM:    60,
+		Preds:   preds,
+		Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := core.WriteRuleSet(&buf, res.Rules); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openT(t *testing.T, dir string) (*Registry, *telemetry.Registry) {
+	t.Helper()
+	treg := telemetry.New()
+	r, err := Open(dir, treg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, treg
+}
+
+func TestPublishActivateRollback(t *testing.T) {
+	dir := t.TempDir()
+	r, treg := openT(t, dir)
+
+	a1 := artifactBytes(t, 1)
+	a2 := artifactBytes(t, 2)
+	v1, err := r.Publish("acme", bytes.NewReader(a1), "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Version != 1 {
+		t.Fatalf("first publish got version %d", v1.Version)
+	}
+	v2, err := r.Publish("acme", bytes.NewReader(a2), "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Version != 2 {
+		t.Fatalf("second publish got version %d", v2.Version)
+	}
+	if act, _ := r.Active("acme"); act.Version != 2 {
+		t.Fatalf("publish did not activate: active %d", act.Version)
+	}
+
+	// Rollback (implicit target = previous version) restores v1 bytes
+	// byte-for-byte.
+	vi, err := r.Rollback("acme", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Version != 1 {
+		t.Fatalf("rollback landed on version %d", vi.Version)
+	}
+	got, _, err := r.Artifact("acme", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a1) {
+		t.Fatal("rolled-back artifact differs from the published bytes")
+	}
+
+	// Roll forward again by explicit version.
+	if _, err := r.Activate("acme", 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = r.Artifact("acme", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a2) {
+		t.Fatal("re-activated artifact differs from the published bytes")
+	}
+
+	snap := treg.Snapshot()
+	if snap.Counters[telemetry.MetricRegistryPublishes] != 2 {
+		t.Fatalf("publishes counter %d", snap.Counters[telemetry.MetricRegistryPublishes])
+	}
+	if snap.Counters[telemetry.MetricRegistryRollbacks] != 1 {
+		t.Fatalf("rollbacks counter %d", snap.Counters[telemetry.MetricRegistryRollbacks])
+	}
+
+	// State survives a reopen.
+	r2, _ := openT(t, dir)
+	if act, _ := r2.Active("acme"); act.Version != 2 {
+		t.Fatalf("reopened active %d", act.Version)
+	}
+	if got := r2.Tenants(); len(got) != 1 || got[0] != "acme" {
+		t.Fatalf("reopened tenants %v", got)
+	}
+}
+
+func TestPublishRejectsGarbage(t *testing.T) {
+	r, _ := openT(t, t.TempDir())
+	if _, err := r.Publish("acme", strings.NewReader("{not an artifact"), ""); err == nil {
+		t.Fatal("garbage artifact accepted")
+	}
+	if _, err := r.Publish("bad/tenant", bytes.NewReader(artifactBytes(t, 1)), ""); err == nil {
+		t.Fatal("path-separator tenant name accepted")
+	}
+	if _, err := r.Active("acme"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("want ErrUnknownTenant, got %v", err)
+	}
+}
+
+// TestPublishAtomicUnderPartialWrite simulates a crash between writing the
+// temp manifest and renaming it into place: the store must come back in its
+// pre-publish state, the orphaned blob must be GC-able, and stray temp files
+// must be swept on reopen.
+func TestPublishAtomicUnderPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := openT(t, dir)
+	a1 := artifactBytes(t, 1)
+	if _, err := r.Publish("acme", bytes.NewReader(a1), "ok"); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("simulated crash before manifest rename")
+	testHookBeforeManifestRename = func() error { return boom }
+	_, err := r.Publish("acme", bytes.NewReader(artifactBytes(t, 2)), "crashes")
+	testHookBeforeManifestRename = nil
+	if !errors.Is(err, boom) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+
+	// Scatter stray temp files as a torn write would leave them.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json.tmp-123"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "blobs", "sha256-dead.crr.tmp-9"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, _ := openT(t, dir)
+	act, err := r2.Active("acme")
+	if err != nil || act.Version != 1 {
+		t.Fatalf("post-crash active = %v, %v (want version 1)", act, err)
+	}
+	got, _, err := r2.Artifact("acme", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a1) {
+		t.Fatal("post-crash artifact differs from the last committed publish")
+	}
+	for _, d := range []string{dir, filepath.Join(dir, "blobs")} {
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if strings.Contains(e.Name(), ".tmp-") {
+				t.Fatalf("stray temp file survived reopen: %s", e.Name())
+			}
+		}
+	}
+
+	// The crashed publish may have left an unreferenced blob; GC reclaims it
+	// and leaves the referenced one alone.
+	removed, err := r2.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("GC found no orphaned blob from the crashed publish")
+	}
+	if _, _, err := r2.Artifact("acme", 1); err != nil {
+		t.Fatalf("referenced blob lost to GC: %v", err)
+	}
+}
+
+func TestGCRetention(t *testing.T) {
+	dir := t.TempDir()
+	r, treg := openT(t, dir)
+	for i := int64(1); i <= 4; i++ {
+		if _, err := r.Publish("acme", bytes.NewReader(artifactBytes(t, i)), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin active to the oldest version, then retain 2: active must survive
+	// even though it falls outside the retention window.
+	if _, err := r.Activate("acme", 1); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := r.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("retention GC removed no blobs")
+	}
+	ti := r.List()["acme"]
+	if ti.Active != 1 {
+		t.Fatalf("active moved to %d", ti.Active)
+	}
+	versions := map[uint64]bool{}
+	for _, vi := range ti.Versions {
+		versions[vi.Version] = true
+	}
+	if !versions[1] || !versions[3] || !versions[4] || versions[2] {
+		t.Fatalf("retained versions %v, want {1,3,4}", versions)
+	}
+	if _, _, err := r.Artifact("acme", 1); err != nil {
+		t.Fatalf("active version unreadable after GC: %v", err)
+	}
+	if _, _, err := r.Artifact("acme", 2); err == nil {
+		t.Fatal("trimmed version still readable")
+	}
+	if treg.Snapshot().Counters[telemetry.MetricRegistryGCBlobs] != int64(removed) {
+		t.Fatal("gc_blobs counter does not match removals")
+	}
+}
+
+func TestDedupSharesBlobs(t *testing.T) {
+	r, _ := openT(t, t.TempDir())
+	a := artifactBytes(t, 7)
+	v1, err := r.Publish("a", bytes.NewReader(a), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := r.Publish("b", bytes.NewReader(a), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Blob != v2.Blob {
+		t.Fatalf("identical artifacts got distinct blobs %s vs %s", v1.Blob, v2.Blob)
+	}
+	ents, err := os.ReadDir(filepath.Join(r.Dir(), "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d blobs on disk for one content", len(ents))
+	}
+	// GC keeps the blob while either tenant references it.
+	if removed, _ := r.GC(0); removed != 0 {
+		t.Fatalf("GC removed %d referenced blobs", removed)
+	}
+}

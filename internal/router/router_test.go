@@ -1,0 +1,400 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/crrlab/crr/internal/cluster"
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/serve"
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+// mineTax mines a small Tax rule set for the node fixtures.
+func mineTax(t testing.TB, rows int) (*dataset.Relation, *core.RuleSet) {
+	t.Helper()
+	rel := dataset.GenerateTax(dataset.TaxConfig{Rows: rows, Noise: 0.5, Seed: 4})
+	preds := predicate.Generate(rel, []int{rel.Schema.MustIndex("State")}, predicate.GeneratorConfig{})
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
+		XAttrs:  []int{rel.Schema.MustIndex("Salary")},
+		YAttr:   rel.Schema.MustIndex("Tax"),
+		RhoM:    60,
+		Preds:   preds,
+		Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules.NumRules() == 0 {
+		t.Fatal("mine produced no rules")
+	}
+	return rel, res.Rules
+}
+
+// fleet is two in-process tenant-aware serve nodes plus a router in front.
+type fleet struct {
+	nodes   []*httptest.Server
+	servers []*serve.Server
+	tracker *cluster.Tracker
+	router  *Router
+	rts     *httptest.Server
+	reg     *telemetry.Registry
+}
+
+func newFleet(t testing.TB, cfg Config, rules *core.RuleSet, tenants ...string) *fleet {
+	t.Helper()
+	f := &fleet{reg: telemetry.New()}
+	specs := make([]cluster.NodeSpec, 2)
+	for i := 0; i < 2; i++ {
+		srv, err := serve.NewFromRuleSet(serve.Config{}, rules, "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tn := range tenants {
+			if _, err := srv.InstallTenant(tn, rules, "test"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		f.servers = append(f.servers, srv)
+		f.nodes = append(f.nodes, ts)
+		specs[i] = cluster.NodeSpec{Name: fmt.Sprintf("n%d", i+1), URL: ts.URL}
+	}
+	var err error
+	f.tracker, err = cluster.NewTracker(specs, cluster.TrackerConfig{Registry: f.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tracker = f.tracker
+	if cfg.Registry == nil {
+		cfg.Registry = f.reg
+	}
+	f.router, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rts = httptest.NewServer(f.router.Handler())
+	t.Cleanup(f.rts.Close)
+	return f
+}
+
+// predictBody builds a one-tuple JSON predict payload from rel's first row.
+func predictBody(t testing.TB, rel *dataset.Relation) []byte {
+	t.Helper()
+	tuple := map[string]any{}
+	for i, a := range rel.Schema.Attrs() {
+		v := rel.Tuples[0][i]
+		switch a.Kind {
+		case dataset.Numeric:
+			tuple[a.Name] = v.Num
+		default:
+			tuple[a.Name] = v.Str
+		}
+	}
+	body, err := json.Marshal(map[string]any{"tuple": tuple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func doPredict(t testing.TB, url, tenant string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(serve.TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestRouterBitwiseIdenticalToDirect: the router relays node responses
+// byte-for-byte, for the default tenant, a named tenant, and the /t/ path
+// form.
+func TestRouterBitwiseIdenticalToDirect(t *testing.T) {
+	rel, rules := mineTax(t, 600)
+	f := newFleet(t, Config{}, rules, "acme")
+	body := predictBody(t, rel)
+
+	_, direct := doPredict(t, f.nodes[0].URL, "", body)
+	_, routed := doPredict(t, f.rts.URL, "", body)
+	if !bytes.Equal(direct, routed) {
+		t.Fatalf("router response differs from direct:\n%s\n%s", direct, routed)
+	}
+
+	_, directT := doPredict(t, f.nodes[0].URL, "acme", body)
+	_, routedT := doPredict(t, f.rts.URL, "acme", body)
+	if !bytes.Equal(directT, routedT) {
+		t.Fatal("tenant-addressed router response differs from direct")
+	}
+
+	resp, err := http.Post(f.rts.URL+"/t/acme/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathForm, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(directT, pathForm) {
+		t.Fatal("/t/ path form differs from direct")
+	}
+
+	if got := f.reg.Snapshot().Counters[telemetry.MetricRouterForwards]; got < 3 {
+		t.Fatalf("forwards counter %d", got)
+	}
+}
+
+// TestRouterFailoverOnKilledNode: with one of two nodes dead, every request
+// still succeeds via single-retry failover, and the dead node is marked
+// down so later requests skip it entirely.
+func TestRouterFailoverOnKilledNode(t *testing.T) {
+	rel, rules := mineTax(t, 600)
+	f := newFleet(t, Config{}, rules, "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7")
+	body := predictBody(t, rel)
+
+	// Kill node 2 without telling the tracker: forwards must discover the
+	// corpse and fail over.
+	f.nodes[1].Close()
+
+	for i := 0; i < 8; i++ {
+		tenant := fmt.Sprintf("t%d", i)
+		resp, out := doPredict(t, f.rts.URL, tenant, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %s: status %d after node kill: %s", tenant, resp.StatusCode, out)
+		}
+	}
+
+	snap := f.reg.Snapshot()
+	if snap.Counters[telemetry.MetricRouterFailovers] == 0 {
+		t.Fatal("no failovers counted — every tenant landed on the live node?")
+	}
+	// The first transport error marks the node down; from then on Route
+	// excludes it, so failovers stop accumulating per-request.
+	m := f.tracker.Snapshot()
+	if m.Nodes[1].State != cluster.NodeDown {
+		t.Fatalf("killed node state %s, want down", m.Nodes[1].State)
+	}
+
+	// With the ring now routing around the corpse, requests still succeed.
+	resp, _ := doPredict(t, f.rts.URL, "t0", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-markdown status %d", resp.StatusCode)
+	}
+}
+
+// TestRouterQuota: a drained token bucket answers 429 with Retry-After and
+// the stable quota_exceeded code; refilling the clock re-admits, and other
+// tenants are unaffected.
+func TestRouterQuota(t *testing.T) {
+	rel, rules := mineTax(t, 600)
+	now := time.Unix(1700000000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	f := newFleet(t, Config{QuotaRPS: 1, QuotaBurst: 2, Now: clock}, rules, "acme", "other")
+	body := predictBody(t, rel)
+
+	for i := 0; i < 2; i++ {
+		resp, out := doPredict(t, f.rts.URL, "acme", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: %d %s", i, resp.StatusCode, out)
+		}
+	}
+	resp, out := doPredict(t, f.rts.URL, "acme", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d: %s", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(out, &env); err != nil || env.Error.Code != CodeQuotaExceeded {
+		t.Fatalf("quota error envelope %s (%v)", out, err)
+	}
+
+	// Another tenant has its own bucket.
+	if resp, _ := doPredict(t, f.rts.URL, "other", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant throttled too: %d", resp.StatusCode)
+	}
+
+	// One second of refill buys one more request.
+	advance(time.Second)
+	if resp, _ := doPredict(t, f.rts.URL, "acme", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-refill status %d", resp.StatusCode)
+	}
+	if f.reg.Snapshot().Counters[telemetry.MetricRouterQuotaRejections] == 0 {
+		t.Fatal("quota rejections not counted")
+	}
+}
+
+// TestRouterTenantInFlightCap: the per-tenant cap rejects the N+1st
+// concurrent request with 429 while a slow request holds a slot.
+func TestRouterTenantInFlightCap(t *testing.T) {
+	rel, rules := mineTax(t, 600)
+
+	// A blocking upstream: the first data request signals its arrival, then
+	// parks until released (or until its client gives up, so an aborted
+	// forward can never wedge slow.Close).
+	gate := make(chan struct{})
+	arrived := make(chan struct{}, 1)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "generation": 1})
+			return
+		}
+		select {
+		case arrived <- struct{}{}:
+		default:
+		}
+		select {
+		case <-gate:
+			w.WriteHeader(http.StatusOK)
+		case <-r.Context().Done():
+		}
+	}))
+	defer slow.Close()
+	_ = rel
+
+	tracker, err := cluster.NewTracker([]cluster.NodeSpec{{Name: "slow", URL: slow.URL}},
+		cluster.TrackerConfig{Registry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	rtr, err := New(Config{Tracker: tracker, TenantMaxInFlight: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rtr.Handler())
+	defer rts.Close()
+	_ = rules
+
+	body := predictBody(t, rel)
+	done := make(chan int, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, rts.URL+"/v1/predict", bytes.NewReader(body))
+		req.Header.Set(serve.TenantHeader, "acme")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	// The slot is provably occupied once the forwarded request reaches the
+	// upstream: admission happened strictly before the forward.
+	select {
+	case <-arrived:
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked request never reached the upstream")
+	}
+	resp, out := doPredict(t, rts.URL, "acme", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("in-flight cap not enforced: %d %s", resp.StatusCode, out)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	_ = json.Unmarshal(out, &env)
+	if env.Error.Code != CodeQuotaExceeded {
+		t.Fatalf("cap rejection code %q", env.Error.Code)
+	}
+	close(gate)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("parked request finished with %d", code)
+	}
+}
+
+// TestShardMapEndpoint: the router serves the tracker's shard map with an
+// ETag, honors If-None-Match with 304, and bumps the ETag when membership
+// changes.
+func TestShardMapEndpoint(t *testing.T) {
+	_, rules := mineTax(t, 600)
+	f := newFleet(t, Config{}, rules)
+
+	resp, err := http.Get(f.rts.URL + "/v1/shardmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	etag := resp.Header.Get("ETag")
+	var m cluster.ShardMap
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if etag == "" || len(m.Nodes) != 2 {
+		t.Fatalf("shardmap etag=%q nodes=%d", etag, len(m.Nodes))
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, f.rts.URL+"/v1/shardmap", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match status %d", resp.StatusCode)
+	}
+
+	f.tracker.MarkDown("n2")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale ETag after membership change: %d", resp.StatusCode)
+	}
+}
+
+// TestRouterMetricsExposition: the router's /metrics carries the new
+// counters in Prometheus text form.
+func TestRouterMetricsExposition(t *testing.T) {
+	rel, rules := mineTax(t, 600)
+	f := newFleet(t, Config{}, rules)
+	_, _ = doPredict(t, f.rts.URL, "", predictBody(t, rel))
+
+	resp, err := http.Get(f.rts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"crr_router_forwards", "crr_cluster_nodes_up", "crr_cluster_ring_rebuilds"} {
+		if !bytes.Contains(text, []byte(want)) {
+			t.Fatalf("/metrics missing %s:\n%s", want, text)
+		}
+	}
+}

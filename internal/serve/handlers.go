@@ -25,7 +25,10 @@ import (
 // each prediction (explain metadata), sparing clients a second /v1/rules
 // correlation round trip.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) *apiError {
-	art := s.artifactNow()
+	art, aerr := s.artifactFor(r)
+	if aerr != nil {
+		return aerr
+	}
 	reqC, respC, aerr := s.negotiate(r)
 	if aerr != nil {
 		return aerr
@@ -52,7 +55,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) *apiError
 // the rule set (§II-A) via core.ViolationsColumns over the decoded batch,
 // with the first covering rule's prediction attached as the repair.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) *apiError {
-	art := s.artifactNow()
+	art, aerr := s.artifactFor(r)
+	if aerr != nil {
+		return aerr
+	}
 	reqC, respC, aerr := s.negotiate(r)
 	if aerr != nil {
 		return aerr
@@ -91,7 +97,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) *apiError {
 // the rule set, and the completed tuples are returned in the negotiated
 // format.
 func (s *Server) handleImpute(w http.ResponseWriter, r *http.Request) *apiError {
-	art := s.artifactNow()
+	art, aerr := s.artifactFor(r)
+	if aerr != nil {
+		return aerr
+	}
 	reqC, respC, aerr := s.negotiate(r)
 	if aerr != nil {
 		return aerr
@@ -156,9 +165,13 @@ type ruleSetInfo struct {
 	Formatted    []string  `json:"formatted"`
 }
 
-// handleRules answers GET /v1/rules with the artifact summary.
-func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) *apiError {
-	art := s.artifactNow()
+// handleRules answers GET /v1/rules with the addressed tenant's artifact
+// summary.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) *apiError {
+	art, aerr := s.artifactFor(r)
+	if aerr != nil {
+		return aerr
+	}
 	rs := art.rules
 	info := ruleSetInfo{
 		Source:       art.source,
@@ -183,44 +196,72 @@ func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) *apiError {
 }
 
 // handleReload answers POST /v1/reload: an empty body re-reads the
-// configured artifact path; a non-empty body is parsed as a complete
-// artifact and swapped in directly (zero-downtime push deploys).
+// configured artifact path (DefaultTenant only — the path feeds exactly one
+// tenant); a non-empty body is parsed as a complete artifact and swapped in
+// for the addressed tenant directly (zero-downtime push deploys).
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) *apiError {
+	tenant := tenantOf(r)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		return errf(http.StatusBadRequest, CodeInvalidArgument, "read body: %v", err)
 	}
 	if len(bytes.TrimSpace(body)) == 0 {
+		if tenant != DefaultTenant {
+			return errf(http.StatusBadRequest, CodeInvalidArgument,
+				"path-based reload feeds only the default tenant; push an artifact body for %q", tenant)
+		}
 		if err := s.Reload(); err != nil {
 			return errf(http.StatusUnprocessableEntity, CodeReloadFailed, "%v", err)
 		}
 	} else {
-		if err := s.ReloadFrom(bytes.NewReader(body), "reload-body"); err != nil {
+		if err := s.ReloadTenantFrom(tenant, bytes.NewReader(body), "reload-body"); err != nil {
 			return errf(http.StatusUnprocessableEntity, CodeReloadFailed, "%v", err)
 		}
 	}
-	art := s.artifactNow()
+	art, aerr := s.artifactFor(r)
+	if aerr != nil {
+		return aerr
+	}
 	return writeJSON(w, struct {
+		Tenant     string    `json:"tenant"`
 		Rules      int       `json:"rules"`
 		Source     string    `json:"source"`
 		LoadedAt   time.Time `json:"loaded_at"`
 		Generation uint64    `json:"generation"`
-	}{art.rules.NumRules(), art.source, art.loadedAt, art.gen})
+	}{tenant, art.rules.NumRules(), art.source, art.loadedAt, art.gen})
 }
 
 // handleHealthz answers GET /healthz. It stays outside the in-flight gate,
-// so probes keep passing while the data plane sheds load.
+// so probes keep passing while the data plane sheds load. The cluster
+// liveness tracker reads status ("ok" | "draining") and generation; the
+// top-level rules/loaded_at/generation triple describes the DefaultTenant
+// when present (single-tenant compatibility), and tenants maps every loaded
+// tenant to its generation.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) *apiError {
-	art := s.artifactNow()
-	if art == nil {
+	tenants := map[string]uint64{}
+	for _, name := range s.Tenants() {
+		tenants[name] = s.TenantGeneration(name)
+	}
+	if len(tenants) == 0 {
 		return errf(http.StatusServiceUnavailable, CodeUnavailable, "no rule set loaded")
 	}
-	return writeJSON(w, struct {
-		Status     string    `json:"status"`
-		Rules      int       `json:"rules"`
-		LoadedAt   time.Time `json:"loaded_at"`
-		Generation uint64    `json:"generation"`
-	}{"ok", art.rules.NumRules(), art.loadedAt, art.gen})
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	out := struct {
+		Status     string            `json:"status"`
+		Rules      int               `json:"rules"`
+		LoadedAt   time.Time         `json:"loaded_at"`
+		Generation uint64            `json:"generation"`
+		Tenants    map[string]uint64 `json:"tenants"`
+	}{Status: status, Tenants: tenants}
+	if art := s.artifactNow(); art != nil {
+		out.Rules = art.rules.NumRules()
+		out.LoadedAt = art.loadedAt
+		out.Generation = art.gen
+	}
+	return writeJSON(w, out)
 }
 
 // handleMetrics answers GET /metrics with the Prometheus text exposition of

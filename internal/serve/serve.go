@@ -10,8 +10,21 @@
 //	POST /v1/impute   fill null cells of a numeric column (internal/impute)
 //	GET  /v1/rules    rule-set summary and formatted rules
 //	POST /v1/reload   hot-swap the artifact from disk or the request body
-//	GET  /healthz     liveness + artifact freshness
+//	GET  /healthz     liveness + drain status + per-tenant generations
 //	GET  /metrics     Prometheus text exposition of the telemetry registry
+//
+// Registry control plane (only when Config.Store is set — see tenant.go):
+//
+//	POST /v1/registry/publish   publish body as the tenant's next version
+//	POST /v1/registry/activate  activate a retained version
+//	POST /v1/registry/rollback  roll the active pointer back
+//	GET  /v1/registry/list      manifest view + live generations
+//
+// The server is multi-tenant: every endpoint addresses a tenant via the
+// X-CRR-Tenant header or a /t/{tenant}/... path prefix, and each tenant has
+// an independently hot-swappable artifact. Requests that name no tenant hit
+// DefaultTenant, which is where the pre-tenant single-artifact API (New,
+// Install, Reload) lives — single-tenant deployments are unchanged.
 //
 // Production behaviors are part of the contract, not extras: every data-plane
 // request runs under a per-request context deadline; a configurable in-flight
@@ -37,6 +50,7 @@ import (
 	"time"
 
 	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/registry"
 	"github.com/crrlab/crr/internal/telemetry"
 )
 
@@ -44,9 +58,15 @@ import (
 // replaced by the default documented on it.
 type Config struct {
 	// RulesPath is the rule-set artifact to load and the source of
-	// path-based reloads (POST /v1/reload with an empty body, SIGHUP).
-	// Optional when the initial set is injected via NewFromRuleSet.
+	// path-based reloads (POST /v1/reload with an empty body, SIGHUP). It
+	// feeds the DefaultTenant. Optional when the initial set is injected via
+	// NewFromRuleSet or loaded from Store.
 	RulesPath string
+
+	// Store, when set, attaches a versioned artifact registry: the
+	// /v1/registry control plane is enabled, and New installs every
+	// tenant's active version at boot (LoadStore).
+	Store *registry.Registry
 
 	// MaxInFlight bounds concurrently handled data-plane requests
 	// (predict/check/impute). Requests beyond the bound are rejected
@@ -84,7 +104,7 @@ type artifact struct {
 	summary  core.Summary
 	source   string
 	loadedAt time.Time
-	// gen is the artifact's generation: a server-scoped counter incremented
+	// gen is the artifact's generation: a tenant-scoped counter incremented
 	// by every successful install, the token InstallIfGeneration compares
 	// against so two writers (an operator reload and a stream maintainer)
 	// cannot silently overwrite each other's swap.
@@ -94,17 +114,27 @@ type artifact struct {
 // Server is the HTTP rule-serving subsystem. Create with New or
 // NewFromRuleSet, expose via Handler or Serve, stop with Shutdown.
 type Server struct {
-	cfg Config
-	reg *telemetry.Registry
+	cfg   Config
+	reg   *telemetry.Registry
+	store *registry.Registry
 
-	art      atomic.Pointer[artifact]
-	reloadMu sync.Mutex    // serializes installs/reloads; the swap itself is atomic
-	genCtr   atomic.Uint64 // allocates artifact generations, monotone
+	// tenants maps tenant name → artifact slot. Slots are created on first
+	// install and never removed; swapping happens inside the slot, so the
+	// map itself is read-mostly.
+	tmu      sync.RWMutex
+	tenants  map[string]*tenantState
+	reloadMu sync.Mutex // serializes installs/reloads; the swap itself is atomic
+
+	// draining flips when StartDrain is called: /healthz reports "draining"
+	// so routers stop assigning new tenants here while in-flight and
+	// follow-up reads on existing connections still complete.
+	draining atomic.Bool
 
 	inflight    chan struct{}
 	inflightNow atomic.Int64
 
 	mux  *http.ServeMux
+	root http.Handler
 	http *http.Server
 
 	// Pre-resolved metric handles (hot path: one atomic op per event).
@@ -123,17 +153,26 @@ type endpoint struct {
 	latency  *telemetry.Histogram
 }
 
-// New builds a server and loads the initial artifact from cfg.RulesPath.
+// New builds a server and loads the initial artifacts: the DefaultTenant
+// artifact from cfg.RulesPath (when set) and every registry tenant's active
+// version from cfg.Store (when set). At least one source is required.
 func New(cfg Config) (*Server, error) {
 	s, err := newServer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.RulesPath == "" {
-		return nil, errors.New("serve: Config.RulesPath is required")
+	if cfg.RulesPath == "" && cfg.Store == nil {
+		return nil, errors.New("serve: Config.RulesPath or Config.Store is required")
 	}
-	if err := s.Reload(); err != nil {
-		return nil, err
+	if cfg.RulesPath != "" {
+		if err := s.Reload(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Store != nil {
+		if err := s.LoadStore(); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -148,7 +187,7 @@ func NewFromRuleSet(cfg Config, rules *core.RuleSet, source string) (*Server, er
 	if err != nil {
 		return nil, err
 	}
-	s.install(rules, source)
+	s.install(DefaultTenant, rules, source)
 	return s, nil
 }
 
@@ -171,6 +210,8 @@ func newServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		reg:      cfg.Registry,
+		store:    cfg.Store,
+		tenants:  map[string]*tenantState{},
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 		mux:      http.NewServeMux(),
 
@@ -181,7 +222,8 @@ func newServer(cfg Config) (*Server, error) {
 		ctrReloadErrs: cfg.Registry.Counter(telemetry.MetricServeReloadErrors),
 	}
 	s.routes()
-	s.http = &http.Server{Handler: s.mux}
+	s.root = s.rootHandler()
+	s.http = &http.Server{Handler: s.root}
 	return s, nil
 }
 
@@ -191,51 +233,47 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// install makes rules the served artifact and returns its generation.
-// Concurrent requests keep using the artifact they started with; new requests
-// see the new one. Callers other than construction must hold reloadMu — the
-// pointer swap is atomic, but two unserialized installs could otherwise
-// interleave generation allocation and storeing, breaking the monotone
-// served-generation guarantee InstallIfGeneration relies on.
-func (s *Server) install(rules *core.RuleSet, source string) uint64 {
+// install makes rules the tenant's served artifact and returns its
+// generation. Concurrent requests keep using the artifact they started with;
+// new requests see the new one. Callers other than construction must hold
+// reloadMu — the pointer swap is atomic, but two unserialized installs could
+// otherwise interleave generation allocation and storing, breaking the
+// monotone served-generation guarantee InstallIfGeneration relies on.
+func (s *Server) install(tenant string, rules *core.RuleSet, source string) uint64 {
 	rules.SetTelemetry(s.reg)
-	gen := s.genCtr.Add(1)
-	s.art.Store(&artifact{
+	ts := s.tenantState(tenant, true)
+	gen := ts.genCtr.Add(1)
+	ts.art.Store(&artifact{
 		rules:    rules,
 		summary:  core.Summarize(rules),
 		source:   source,
 		loadedAt: time.Now(),
 		gen:      gen,
 	})
-	s.logf("serve: installed %d rules (y=%s, gen %d) from %s", rules.NumRules(), rules.YName(), gen, source)
+	s.logf("serve: installed %d rules (y=%s, tenant %s, gen %d) from %s",
+		rules.NumRules(), rules.YName(), tenant, gen, source)
 	return gen
 }
 
-// artifactNow returns the currently served artifact.
-func (s *Server) artifactNow() *artifact { return s.art.Load() }
-
-// Generation returns the generation of the currently served artifact. Every
-// successful install (construction, reload, Install, InstallIfGeneration)
-// bumps it; it never moves backwards.
-func (s *Server) Generation() uint64 {
-	if a := s.art.Load(); a != nil {
-		return a.gen
+// artifactNow returns the DefaultTenant's currently served artifact.
+func (s *Server) artifactNow() *artifact {
+	if ts := s.tenantState(DefaultTenant, false); ts != nil {
+		return ts.art.Load()
 	}
-	return 0
+	return nil
 }
+
+// Generation returns the generation of the DefaultTenant's currently served
+// artifact. Every successful install (construction, reload, Install,
+// InstallIfGeneration) bumps it; it never moves backwards.
+func (s *Server) Generation() uint64 { return s.TenantGeneration(DefaultTenant) }
 
 // Install swaps rules in as the served artifact unconditionally, serialized
 // with reloads, and returns the new generation. This is the in-process
 // counterpart of POST /v1/reload for embedders that already hold a rule set —
 // the stream maintainer's hot-swap path.
 func (s *Server) Install(rules *core.RuleSet, source string) (uint64, error) {
-	if rules == nil || rules.Schema == nil {
-		return 0, errors.New("serve: rule set must carry a schema (payloads are validated by attribute name)")
-	}
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	s.ctrReloads.Inc()
-	return s.install(rules, source), nil
+	return s.InstallTenant(DefaultTenant, rules, source)
 }
 
 // InstallIfGeneration swaps rules in only when the served artifact still has
@@ -255,7 +293,7 @@ func (s *Server) InstallIfGeneration(rules *core.RuleSet, source string, ifGen u
 		return cur, false, nil
 	}
 	s.ctrReloads.Inc()
-	return s.install(rules, source), true, nil
+	return s.install(DefaultTenant, rules, source), true, nil
 }
 
 // Reload re-reads the artifact from Config.RulesPath and swaps it in without
@@ -274,32 +312,50 @@ func (s *Server) Reload() error {
 		return fmt.Errorf("serve: reload: %w", err)
 	}
 	defer f.Close()
-	return s.reloadFrom(f, s.cfg.RulesPath)
+	return s.reloadFrom(DefaultTenant, f, s.cfg.RulesPath)
 }
 
-// ReloadFrom parses a rule-set artifact from r and swaps it in (the body
-// form of POST /v1/reload). The caller holds no lock; reloads serialize on
-// the server's reload mutex.
+// ReloadFrom parses a rule-set artifact from r and swaps it in as the
+// DefaultTenant's artifact (the body form of POST /v1/reload). The caller
+// holds no lock; reloads serialize on the server's reload mutex.
 func (s *Server) ReloadFrom(r io.Reader, source string) error {
+	return s.ReloadTenantFrom(DefaultTenant, r, source)
+}
+
+// ReloadTenantFrom is ReloadFrom for an explicit tenant.
+func (s *Server) ReloadTenantFrom(tenant string, r io.Reader, source string) error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	return s.reloadFrom(r, source)
+	return s.reloadFrom(tenant, r, source)
 }
 
-func (s *Server) reloadFrom(r io.Reader, source string) error {
+func (s *Server) reloadFrom(tenant string, r io.Reader, source string) error {
 	rules, err := core.ReadRuleSet(r)
 	if err != nil {
 		s.ctrReloadErrs.Inc()
 		return err
 	}
-	s.install(rules, source)
+	s.install(tenant, rules, source)
 	s.ctrReloads.Inc()
 	return nil
 }
 
-// Handler returns the server's HTTP handler, for embedding and for
-// httptest-based tests.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (the /t/{tenant} rewriter in
+// front of the route table), for embedding and for httptest-based tests.
+func (s *Server) Handler() http.Handler { return s.root }
+
+// StartDrain flips the node into draining: /healthz starts reporting
+// "draining", which removes this node from the cluster assignment ring while
+// it keeps answering requests — the graceful half of a rolling restart,
+// called on SIGTERM before Shutdown.
+func (s *Server) StartDrain() {
+	if !s.draining.Swap(true) {
+		s.logf("serve: draining (healthz now reports draining)")
+	}
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Serve accepts connections on l until Shutdown (or Close). It returns
 // http.ErrServerClosed after a clean shutdown, mirroring net/http.
@@ -337,6 +393,11 @@ func (s *Server) routes() {
 	s.mux.Handle("/v1/reload", s.gate(s.ep("reload"), http.MethodPost, false, s.handleReload))
 	s.mux.Handle("/healthz", s.gate(s.ep("healthz"), http.MethodGet, false, s.handleHealthz))
 	s.mux.Handle("/metrics", s.gate(s.ep("metrics"), http.MethodGet, false, s.handleMetrics))
+	// Registry control plane (answers 503 unavailable without a Store).
+	s.mux.Handle("/v1/registry/publish", s.gate(s.ep("registry_publish"), http.MethodPost, false, s.handleRegistryPublish))
+	s.mux.Handle("/v1/registry/activate", s.gate(s.ep("registry_activate"), http.MethodPost, false, s.handleRegistryActivate))
+	s.mux.Handle("/v1/registry/rollback", s.gate(s.ep("registry_rollback"), http.MethodPost, false, s.handleRegistryRollback))
+	s.mux.Handle("/v1/registry/list", s.gate(s.ep("registry_list"), http.MethodGet, false, s.handleRegistryList))
 }
 
 // ep resolves the per-endpoint metric handles once, at route time.
@@ -366,8 +427,15 @@ const (
 	CodeDeadlineExceeded = "deadline_exceeded"
 	// CodeReloadFailed: the artifact in a reload request did not parse.
 	CodeReloadFailed = "reload_failed"
-	// CodeUnavailable: no rule set is loaded.
+	// CodeUnavailable: no rule set is loaded (or no registry configured).
 	CodeUnavailable = "unavailable"
+	// CodeUnknownTenant: the addressed tenant has no artifact here.
+	CodeUnknownTenant = "unknown_tenant"
+	// CodeUnknownVersion: the registry retains no such version.
+	CodeUnknownVersion = "unknown_version"
+	// CodeRegistryRejected: the registry refused the mutation (bad artifact,
+	// invalid tenant name, size cap).
+	CodeRegistryRejected = "registry_rejected"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal = "internal"
 )

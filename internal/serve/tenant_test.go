@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/registry"
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+// predictOne posts one tuple for tenant (via header; "" means none) and
+// returns status plus the decoded first prediction.
+func predictTenant(t testing.TB, url, tenant string, tuple map[string]any) (int, float64, string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"tuples": []any{tuple}})
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Predictions []struct {
+			Value float64 `json:"value"`
+		} `json:"predictions"`
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	val := 0.0
+	if len(out.Predictions) > 0 {
+		val = out.Predictions[0].Value
+	}
+	return resp.StatusCode, val, out.Error.Code
+}
+
+// TestTenantIsolation: two tenants with different rule sets answer the same
+// tuple differently, both the header and /t/{tenant} path forms address
+// them, and an unknown tenant is a 404 with a stable code.
+func TestTenantIsolation(t *testing.T) {
+	relA, rulesA := taxRules(t, 600)
+	_, rulesB := taxRules(t, 900) // distinct mine (different rows → different fits)
+	srv, ts := newTestServer(t, Config{}, rulesA)
+	if _, err := srv.InstallTenant("beta", rulesB, "test-b"); err != nil {
+		t.Fatal(err)
+	}
+
+	tuple := encodeTuple(relA.Schema, relA.Tuples[0])
+
+	// Default tenant: no header needed.
+	st, wantDefault, _ := predictTenant(t, ts.URL, "", tuple)
+	if st != http.StatusOK {
+		t.Fatalf("default predict status %d", st)
+	}
+	// The explicit header form addresses the same artifact.
+	st, gotExplicit, _ := predictTenant(t, ts.URL, DefaultTenant, tuple)
+	if st != http.StatusOK || gotExplicit != wantDefault {
+		t.Fatalf("explicit default tenant: %d, %v vs %v", st, gotExplicit, wantDefault)
+	}
+
+	// The in-process prediction for tenant beta is the oracle for both
+	// addressing forms.
+	one := &dataset.Relation{Schema: relA.Schema, Tuples: relA.Tuples[:1]}
+	vals, _ := rulesB.PredictView(dataset.NewColumnSet(one).View())
+	wantBeta := vals[0]
+
+	st, gotHeader, _ := predictTenant(t, ts.URL, "beta", tuple)
+	if st != http.StatusOK || gotHeader != wantBeta {
+		t.Fatalf("beta via header: %d, %v want %v", st, gotHeader, wantBeta)
+	}
+	body, _ := json.Marshal(map[string]any{"tuples": []any{tuple}})
+	resp, err := http.Post(ts.URL+"/t/beta/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Predictions []struct {
+			Value float64 `json:"value"`
+		} `json:"predictions"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Predictions[0].Value != wantBeta {
+		t.Fatalf("beta via path: %d, %+v want %v", resp.StatusCode, out, wantBeta)
+	}
+
+	// Unknown tenant: stable 404.
+	st, _, code := predictTenant(t, ts.URL, "nope", tuple)
+	if st != http.StatusNotFound || code != CodeUnknownTenant {
+		t.Fatalf("unknown tenant: %d %q", st, code)
+	}
+
+	// Per-tenant generations are independent.
+	if g := srv.TenantGeneration("beta"); g != 1 {
+		t.Fatalf("beta generation %d", g)
+	}
+	if g := srv.Generation(); g != 1 {
+		t.Fatalf("default generation %d", g)
+	}
+}
+
+// TestTenantReloadAndHealthz: a body reload addressed at a tenant installs
+// that tenant; a path reload refuses non-default tenants; healthz lists all
+// tenants and flips to draining after StartDrain.
+func TestTenantReloadAndHealthz(t *testing.T) {
+	_, rules := taxRules(t, 600)
+	srv, ts := newTestServer(t, Config{}, rules)
+
+	var buf bytes.Buffer
+	if err := core.WriteRuleSet(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/t/gamma/v1/reload", bytes.NewReader(buf.Bytes()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant body reload status %d", resp.StatusCode)
+	}
+	if g := srv.TenantGeneration("gamma"); g != 1 {
+		t.Fatalf("gamma generation %d after body reload", g)
+	}
+
+	// Empty-body reload for a non-default tenant is rejected: the rules path
+	// feeds exactly one tenant.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/t/gamma/v1/reload", bytes.NewReader(nil))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tenant path reload status %d", resp.StatusCode)
+	}
+
+	st, body := getBody(t, ts.URL+"/healthz")
+	if st != http.StatusOK {
+		t.Fatalf("healthz %d", st)
+	}
+	var hz struct {
+		Status     string            `json:"status"`
+		Generation uint64            `json:"generation"`
+		Tenants    map[string]uint64 `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Generation != 1 || hz.Tenants["gamma"] != 1 || hz.Tenants[DefaultTenant] != 1 {
+		t.Fatalf("healthz %+v", hz)
+	}
+
+	srv.StartDrain()
+	_, body = getBody(t, ts.URL+"/healthz")
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "draining" {
+		t.Fatalf("healthz status %q after StartDrain", hz.Status)
+	}
+}
+
+// TestRegistryControlPlane drives the full publish → predict → rollback →
+// activate loop over HTTP against a store-backed server, and checks that a
+// rollback serves the prior version's exact artifact again.
+func TestRegistryControlPlane(t *testing.T) {
+	dir := t.TempDir()
+	store, err := registry.Open(dir, telemetry.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	relA, rulesV1 := taxRules(t, 600)
+	_, rulesV2 := electricityRules(t, 600)
+
+	var v1, v2 bytes.Buffer
+	if err := core.WriteRuleSet(&v1, rulesV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteRuleSet(&v2, rulesV2); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts := newTestServer(t, Config{Store: store}, rulesV1)
+
+	publish := func(artifact []byte) registryMutation {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/registry/publish", bytes.NewReader(artifact))
+		req.Header.Set(TenantHeader, "acme")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("publish status %d", resp.StatusCode)
+		}
+		var m registryMutation
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	m1 := publish(v1.Bytes())
+	if m1.Version != 1 || m1.Generation != 1 {
+		t.Fatalf("first publish %+v", m1)
+	}
+	m2 := publish(v2.Bytes())
+	if m2.Version != 2 || m2.Generation != 2 {
+		t.Fatalf("second publish %+v", m2)
+	}
+
+	// v2 (electricity schema) no longer accepts the tax tuple.
+	tuple := encodeTuple(relA.Schema, relA.Tuples[0])
+	if st, _, _ := predictTenant(t, ts.URL, "acme", tuple); st != http.StatusBadRequest {
+		t.Fatalf("predict against v2 schema: status %d, want schema mismatch", st)
+	}
+
+	// Rollback to the prior version restores v1 semantics...
+	st, body := postJSON(t, ts.URL+"/v1/registry/rollback", map[string]any{"tenant": "acme"})
+	if st != http.StatusOK {
+		t.Fatalf("rollback status %d: %s", st, body)
+	}
+	var rb registryMutation
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if rb.Version != 1 || rb.Generation != 3 {
+		t.Fatalf("rollback %+v", rb)
+	}
+	st, gotRolled, _ := predictTenant(t, ts.URL, "acme", tuple)
+	if st != http.StatusOK {
+		t.Fatalf("predict after rollback: %d", st)
+	}
+	// ...and the default tenant (same v1 rule set) agrees exactly.
+	_, want, _ := predictTenant(t, ts.URL, "", tuple)
+	if gotRolled != want {
+		t.Fatalf("rollback prediction %v, want %v", gotRolled, want)
+	}
+	// The stored artifact is byte-for-byte the published one.
+	raw, _, err := store.Artifact("acme", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, v1.Bytes()) {
+		t.Fatal("rollback artifact differs from published bytes")
+	}
+
+	// Activate moves forward again.
+	st, body = postJSON(t, ts.URL+"/v1/registry/activate", map[string]any{"tenant": "acme", "version": 2})
+	if st != http.StatusOK {
+		t.Fatalf("activate status %d: %s", st, body)
+	}
+
+	// List reports the active pointer and the live generation.
+	st, body = getBody(t, ts.URL+"/v1/registry/list")
+	if st != http.StatusOK {
+		t.Fatalf("list status %d", st)
+	}
+	var list struct {
+		Tenants map[string]struct {
+			Active     uint64 `json:"active"`
+			Generation uint64 `json:"generation"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if acme := list.Tenants["acme"]; acme.Active != 2 || acme.Generation != 4 {
+		t.Fatalf("list %+v", list.Tenants)
+	}
+
+	// Rollback to nowhere (unknown tenant) and unknown version: stable codes.
+	st, body = postJSON(t, ts.URL+"/v1/registry/rollback", map[string]any{"tenant": "ghost"})
+	if st != http.StatusNotFound || !bytes.Contains(body, []byte(CodeUnknownTenant)) {
+		t.Fatalf("ghost rollback: %d %s", st, body)
+	}
+	st, body = postJSON(t, ts.URL+"/v1/registry/activate", map[string]any{"tenant": "acme", "version": 99})
+	if st != http.StatusNotFound || !bytes.Contains(body, []byte(CodeUnknownVersion)) {
+		t.Fatalf("bad activate: %d %s", st, body)
+	}
+	_ = srv
+}
+
+// TestRegistryEndpointsWithoutStore: the control plane answers 503 with a
+// stable code when no registry is configured.
+func TestRegistryEndpointsWithoutStore(t *testing.T) {
+	_, rules := taxRules(t, 600)
+	_, ts := newTestServer(t, Config{}, rules)
+	st, body := postJSON(t, ts.URL+"/v1/registry/publish", map[string]any{})
+	if st != http.StatusServiceUnavailable || !bytes.Contains(body, []byte(CodeUnavailable)) {
+		t.Fatalf("publish without store: %d %s", st, body)
+	}
+	st, _ = getBody(t, ts.URL+"/v1/registry/list")
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("list without store: %d", st)
+	}
+}
+
+// TestRegistryMetricsExposition: registry.* counters flow through the
+// server's shared telemetry registry and surface on /metrics in Prometheus
+// exposition form next to the serve.* metrics.
+func TestRegistryMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.New()
+	store, err := registry.Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rules := taxRules(t, 600)
+	_, ts := newTestServer(t, Config{Store: store, Registry: reg}, rules)
+
+	var buf bytes.Buffer
+	if err := core.WriteRuleSet(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/registry/publish", bytes.NewReader(buf.Bytes()))
+		req.Header.Set(TenantHeader, "acme")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("publish %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if st, body := postJSON(t, ts.URL+"/v1/registry/rollback", map[string]any{"tenant": "acme"}); st != http.StatusOK {
+		t.Fatalf("rollback: %d %s", st, body)
+	}
+	if _, err := store.GC(1); err != nil {
+		t.Fatal(err)
+	}
+
+	st, text := getBody(t, ts.URL+"/metrics")
+	if st != http.StatusOK {
+		t.Fatalf("/metrics status %d", st)
+	}
+	for _, want := range []string{"crr_registry_publishes", "crr_registry_rollbacks", "crr_registry_gc_blobs"} {
+		if !bytes.Contains(text, []byte(want)) {
+			t.Fatalf("/metrics missing %s:\n%s", want, text)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[telemetry.MetricRegistryPublishes]; got != 2 {
+		t.Fatalf("registry.publishes = %d, want 2", got)
+	}
+	if got := snap.Counters[telemetry.MetricRegistryRollbacks]; got != 1 {
+		t.Fatalf("registry.rollbacks = %d, want 1", got)
+	}
+}
+
+// TestNewLoadsStore: New with only a Store installs every tenant's active
+// version at boot.
+func TestNewLoadsStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := registry.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rules := taxRules(t, 600)
+	var buf bytes.Buffer
+	if err := core.WriteRuleSet(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Publish("acme", bytes.NewReader(buf.Bytes()), "boot"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := srv.TenantGeneration("acme"); g != 1 {
+		t.Fatalf("acme not loaded at boot: gen %d", g)
+	}
+	if got := srv.Tenants(); len(got) != 1 || got[0] != "acme" {
+		t.Fatalf("tenants %v", got)
+	}
+}

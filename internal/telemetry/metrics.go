@@ -69,6 +69,23 @@ const (
 	MetricServeTimeouts     = "serve.timeouts"      // counter: requests aborted by the per-request deadline
 	MetricServeReloads      = "serve.reloads"       // counter: successful rule-set hot reloads
 	MetricServeReloadErrors = "serve.reload_errors" // counter: rejected reload attempts (artifact kept)
+
+	// Artifact-registry metrics (internal/registry): the versioned,
+	// content-addressed rule-artifact store behind multi-tenant serving.
+	MetricRegistryPublishes = "registry.publishes" // counter: artifact versions published
+	MetricRegistryRollbacks = "registry.rollbacks" // counter: active pointers moved to an older version
+	MetricRegistryGCBlobs   = "registry.gc_blobs"  // counter: unreferenced blobs deleted by GC
+
+	// Router metrics (internal/router): the stateless tenant-routing tier.
+	MetricRouterForwards        = "router.forwards"         // counter: requests forwarded to an owning node
+	MetricRouterFailovers       = "router.failovers"        // counter: forwards retried on the next ring replica
+	MetricRouterQuotaRejections = "router.quota_rejections" // counter: requests rejected by per-tenant quota/in-flight caps
+	MetricRouterTenantInFlight  = "router.tenant_inflight"  // gauge: in-flight requests of the busiest moment (Max = high-water mark)
+	MetricRouterUpstreamErrors  = "router.upstream_errors"  // counter: forwards that failed on every candidate node
+
+	// Cluster-membership metrics (internal/cluster).
+	MetricClusterNodesUp      = "cluster.nodes_up"      // gauge: nodes currently probing healthy
+	MetricClusterRingRebuilds = "cluster.ring_rebuilds" // counter: consistent-hash ring rebuilds on membership change
 )
 
 // ServeRequests names the request counter of one serving endpoint, e.g.

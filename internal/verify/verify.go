@@ -233,6 +233,13 @@ func (rn *runner) runTarget(ctx context.Context, t Target) (*DatasetReport, erro
 		if err := rn.serveOracles(t, compacted, "compacted"); err != nil {
 			return nil, err
 		}
+		rn.logf("[%s] cluster parity (router passthrough)", t.Name)
+		if err := rn.clusterOracles(t, rules, "discovered"); err != nil {
+			return nil, err
+		}
+		if err := rn.clusterOracles(t, compacted, "compacted"); err != nil {
+			return nil, err
+		}
 	}
 
 	if !rn.opts.SkipMetamorphic {

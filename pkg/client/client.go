@@ -45,7 +45,8 @@ const (
 	FormatBinary
 )
 
-// Client talks to one crrserve base URL. It is safe for concurrent use.
+// Client talks to one crrserve (or crrrouter) base URL. It is safe for
+// concurrent use.
 type Client struct {
 	base    string
 	httpc   *http.Client
@@ -54,6 +55,11 @@ type Client struct {
 	// Format; FormatAuto flips to FormatJSON on the first 415.
 	format atomic.Int32
 	auto   bool
+	// tenant, when non-empty, is stamped on every request (WithTenant).
+	tenant string
+	// shard, when non-nil, routes data-plane calls straight to the owning
+	// node via the router's shard map (WithShardMap).
+	shard *shardCache
 }
 
 // Option configures New.
@@ -366,6 +372,7 @@ func (c *Client) Reload(ctx context.Context, artifact io.Reader) (*ReloadInfo, e
 	if err != nil {
 		return nil, err
 	}
+	c.setTenant(req)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, err
@@ -392,6 +399,13 @@ func (c *Client) withDeadline(ctx context.Context) (context.Context, context.Can
 	return ctx, func() {}
 }
 
+// setTenant stamps the pinned tenant (WithTenant) on a request.
+func (c *Client) setTenant(req *http.Request) {
+	if c.tenant != "" {
+		req.Header.Set(TenantHeader, c.tenant)
+	}
+}
+
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	ctx, cancel := c.withDeadline(ctx)
 	defer cancel()
@@ -399,6 +413,7 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	c.setTenant(req)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return err
@@ -417,7 +432,9 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 // dataPlane runs one negotiated POST: binary first when the pinned format
 // allows it (streaming the request through a pipe), JSON otherwise or as
 // the 415 fallback. decodeBinary/decodeJSON parse the success body of the
-// respective response format.
+// respective response format. With shard-map routing on, the call goes
+// straight to the owning node; a transport failure there invalidates the
+// cached map and retries once through the router.
 func (c *Client) dataPlane(ctx context.Context, path string, b *Batch, wopts map[string]string,
 	decodeBinary, decodeJSON func(io.Reader) error) error {
 	if b == nil {
@@ -429,8 +446,24 @@ func (c *Client) dataPlane(ctx context.Context, path string, b *Batch, wopts map
 	ctx, cancel := c.withDeadline(ctx)
 	defer cancel()
 
+	base, direct := c.routeBase(ctx)
+	err := c.dataPlaneAt(ctx, base, path, b, wopts, decodeBinary, decodeJSON)
+	if err != nil && direct && ctx.Err() == nil {
+		var aerr *APIError
+		if !errors.As(err, &aerr) {
+			// The node never answered. Drop the stale map and let the
+			// router — which tracks liveness — place the request.
+			c.shard.invalidate()
+			return c.dataPlaneAt(ctx, c.base, path, b, wopts, decodeBinary, decodeJSON)
+		}
+	}
+	return err
+}
+
+func (c *Client) dataPlaneAt(ctx context.Context, base, path string, b *Batch, wopts map[string]string,
+	decodeBinary, decodeJSON func(io.Reader) error) error {
 	if Format(c.format.Load()) != FormatJSON {
-		err := c.postBinary(ctx, path, b, wopts, decodeBinary)
+		err := c.postBinary(ctx, base, path, b, wopts, decodeBinary)
 		var aerr *APIError
 		if c.auto && errors.As(err, &aerr) && aerr.Status == http.StatusUnsupportedMediaType {
 			// Older server without the binary codec: pin JSON and retry.
@@ -439,13 +472,13 @@ func (c *Client) dataPlane(ctx context.Context, path string, b *Batch, wopts map
 			return err
 		}
 	}
-	return c.postJSON(ctx, path, b, wopts, decodeJSON)
+	return c.postJSON(ctx, base, path, b, wopts, decodeJSON)
 }
 
 // postBinary streams the batch's wire encoding through a pipe — the request
 // body is produced frame by frame while the transport sends it, so memory
 // stays bounded by the frame chunk, not the batch.
-func (c *Client) postBinary(ctx context.Context, path string, b *Batch, wopts map[string]string,
+func (c *Client) postBinary(ctx context.Context, base, path string, b *Batch, wopts map[string]string,
 	decode func(io.Reader) error) error {
 	wb, err := b.wireBatch(wopts)
 	if err != nil {
@@ -455,13 +488,14 @@ func (c *Client) postBinary(ctx context.Context, path string, b *Batch, wopts ma
 	go func() {
 		pw.CloseWithError(wire.EncodeBatch(pw, wb, wire.EncodeOptions{}))
 	}()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, pr)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, pr)
 	if err != nil {
 		pr.Close()
 		return err
 	}
 	req.Header.Set("Content-Type", wire.ContentType)
 	req.Header.Set("Accept", wire.ContentType)
+	c.setTenant(req)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return err
@@ -474,7 +508,7 @@ func (c *Client) postBinary(ctx context.Context, path string, b *Batch, wopts ma
 	return decode(resp.Body)
 }
 
-func (c *Client) postJSON(ctx context.Context, path string, b *Batch, wopts map[string]string,
+func (c *Client) postJSON(ctx context.Context, base, path string, b *Batch, wopts map[string]string,
 	decode func(io.Reader) error) error {
 	env := map[string]any{"tuples": b.maps()}
 	if col := wopts[wire.OptColumn]; col != "" {
@@ -487,11 +521,12 @@ func (c *Client) postJSON(ctx context.Context, path string, b *Batch, wopts map[
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.setTenant(req)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return err

@@ -1,0 +1,128 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/crrlab/crr/internal/cluster"
+)
+
+// Cluster-aware client features: tenant addressing and optional client-side
+// shard-map routing.
+//
+// WithTenant stamps every request with the X-CRR-Tenant header, so the same
+// SDK surface works against a single-tenant crrserve, a multi-tenant node,
+// or a crrrouter front door.
+//
+// WithShardMap turns on direct routing: the client treats its base URL as a
+// crrrouter, fetches GET /v1/shardmap (ETag-cached, refreshed every ttl),
+// and sends data-plane calls straight to the node that owns its tenant —
+// skipping the router hop on the hot path. Any transport failure on the
+// direct path invalidates the cached map and retries once through the
+// router, which still owns failover, quotas and liveness.
+
+// TenantHeader addresses a tenant on every crr serving endpoint.
+const TenantHeader = "X-CRR-Tenant"
+
+// defaultTenant mirrors the server-side default-tenant key.
+const defaultTenant = "default"
+
+// WithTenant pins the tenant every call addresses. An empty name means the
+// server's default tenant.
+func WithTenant(name string) Option { return func(c *Client) { c.tenant = name } }
+
+// WithShardMap enables client-side shard-map routing against a crrrouter
+// base URL, re-fetching the map when it is older than ttl (≤ 0 means 30s).
+func WithShardMap(ttl time.Duration) Option {
+	return func(c *Client) {
+		if ttl <= 0 {
+			ttl = 30 * time.Second
+		}
+		c.shard = &shardCache{ttl: ttl}
+	}
+}
+
+// shardCache is the ETag-cached cluster view behind WithShardMap.
+type shardCache struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	m       *cluster.ShardMap
+	etag    string
+	fetched time.Time
+}
+
+// invalidate drops the cached map so the next call re-fetches.
+func (s *shardCache) invalidate() {
+	s.mu.Lock()
+	s.m = nil
+	s.etag = ""
+	s.mu.Unlock()
+}
+
+// routeBase resolves the base URL for one data-plane call: the owning
+// node's URL when shard-map routing is on and the map is available, the
+// client's own base (the router) otherwise. direct reports whether the
+// first return is a node rather than the router.
+func (c *Client) routeBase(ctx context.Context) (base string, direct bool) {
+	if c.shard == nil {
+		return c.base, false
+	}
+	m := c.shard.current(ctx, c)
+	if m == nil {
+		return c.base, false
+	}
+	tenant := c.tenant
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	cands := m.Route(tenant)
+	if len(cands) == 0 {
+		return c.base, false
+	}
+	return cands[0].URL, true
+}
+
+// current returns a fresh-enough shard map, re-fetching (with If-None-Match)
+// when the TTL has lapsed. Fetch failures leave the stale map in place when
+// one exists — a stale ring beats no ring — and return nil otherwise.
+func (s *shardCache) current(ctx context.Context, c *Client) *cluster.ShardMap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m != nil && time.Since(s.fetched) < s.ttl {
+		return s.m
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/shardmap", nil)
+	if err != nil {
+		return s.m
+	}
+	if s.etag != "" {
+		req.Header.Set("If-None-Match", s.etag)
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return s.m
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		s.fetched = time.Now()
+		return s.m
+	case http.StatusOK:
+		var m cluster.ShardMap
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return s.m
+		}
+		s.m = &m
+		s.etag = resp.Header.Get("ETag")
+		s.fetched = time.Now()
+		return s.m
+	default:
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return s.m
+	}
+}

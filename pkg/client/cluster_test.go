@@ -1,0 +1,187 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/crrlab/crr/internal/cluster"
+	"github.com/crrlab/crr/internal/serve"
+)
+
+// TestWithTenant: the tenant header reaches the server on every call class
+// — data plane, rules, reload — and addresses the right artifact.
+func TestWithTenant(t *testing.T) {
+	rel, rules, _ := taxSetup(t)
+	srv, err := serve.NewFromRuleSet(serve.Config{}, rules, "test-default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.InstallTenant("acme", rules, "test-acme"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithTenant("acme"))
+	info, err := c.Rules(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Source != "test-acme" {
+		t.Fatalf("rules source %q, want the acme artifact", info.Source)
+	}
+	if _, err := c.Predict(context.Background(), relationBatch(t, rel, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unpinned client sees the default artifact.
+	info, err = New(ts.URL).Rules(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Source != "test-default" {
+		t.Fatalf("default rules source %q", info.Source)
+	}
+
+	// Unknown tenant surfaces the stable code.
+	_, err = New(ts.URL, WithTenant("ghost")).Predict(context.Background(), relationBatch(t, rel, 1))
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Code != "unknown_tenant" {
+		t.Fatalf("ghost tenant error %v", err)
+	}
+}
+
+// shardFixture builds one serve node, and a fake "router" that serves a
+// shard map pointing at the node plus a counting reverse proxy for
+// fall-through traffic.
+type shardFixture struct {
+	node       *httptest.Server
+	router     *httptest.Server
+	nodeHits   atomic.Int64
+	routerHits atomic.Int64
+	mapVersion atomic.Uint64
+}
+
+func newShardFixture(t *testing.T, srv *serve.Server) *shardFixture {
+	t.Helper()
+	f := &shardFixture{}
+	f.mapVersion.Store(1)
+	inner := srv.Handler()
+	f.node = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.nodeHits.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.node.Close)
+
+	nodeURL, _ := url.Parse(f.node.URL)
+	proxy := httputil.NewSingleHostReverseProxy(nodeURL)
+	f.router = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shardmap" {
+			m := cluster.ShardMap{
+				Version:  f.mapVersion.Load(),
+				VNodes:   cluster.DefaultVNodes,
+				Replicas: 1,
+				Nodes:    []cluster.NodeInfo{{Name: "n1", URL: f.node.URL, State: cluster.NodeUp}},
+			}
+			w.Header().Set("ETag", m.ETag())
+			if r.Header.Get("If-None-Match") == m.ETag() {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(mustJSON(t, m))
+			return
+		}
+		f.routerHits.Add(1)
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.router.Close)
+	return f
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestShardMapDirectRouting: with WithShardMap the data plane goes straight
+// to the owning node, not through the router.
+func TestShardMapDirectRouting(t *testing.T) {
+	rel, rules, _ := taxSetup(t)
+	srv, err := serve.NewFromRuleSet(serve.Config{}, rules, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newShardFixture(t, srv)
+
+	c := New(f.router.URL, WithShardMap(time.Minute))
+	for i := 0; i < 3; i++ {
+		if _, err := c.Predict(context.Background(), relationBatch(t, rel, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.nodeHits.Load() == 0 {
+		t.Fatal("no direct node traffic with shard-map routing on")
+	}
+	if f.routerHits.Load() != 0 {
+		t.Fatalf("%d requests still went through the router", f.routerHits.Load())
+	}
+}
+
+// TestShardMapFallbackToRouter: when the direct node path fails at the
+// transport level, the call retries once through the router and succeeds.
+func TestShardMapFallbackToRouter(t *testing.T) {
+	rel, rules, _ := taxSetup(t)
+	srv, err := serve.NewFromRuleSet(serve.Config{}, rules, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shard map names a dead node; the router proxy still works.
+	f := newShardFixture(t, srv)
+	liveNode := f.node.URL
+	f.node.Close() // direct path now refuses connections
+
+	// Rebuild the router to proxy to a fresh live server (the map still
+	// advertises the dead URL).
+	srv2, err := serve.NewFromRuleSet(serve.Config{}, rules, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := httptest.NewServer(srv2.Handler())
+	defer live.Close()
+	liveURL, _ := url.Parse(live.URL)
+	proxy := httputil.NewSingleHostReverseProxy(liveURL)
+	router := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shardmap" {
+			m := cluster.ShardMap{
+				Version: 1, VNodes: cluster.DefaultVNodes, Replicas: 1,
+				Nodes: []cluster.NodeInfo{{Name: "n1", URL: liveNode, State: cluster.NodeUp}},
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(mustJSON(t, m))
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	defer router.Close()
+
+	c := New(router.URL, WithShardMap(time.Minute))
+	res, err := c.Predict(context.Background(), relationBatch(t, rel, 5))
+	if err != nil {
+		t.Fatalf("fallback to router failed: %v", err)
+	}
+	if len(res.Values) != 5 {
+		t.Fatalf("got %d predictions", len(res.Values))
+	}
+}
