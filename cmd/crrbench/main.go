@@ -8,6 +8,7 @@
 //	crrbench -exp fig3 -scale 0.2 # shrink instance sizes for a quick look
 //	crrbench -compare             # hot-path before/after (stats vs full pass)
 //	crrbench -serve               # /v1/predict throughput, JSON vs binary
+//	crrbench -strategies          # induction strategies: rules / RMSE / latency
 //	crrbench -list                # show experiment ids
 //
 // Long sweeps can be bounded with -timeout (every in-flight discovery stops
@@ -18,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -38,6 +40,8 @@ func main() {
 		format  = flag.String("format", "table", "output format: table or csv")
 		compare = flag.Bool("compare", false, "run the hot-path before/after comparison (sufficient statistics vs full pass) and exit")
 		sbench  = flag.Bool("serve", false, "measure /v1/predict serve throughput (JSON vs binary columnar, through the SDK) and exit")
+		strats  = flag.Bool("strategies", false, "compare the induction strategies (lattice vs growprune vs stability: rule count, test RMSE, discovery latency) and exit")
+		out     = flag.String("out", "", "with -strategies: also write the comparison as JSON to this path (e.g. BENCH_strategies.json)")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 5m; 0 = no limit)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		metrics = flag.String("metrics", "", "write the sweep's aggregate metrics in Prometheus text format to this path (\"-\" = stdout), the same exposition crrserve serves at /metrics")
@@ -74,6 +78,13 @@ func main() {
 	}
 	if *sbench {
 		if err := runServeBench(ctx, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "crrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *strats {
+		if err := runStrategies(ctx, *scale, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "crrbench:", err)
 			os.Exit(1)
 		}
@@ -133,6 +144,45 @@ func runCompare(ctx context.Context, scale float64) error {
 		}
 	}
 	return nil
+}
+
+// runStrategies renders the induction-strategy comparison — every strategy
+// behind the core.Strategy seam on the five evaluation datasets, scored for
+// rule count, train/test RMSE (interleaved even/odd split) and discovery
+// wall time — and optionally writes the rows as JSON (BENCH_strategies.json).
+func runStrategies(ctx context.Context, scale float64, outPath string) error {
+	rows, err := experiments.StrategyCompare(ctx, scale)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderStrategyRows(os.Stdout, rows); err != nil {
+		return err
+	}
+	if outPath == "" {
+		return nil
+	}
+	doc := struct {
+		Description string                    `json:"description"`
+		Command     string                    `json:"command"`
+		Strategies  []string                  `json:"strategies"`
+		Rows        []experiments.StrategyRow `json:"rows"`
+	}{
+		Description: "Induction-strategy comparison: rule count, models trained, discovery latency and train/test RMSE per strategy on the five evaluation datasets (interleaved even/odd train/test split, sequential engine).",
+		Command:     fmt.Sprintf("crrbench -strategies -scale %g", scale),
+		Strategies:  experiments.StrategyNames(),
+		Rows:        rows,
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(ctx context.Context, reg *telemetry.Registry, exp string, scale float64, format string) error {

@@ -9,6 +9,10 @@
 // The CSV needs a header row; column kinds are inferred (numeric when every
 // non-empty cell parses as a float). Empty cells are treated as missing.
 //
+// -strategy selects the induction strategy behind Algorithm 1's seam:
+// "lattice" (the paper's walk, default), "growprune" (per-seed grow/prune)
+// or "stability" (bootstrap stability selection).
+//
 // Long mines can be bounded with -timeout (the run stops within one queue
 // iteration and reports the cancellation) and profiled with -pprof ADDR
 // (serves net/http/pprof). A telemetry summary — conditions expanded, models
@@ -30,6 +34,7 @@ import (
 	"github.com/crrlab/crr/internal/core"
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/eval"
+	"github.com/crrlab/crr/internal/induction"
 	"github.com/crrlab/crr/internal/predicate"
 	"github.com/crrlab/crr/internal/regress"
 	"github.com/crrlab/crr/internal/telemetry"
@@ -48,6 +53,7 @@ func main() {
 		tol      = flag.Float64("compact-tol", 0, "model tolerance for compaction (0 = exact)")
 		prune    = flag.Bool("prune", false, "merge statistically indistinguishable adjacent windows before compaction")
 		workers  = flag.Int("workers", 1, "discovery worker count (1 = sequential, <0 = one per CPU)")
+		strategy = flag.String("strategy", "lattice", "induction strategy: lattice, growprune or stability")
 		parallel = flag.Int("parallel", 0, "deprecated alias for -workers")
 		seed     = flag.Int64("seed", 0, "random seed (predicate generation, random queue order)")
 		timeout  = flag.Duration("timeout", 0, "abort discovery after this duration (e.g. 30s; 0 = no limit)")
@@ -68,6 +74,7 @@ func main() {
 		input: *input, yName: *yName, xNames: *xNames, condCols: *condCols,
 		rhoM: *rhoM, predSize: *predSize, family: *family,
 		compact: *compact, tol: *tol, prune: *prune, workers: w, save: *save,
+		strategy:     *strategy,
 		mergeWindows: *mergeWin, seed: *seed, timeout: *timeout, pprofAddr: *pprof,
 		metrics: *metrics,
 	}); err != nil {
@@ -85,6 +92,7 @@ type runConfig struct {
 	tol                            float64
 	prune                          bool
 	workers                        int
+	strategy                       string
 	save                           string
 	mergeWindows                   float64
 	seed                           int64
@@ -183,6 +191,13 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 	preds := predicate.Generate(rel, cond, predicate.GeneratorConfig{Size: predSize, Seed: rc.seed})
 	stopPreds()
 
+	var strat core.Strategy
+	if rc.strategy != "" {
+		if strat, err = induction.Lookup(rc.strategy); err != nil {
+			return err
+		}
+	}
+
 	stopDiscover := reg.Time(telemetry.PhaseDiscover)
 	res, err := core.Discover(ctx, rel, core.WithConfig(core.DiscoverConfig{
 		XAttrs:    xattrs,
@@ -192,6 +207,7 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 		Trainer:   trainer,
 		Seed:      rc.seed,
 		Workers:   rc.workers,
+		Strategy:  strat,
 		Telemetry: reg,
 	}))
 	stopDiscover()

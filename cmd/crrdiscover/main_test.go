@@ -127,3 +127,34 @@ func TestRunDiscoverDefaultCondAttrs(t *testing.T) {
 		t.Fatalf("run without -cond: %v", err)
 	}
 }
+
+// TestRunDiscoverStrategy drives the -strategy seam end to end: each named
+// induction strategy must run the pipeline, emit rules, and (for the
+// non-lattice strategies) surface its counters on the induction summary line.
+func TestRunDiscoverStrategy(t *testing.T) {
+	input := writeTaxCSV(t, 500)
+	for _, name := range []string{"lattice", "growprune", "stability"} {
+		var buf bytes.Buffer
+		err := runTo(context.Background(), &buf, runConfig{
+			input: input, yName: "Tax", xNames: "Salary", condCols: "State,MaritalStatus",
+			rhoM: 60, family: "F1", workers: 1, strategy: name,
+		})
+		if err != nil {
+			t.Fatalf("-strategy %s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "discovered ") {
+			t.Errorf("-strategy %s: no discovery summary in output", name)
+		}
+		if name != "lattice" && !strings.Contains(out, "induction:") {
+			t.Errorf("-strategy %s: no induction telemetry line in output:\n%s", name, out)
+		}
+	}
+	err := run(context.Background(), runConfig{
+		input: input, yName: "Tax", xNames: "Salary", rhoM: 60, family: "F1",
+		workers: 1, strategy: "nope",
+	})
+	if err == nil {
+		t.Fatal("unknown -strategy accepted")
+	}
+}

@@ -101,6 +101,10 @@ type DiscoverConfig struct {
 	// per CPU. The parallel engine trades exact ind(C) ordering for
 	// throughput (see the engine comment in parallel.go).
 	Workers int
+	// Strategy selects the induction strategy run over the substrate; nil
+	// selects the built-in lattice walk (Algorithm 1). The internal/induction
+	// package contributes growprune and stability.
+	Strategy Strategy
 	// Telemetry receives hot-path metrics (see internal/telemetry's metric
 	// schema); nil disables instrumentation at zero cost.
 	Telemetry *telemetry.Registry
@@ -174,22 +178,15 @@ func applyDefaults(rel *dataset.Relation, cfg *DiscoverConfig) error {
 	return cfg.Validate()
 }
 
-// discoverFor dispatches a validated configuration to the sequential or
-// parallel engine by Workers.
-func discoverFor(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
-	if cfg.Workers > 1 || cfg.Workers < 0 {
-		return discoverParallel(ctx, rel, cfg)
-	}
-	return discoverSeq(ctx, rel, cfg)
-}
-
-// DiscoverWithConfig runs the sequential engine with an explicit
-// configuration and no cancellation — the pre-options API.
+// DiscoverWithConfig runs the configured strategy sequentially (Workers is
+// forced to 1) with an explicit configuration and no cancellation — the
+// pre-options API, now a thin shim over the strategy seam.
 //
 // Deprecated: use Discover with a context and options (wrap an existing
 // configuration with WithConfig).
 func DiscoverWithConfig(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
-	return discoverSeq(context.Background(), rel, cfg)
+	cfg.Workers = 1
+	return discoverFor(context.Background(), rel, cfg)
 }
 
 // discoverPrep validates cfg against rel and builds the shared discovery
@@ -283,29 +280,29 @@ func newDiscTel(r *telemetry.Registry) discTel {
 	}
 }
 
-// discoverSeq implements Algorithm 1 (CRR searching with model sharing): a
-// top-down refinement over conjunctions that first tries to share an
-// existing model via the δ0 test of Proposition 6, trains a new model only
-// when sharing fails, and splits the condition on the best variance-reducing
-// predicate group from ℙ otherwise. Conjunctions are processed in the
-// configured ind(C) order. ctx is checked once per queue pop. The per-node
-// work — part gathering, the single-pass share scan and Line-13 training —
-// runs on the hot path shared with the parallel engine (hotpath.go).
-func discoverSeq(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
-	all, out, err := discoverPrep(rel, &cfg)
-	if err != nil {
-		return nil, err
-	}
+// latticeSeq is the sequential engine of LatticeStrategy — Algorithm 1 (CRR
+// searching with model sharing): a top-down refinement over conjunctions
+// that first tries to share an existing model via the δ0 test of
+// Proposition 6, trains a new model only when sharing fails, and splits the
+// condition on the best variance-reducing predicate group from ℙ otherwise.
+// Conjunctions are processed in the configured ind(C) order. ctx is checked
+// once per queue pop. The per-node work — part gathering, the single-pass
+// share scan and Line-13 training — runs on the hot path shared with the
+// parallel engine (hotpath.go), reached through the substrate's exact
+// kernels so the output stays bitwise-reproducible.
+func latticeSeq(ctx context.Context, sub *Substrate) (*DiscoverResult, error) {
+	cfg := sub.cfg
+	all := sub.all
+	out := sub.NewResult()
 	if len(all) == 0 {
 		return out, nil
 	}
-	tel := newDiscTel(cfg.Telemetry)
+	tel := sub.tel
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	shared := append([]regress.Model(nil), cfg.SeedModels...) // the model set F (Line 2)
 	ruleOf := make(map[regress.Model]int)
-	si := newSplitIndex(cfg.Preds)
-	hl := newHotLoop(rel, &cfg, si, all, tel, true)
+	hl := sub.hot(true)
 	ws := hl.workspace()
 	q := &condQueue{}
 	heap.Init(q)

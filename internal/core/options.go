@@ -66,6 +66,14 @@ func WithWorkers(n int) DiscoverOption {
 	return func(c *DiscoverConfig) { c.Workers = n }
 }
 
+// WithStrategy selects the induction strategy run over the discovery
+// substrate; nil (the default) selects the built-in lattice walk
+// (Algorithm 1). See the Strategy interface for the contract and the
+// internal/induction package for the grow/prune and stability strategies.
+func WithStrategy(s Strategy) DiscoverOption {
+	return func(c *DiscoverConfig) { c.Strategy = s }
+}
+
 // WithTelemetry attaches a metrics registry; the engine reports conditions
 // expanded, models trained/shared, share tests, queue depth and phase
 // durations into it. A nil registry disables instrumentation (the default).

@@ -11,22 +11,21 @@ import (
 	"github.com/crrlab/crr/internal/regress"
 )
 
-// DiscoverParallel runs the parallel discovery engine with an explicit
-// configuration and no cancellation — the pre-options API.
+// DiscoverParallel runs the configured strategy with an explicit worker
+// count and no cancellation — the pre-options API, now a thin shim over the
+// strategy seam. workers ≤ 0 selects one worker per CPU; 1 runs the
+// sequential engine.
 //
 // Deprecated: use Discover with a context and WithWorkers(workers).
 func DiscoverParallel(rel *dataset.Relation, cfg DiscoverConfig, workers int) (*DiscoverResult, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	cfg.Workers = workers
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.NumCPU()
-	}
-	if cfg.Workers == 1 {
-		return discoverSeq(context.Background(), rel, cfg)
-	}
-	return discoverParallel(context.Background(), rel, cfg)
+	return discoverFor(context.Background(), rel, cfg)
 }
 
-// discoverParallel runs Algorithm 1 with a worker pool: independent
+// latticePar runs Algorithm 1 with a worker pool: independent
 // condition parts are processed concurrently, the shared model set F is
 // guarded by a mutex, and each worker drives the same hot path as the
 // sequential engine (hotpath.go), so accept/force/split semantics —
@@ -48,25 +47,21 @@ func DiscoverParallel(rel *dataset.Relation, cfg DiscoverConfig, workers int) (*
 // Cancellation: a watcher goroutine aborts the pool when ctx is done, so
 // every worker returns within one queue iteration and no goroutine outlives
 // the call — wg.Wait() runs before returning on every path.
-func discoverParallel(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
+func latticePar(ctx context.Context, sub *Substrate) (*DiscoverResult, error) {
+	cfg := sub.cfg
 	workers := cfg.Workers
 	if workers < 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers <= 1 {
-		return discoverSeq(ctx, rel, cfg)
+		return latticeSeq(ctx, sub)
 	}
-	all, out, err := discoverPrep(rel, &cfg)
-	if err != nil {
-		return nil, err
-	}
+	all := sub.all
+	out := sub.NewResult()
 	if len(all) == 0 {
 		return out, nil
 	}
-	tel := newDiscTel(cfg.Telemetry)
-
-	si := newSplitIndex(cfg.Preds)
-	hl := newHotLoop(rel, &cfg, si, all, tel, false)
+	hl := sub.hot(false)
 	root := &condItem{conj: predicate.NewConjunction(), idxs: all, gram: hl.rootGram(all)}
 	st := &parState{
 		cond:    sync.NewCond(&sync.Mutex{}),

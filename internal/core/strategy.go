@@ -1,0 +1,273 @@
+package core
+
+// The strategy seam: Algorithm 1's lattice walk is one way to induce
+// conditional regression rules, and the related work names others that fit
+// the same (condition, linear model, ρ-bound) contract — per-example
+// grow/prune induction, bootstrap stability selection. This file separates
+// the engine-agnostic substrate (the validated configuration, the trainable
+// rows, the columnar scan engine, split scoring, Gram-backed training and
+// ρ-validation) from the search policy, so new induction methods plug in
+// without forking the hot path.
+//
+// A Strategy receives a prepared *Substrate and returns the discovered
+// rules. The built-in LatticeStrategy re-expresses the sequential and
+// parallel engines of discover.go / parallel.go on the seam; the
+// internal/induction package contributes growprune and stability.
+
+import (
+	"context"
+
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+// Strategy is one rule-induction policy over the discovery substrate. The
+// contract every implementation owes its callers:
+//
+//   - Every emitted rule's condition selects, on the substrate's relation, a
+//     subset of the trainable rows on which the rule's model is within the
+//     rule's published Rho (the Problem 1 per-rule guarantee).
+//   - Rules are built with the substrate's signature (the RuleSet skeleton
+//     from NewResult), so the codec, compaction and serving layers work
+//     unchanged on any strategy's output.
+//   - ctx is honored at the strategy's natural iteration granularity;
+//     cancellation returns an error wrapping ErrCanceled (use Canceled).
+//   - Determinism follows the configuration: with Workers ≤ 1 a strategy
+//     must be deterministic for a fixed Seed.
+//
+// Strategies are stateless values; a single Strategy may be used for many
+// concurrent discoveries (each call gets its own Substrate).
+type Strategy interface {
+	// Name identifies the strategy in telemetry, CLIs and benchmarks.
+	Name() string
+	// Induce runs the strategy over the prepared substrate.
+	Induce(ctx context.Context, sub *Substrate) (*DiscoverResult, error)
+}
+
+// Canceled wraps a context error so both ErrCanceled and the context's own
+// sentinel match under errors.Is — the error contract of Strategy.Induce.
+func Canceled(cause error) error { return canceled(cause) }
+
+// Substrate is the prepared, engine-agnostic state of one discovery run: the
+// validated configuration (defaults resolved), the trainable rows, and lazy
+// access to the shared kernels — the columnar part scan (predicate filters,
+// SSE split scoring), Gram sufficient-statistics training and the
+// single-pass share scanner. Strategies consume it through the exported
+// methods below; the kernels are NOT safe for concurrent use from multiple
+// goroutines (the parallel lattice engine builds per-worker workspaces
+// instead).
+type Substrate struct {
+	rel      *dataset.Relation
+	cfg      *DiscoverConfig // validated; MinSupport/MaxNodes defaulted
+	all      []int           // trainable rows (non-null X and Y), ascending
+	fallback float64         // mean of Y over the trainable rows
+	tel      discTel
+
+	si      *splitIndex    // lazy
+	hotEx   *hotLoop       // lazy: exact (bitwise-reproducible) kernels
+	hotFast *hotLoop       // lazy: sibling-derivation Gram kernels
+	kws     *partWorkspace // lazy: scratch for the kernel methods
+}
+
+// newSubstrate validates cfg against rel (mutating it to its effective
+// defaults) and prepares the run state shared by every strategy.
+func newSubstrate(rel *dataset.Relation, cfg *DiscoverConfig) (*Substrate, error) {
+	all, out, err := discoverPrep(rel, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Substrate{
+		rel:      rel,
+		cfg:      cfg,
+		all:      all,
+		fallback: out.Rules.Fallback,
+		tel:      newDiscTel(cfg.Telemetry),
+	}, nil
+}
+
+// Relation returns the relation under discovery.
+func (s *Substrate) Relation() *dataset.Relation { return s.rel }
+
+// Config returns the effective configuration: defaults resolved, MinSupport
+// and MaxNodes at their documented fallbacks. The slices (XAttrs, Preds,
+// SeedModels) are shared with the run — treat them as read-only.
+func (s *Substrate) Config() DiscoverConfig { return *s.cfg }
+
+// TrainableRows returns the indices of rows with non-null X and Y, in
+// ascending order — the rows Problem 1 requires Σ to cover. The slice is
+// shared with the run; treat it as read-only.
+func (s *Substrate) TrainableRows() []int { return s.all }
+
+// NewResult returns a fresh result skeleton carrying the run's signature and
+// the mean-of-Y fallback — identical to the skeleton the lattice engines
+// start from, so every strategy's output composes with the codec, compaction
+// and serving layers.
+func (s *Substrate) NewResult() *DiscoverResult {
+	return &DiscoverResult{Rules: &RuleSet{
+		Schema:   s.rel.Schema,
+		XAttrs:   append([]int(nil), s.cfg.XAttrs...),
+		YAttr:    s.cfg.YAttr,
+		Fallback: s.fallback,
+	}}
+}
+
+// Columns returns the discovery-wide column cache (built lazily, once).
+func (s *Substrate) Columns() *dataset.ColumnSet { return s.hot(true).sc.cols }
+
+// Filter returns the subset of idxs satisfying p, preserving order, through
+// the run's scan engine (vectorized columnar sweep, or the row-scan
+// reference path under DiscoverConfig.RowScan).
+func (s *Substrate) Filter(idxs []int, p predicate.Predicate) []int {
+	return s.hot(true).sc.filterIdxs(idxs, p)
+}
+
+// SSE returns Σ (y − ȳ)² of the target over the selected rows.
+func (s *Substrate) SSE(idxs []int) float64 {
+	return s.hot(true).sc.sse(idxs, s.cfg.YAttr)
+}
+
+// SplitChild is one child of a candidate split: the refining predicate and
+// the parent rows it selects.
+type SplitChild struct {
+	Pred predicate.Predicate
+	Rows []int
+}
+
+// TopSplits scores every applicable split group on the part — numeric
+// {>c, ≤c} cut pairs and categorical equality fans from the predicate
+// space — by SSE reduction and materializes the children of the k best.
+// Every returned group partitions the part, so unions of children preserve
+// coverage.
+func (s *Substrate) TopSplits(idxs []int, k int) [][]SplitChild {
+	hl := s.hot(true)
+	groups := hl.sc.topSplits(idxs, s.splitIdx(), s.cfg.YAttr, k)
+	out := make([][]SplitChild, len(groups))
+	for i, g := range groups {
+		cs := make([]SplitChild, len(g))
+		for j, ch := range g {
+			cs[j] = SplitChild{Pred: ch.pred, Rows: ch.idxs}
+		}
+		out[i] = cs
+	}
+	return out
+}
+
+// Fit trains the configured model family on the selected rows — the Line-13
+// kernel: the O(d³) Gram sufficient-statistics solve when the trainer
+// supports it (accumulated fresh in row order, bitwise-identical to a full
+// pass), the full-pass fit otherwise.
+func (s *Substrate) Fit(idxs []int) (regress.Model, error) {
+	ws := s.workspace()
+	x, y := ws.part(idxs)
+	item := &condItem{idxs: idxs}
+	if hl := s.hot(true); hl.gram != nil {
+		item.gram = hl.gramOf(idxs)
+	}
+	m, _, err := ws.trainPart(item, x, y)
+	return m, err
+}
+
+// MaxAbsError returns the model's maximum absolute residual over the
+// selected rows — the ρ-validation kernel.
+func (s *Substrate) MaxAbsError(m regress.Model, idxs []int) float64 {
+	x, y := s.workspace().part(idxs)
+	return regress.MaxAbsError(m, x, y)
+}
+
+// GramOf accumulates the part's sufficient statistics in row order, or nil
+// when the configured trainer has no Gram fast path.
+func (s *Substrate) GramOf(idxs []int) *regress.Gram {
+	hl := s.hot(true)
+	if hl.gram == nil {
+		return nil
+	}
+	return hl.gramOf(idxs)
+}
+
+// ShareScan runs the single-pass Proposition-6 share scan of the model pool
+// over the selected rows: the index of the first (newest-first) model whose
+// δ0-shifted residual envelope fits within ρ_M (−1 for none), the share
+// result for that model, and the sharing index ind(C).
+func (s *Substrate) ShareScan(pool []regress.Model, idxs []int) (int, regress.ShareResult, float64) {
+	ws := s.workspace()
+	x, y := ws.part(idxs)
+	hit, res, ind, _ := ws.scanner.Scan(pool, x, y, s.cfg.RhoM)
+	return hit, res, ind
+}
+
+func (s *Substrate) splitIdx() *splitIndex {
+	if s.si == nil {
+		s.si = newSplitIndex(s.cfg.Preds)
+	}
+	return s.si
+}
+
+// hot returns the run's hot loop, built lazily: exact kernels accumulate
+// every child Gram fresh in row order (bitwise-reproducible output, the
+// sequential contract), the fast variant derives the largest sibling as
+// parent − siblings (ulp drift, used by the parallel lattice engine).
+func (s *Substrate) hot(exact bool) *hotLoop {
+	if exact {
+		if s.hotEx == nil {
+			s.hotEx = newHotLoop(s.rel, s.cfg, s.splitIdx(), s.all, s.tel, true)
+		}
+		return s.hotEx
+	}
+	if s.hotFast == nil {
+		s.hotFast = newHotLoop(s.rel, s.cfg, s.splitIdx(), s.all, s.tel, false)
+	}
+	return s.hotFast
+}
+
+// workspace returns the substrate's own kernel scratch (not the per-worker
+// workspaces of the lattice engines). The gathered buffers are recycled
+// across calls, which is why the kernel methods are single-goroutine.
+func (s *Substrate) workspace() *partWorkspace {
+	if s.kws == nil {
+		s.kws = s.hot(true).workspace()
+	}
+	return s.kws
+}
+
+// LatticeStrategy is Algorithm 1 — the paper's priority-queue lattice walk
+// with model sharing — expressed as the default induction strategy. With
+// Workers ≤ 1 it runs the sequential engine (exact ind(C) ordering,
+// bitwise-reproducible output); Workers > 1 or < 0 selects the parallel
+// engine.
+type LatticeStrategy struct{}
+
+// Name implements Strategy.
+func (LatticeStrategy) Name() string { return "lattice" }
+
+// Induce implements Strategy by dispatching on the configured worker count,
+// exactly as the pre-seam engine dispatch did.
+func (LatticeStrategy) Induce(ctx context.Context, sub *Substrate) (*DiscoverResult, error) {
+	if sub.cfg.Workers > 1 || sub.cfg.Workers < 0 {
+		return latticePar(ctx, sub)
+	}
+	return latticeSeq(ctx, sub)
+}
+
+// strategyOf resolves the configured strategy, defaulting to the lattice.
+func strategyOf(cfg *DiscoverConfig) Strategy {
+	if cfg.Strategy != nil {
+		return cfg.Strategy
+	}
+	return LatticeStrategy{}
+}
+
+// discoverFor is the single entry path of the discovery engine: every public
+// entrypoint (Discover, DiscoverTargets, Maintain, the deprecated config
+// wrappers) funnels a validated configuration through here, so strategy
+// selection and substrate preparation happen in exactly one place.
+func discoverFor(ctx context.Context, rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverResult, error) {
+	strat := strategyOf(&cfg)
+	sub, err := newSubstrate(rel, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Telemetry.Counter(telemetry.InductionStrategyRuns(strat.Name())).Inc()
+	return strat.Induce(ctx, sub)
+}

@@ -11,9 +11,9 @@ import (
 // CLIs print after a run: one "telemetry:" line with the discovery counters
 // the paper's cost model is built on (conditions expanded, models trained,
 // models shared), one "phases:" line with wall time per pipeline phase, and
-// — when compaction or prediction-index metrics were recorded — one line
-// each for those. Returns nil for an empty snapshot, so an uninstrumented
-// run prints nothing.
+// — when induction-strategy, compaction or prediction-index metrics were
+// recorded — one line each for those. Returns nil for an empty snapshot, so
+// an uninstrumented run prints nothing.
 func TelemetrySummary(snap telemetry.Snapshot) []string {
 	var lines []string
 	if line := counterLine("telemetry", snap, [][2]string{
@@ -23,6 +23,14 @@ func TelemetrySummary(snap telemetry.Snapshot) []string {
 		{telemetry.MetricShareTests, "share tests"},
 		{telemetry.MetricForcedRules, "forced rules"},
 		{telemetry.MetricStatReuse, "stat reuse"},
+	}); line != "" {
+		lines = append(lines, line)
+	}
+	if line := counterLine("induction", snap, [][2]string{
+		{telemetry.MetricInductionCandidatesGrown, "candidates grown"},
+		{telemetry.MetricInductionRulesPruned, "rules pruned"},
+		{telemetry.MetricInductionStabilityKept, "stability kept"},
+		{telemetry.MetricInductionStabilityDropped, "stability dropped"},
 	}); line != "" {
 		lines = append(lines, line)
 	}

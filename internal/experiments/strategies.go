@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/eval"
+	"github.com/crrlab/crr/internal/induction"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// StrategyNames is the fixed comparison order of the strategies experiment.
+func StrategyNames() []string { return []string{"lattice", "growprune", "stability"} }
+
+// StrategyRow is one (dataset, strategy) measurement of the induction
+// comparison: discovered rule count, Line-13 fits, discovery wall time, and
+// the rule set's RMSE on training and held-out rows.
+type StrategyRow struct {
+	Dataset  string `json:"dataset"`
+	Strategy string `json:"strategy"`
+	// TrainRows/TestRows size the interleaved even/odd split.
+	TrainRows int `json:"train_rows"`
+	TestRows  int `json:"test_rows"`
+	Rules     int `json:"rules"`
+	Trained   int `json:"models_trained"`
+	// DiscoverMS is the discovery wall time in milliseconds.
+	Wall       time.Duration `json:"-"`
+	DiscoverMS float64       `json:"discover_ms"`
+	// TrainRMSE/TestRMSE score the rule set (with its mean fallback for
+	// uncovered tuples) on the two halves.
+	TrainRMSE float64 `json:"train_rmse"`
+	TestRMSE  float64 `json:"test_rmse"`
+}
+
+// StrategyCompare runs every induction strategy on the five evaluation
+// datasets and scores the results: each dataset is split into interleaved
+// even/odd halves (fair to the time-series generators, where a tail holdout
+// would measure temporal extrapolation instead of rule quality), rules are
+// discovered on the even half, and both halves are scored with
+// internal/eval. The sequential engine is used throughout so every
+// strategy's output is deterministic.
+func StrategyCompare(ctx context.Context, scale float64) ([]StrategyRow, error) {
+	var out []StrategyRow
+	for _, spec := range hotPathSpecs() {
+		n := scaled(2000, scale, 400)
+		full := spec.Gen(n)
+		train, test := interleave(full)
+		preds := predicate.Generate(train, spec.CondAttrs, predicate.GeneratorConfig{
+			Kind: predicate.Binary, Size: 64,
+		})
+		for _, name := range StrategyNames() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			strat, err := induction.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DiscoverConfig{
+				XAttrs:   spec.XAttrs,
+				YAttr:    spec.YAttr,
+				RhoM:     spec.RhoM,
+				Preds:    preds,
+				Trainer:  regress.LinearTrainer{},
+				Strategy: strat,
+			}
+			var res *core.DiscoverResult
+			wall := eval.Timed(func() {
+				res, err = core.Discover(ctx, train, core.WithConfig(cfg))
+			})
+			if err != nil {
+				return nil, fmt.Errorf("strategies %s/%s: %w", spec.Name, name, err)
+			}
+			trainRMSE, _ := eval.Score(res.Rules, train, spec.YAttr, res.Rules.Fallback)
+			testRMSE, _ := eval.Score(res.Rules, test, spec.YAttr, res.Rules.Fallback)
+			out = append(out, StrategyRow{
+				Dataset:    spec.Name,
+				Strategy:   name,
+				TrainRows:  train.Len(),
+				TestRows:   test.Len(),
+				Rules:      res.Rules.NumRules(),
+				Trained:    res.Stats.ModelsTrained,
+				Wall:       wall,
+				DiscoverMS: float64(wall) / float64(time.Millisecond),
+				TrainRMSE:  trainRMSE,
+				TestRMSE:   testRMSE,
+			})
+		}
+	}
+	return out, nil
+}
+
+// interleave splits rel into its even-index and odd-index rows.
+func interleave(rel *dataset.Relation) (train, test *dataset.Relation) {
+	train = dataset.NewRelation(rel.Schema)
+	test = dataset.NewRelation(rel.Schema)
+	for i, tp := range rel.Tuples {
+		if i%2 == 0 {
+			train.Tuples = append(train.Tuples, tp)
+		} else {
+			test.Tuples = append(test.Tuples, tp)
+		}
+	}
+	return train, test
+}
+
+// RenderStrategyRows writes the comparison as an aligned table, the output
+// of crrbench -strategies.
+func RenderStrategyRows(w io.Writer, rows []StrategyRow) error {
+	t := eval.NewTable("[strategies] induction strategies: rule count / test RMSE / discovery latency",
+		"dataset", "strategy", "train-rows", "#rules", "trained", "discover", "train-rmse", "test-rmse")
+	for _, r := range rows {
+		t.AddRowf(r.Dataset, r.Strategy, r.TrainRows, r.Rules, r.Trained, r.Wall,
+			fmt.Sprintf("%.4g", r.TrainRMSE), fmt.Sprintf("%.4g", r.TestRMSE))
+	}
+	return t.Render(w)
+}

@@ -40,6 +40,18 @@ const (
 	MetricIndexLookups = "predict.index_lookups" // prediction-index lookups
 	MetricIndexMisses  = "predict.index_misses"  // lookups that fell back to the training mean
 
+	// Induction-strategy metrics (the core strategy seam + the
+	// internal/induction strategies). candidates_grown counts rule candidates
+	// seeded and grown by growprune; rules_pruned counts emitted rules that
+	// lost at least one predicate in the prune pass; stability_kept/dropped
+	// count recurring conjunctions that survived (or failed) the held-out
+	// refit of the stability strategy. Per-strategy run counters are derived
+	// with InductionStrategyRuns below.
+	MetricInductionCandidatesGrown  = "induction.candidates_grown"  // counter: growprune candidates seeded and grown
+	MetricInductionRulesPruned      = "induction.rules_pruned"      // counter: rules that lost predicates in the prune pass
+	MetricInductionStabilityKept    = "induction.stability_kept"    // counter: recurring conjunctions kept after held-out refit
+	MetricInductionStabilityDropped = "induction.stability_dropped" // counter: recurring conjunctions dropped by the held-out refit
+
 	// Verification metrics (internal/verify + crrverify): how many oracle
 	// checks the differential harness executed and how many divergences it
 	// found. A healthy run reports oracles_run > 0 and divergences == 0.
@@ -87,6 +99,11 @@ const (
 	MetricClusterNodesUp      = "cluster.nodes_up"      // gauge: nodes currently probing healthy
 	MetricClusterRingRebuilds = "cluster.ring_rebuilds" // counter: consistent-hash ring rebuilds on membership change
 )
+
+// InductionStrategyRuns names the per-strategy discovery-run counter, e.g.
+// "induction.strategy.lattice". The discovery seam bumps it once per run, so
+// /metrics and the CLI summaries report which strategy produced the rules.
+func InductionStrategyRuns(name string) string { return "induction.strategy." + name }
 
 // ServeRequests names the request counter of one serving endpoint, e.g.
 // "serve.predict.requests". The endpoint is the trailing path segment of the

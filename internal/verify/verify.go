@@ -216,6 +216,11 @@ func (rn *runner) runTarget(ctx context.Context, t Target) (*DatasetReport, erro
 		return nil, err
 	}
 
+	rn.logf("[%s] induction strategy oracles", t.Name)
+	if err := rn.strategyOracles(ctx, t); err != nil {
+		return nil, err
+	}
+
 	rn.logf("[%s] compaction soundness", t.Name)
 	compacted, err := rn.soundness(ctx, t, rules)
 	if err != nil {
