@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-core serve bench bench-full bench-core bench-serve bench-stream bench-cluster fuzz verify verify-quick vet fmt experiments examples clean
+.PHONY: all build test race race-core serve bench bench-full bench-core bench-serve bench-stream bench-cluster bench-ooc fuzz verify verify-quick vet fmt experiments examples clean
 
 all: build test
 
@@ -15,12 +15,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The CI race job: discovery/compaction engines, telemetry, the serving
-# subsystem (hot reload + drain + generation CAS) and the stream maintainer
-# under the detector.
+# The CI race job: discovery/compaction engines, induction strategies, the
+# out-of-core column store, telemetry, the serving subsystem (hot reload +
+# drain + generation CAS) and the stream maintainer under the detector.
 race-core:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/telemetry/... ./internal/experiments/... ./internal/serve/... ./internal/stream/... ./internal/registry/... ./internal/cluster/... ./internal/router/...
+	$(GO) test -race ./internal/core/... ./internal/induction/... ./internal/colstore/... ./internal/telemetry/... ./internal/experiments/... ./internal/serve/... ./internal/stream/... ./internal/registry/... ./internal/cluster/... ./internal/router/...
 
 # Serve a discovered artifact over HTTP (see docs/TUTORIAL.md §7):
 #   make serve RULES=rules.json [ADDR=:8080]
@@ -60,12 +60,21 @@ bench-stream:
 bench-cluster:
 	$(GO) test -bench 'BatchPredictBinary' -benchmem -benchtime=3s ./internal/router/
 
+# Out-of-core store scaling: chunked build + mmap-backed discovery at
+# 1M/3M/10M rows. BENCH_ooc.json records the curated numbers (acceptance:
+# near-linear ns/row, build peak heap flat across sizes).
+bench-ooc:
+	$(GO) run ./cmd/crrbench -ooc -out BENCH_ooc.json
+
 fuzz:
 	$(GO) test ./internal/dataset/ -fuzz FuzzReadCSV -fuzztime 30s
 	$(GO) test ./internal/predicate/ -fuzz FuzzParseDNF -fuzztime 30s
 	$(GO) test ./internal/predicate/ -fuzz FuzzImplies -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzCompactSoundness -fuzztime 30s
 	$(GO) test ./internal/wire/ -fuzz FuzzWireDecode -fuzztime 30s
+	$(GO) test ./internal/colstore/ -fuzz FuzzColstoreOpen -fuzztime 30s
+	$(GO) test ./internal/colstore/ -fuzz FuzzDictDecode -fuzztime 30s
+	$(GO) test ./internal/colstore/ -fuzz FuzzHeaderDecode -fuzztime 30s
 
 # Differential correctness harness: cross-engine oracles, inference
 # soundness, metamorphic invariants over every built-in dataset.

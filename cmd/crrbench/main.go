@@ -9,6 +9,7 @@
 //	crrbench -compare             # hot-path before/after (stats vs full pass)
 //	crrbench -serve               # /v1/predict throughput, JSON vs binary
 //	crrbench -strategies          # induction strategies: rules / RMSE / latency
+//	crrbench -ooc                 # out-of-core store build + discovery scaling
 //	crrbench -list                # show experiment ids
 //
 // Long sweeps can be bounded with -timeout (every in-flight discovery stops
@@ -41,7 +42,10 @@ func main() {
 		compare = flag.Bool("compare", false, "run the hot-path before/after comparison (sufficient statistics vs full pass) and exit")
 		sbench  = flag.Bool("serve", false, "measure /v1/predict serve throughput (JSON vs binary columnar, through the SDK) and exit")
 		strats  = flag.Bool("strategies", false, "compare the induction strategies (lattice vs growprune vs stability: rule count, test RMSE, discovery latency) and exit")
-		out     = flag.String("out", "", "with -strategies: also write the comparison as JSON to this path (e.g. BENCH_strategies.json)")
+		ooc     = flag.Bool("ooc", false, "run the out-of-core column-store scaling benchmark (chunked build + mmap-backed discovery per size) and exit")
+		oocRows = flag.String("ooc-rows", "1000000,3000000,10000000", "with -ooc: comma-separated store sizes in rows")
+		oocChnk = flag.Int("ooc-chunk", 0, "with -ooc: store build chunk rows (0 = default)")
+		out     = flag.String("out", "", "with -strategies or -ooc: also write the results as JSON to this path (e.g. BENCH_strategies.json, BENCH_ooc.json)")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (e.g. 5m; 0 = no limit)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		metrics = flag.String("metrics", "", "write the sweep's aggregate metrics in Prometheus text format to this path (\"-\" = stdout), the same exposition crrserve serves at /metrics")
@@ -85,6 +89,13 @@ func main() {
 	}
 	if *strats {
 		if err := runStrategies(ctx, *scale, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "crrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ooc {
+		if err := runOOC(ctx, *oocRows, *oocChnk, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "crrbench:", err)
 			os.Exit(1)
 		}

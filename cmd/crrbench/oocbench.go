@@ -1,0 +1,247 @@
+package main
+
+// The out-of-core scaling benchmark (-ooc): build an on-disk electricity
+// store at each requested row count with the chunked streaming builder, mmap
+// it back, and mine it through DiscoverColumns — no relation ever in memory.
+// Each phase reports wall time and peak Go heap (sampled): the build's heap
+// must stay bounded by the chunk budget no matter the store size, and
+// build/discover wall time must scale near-linearly in rows, since every
+// pass over the data is a streaming scan. The results land as BENCH_ooc.json
+// when -out is set.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/crrlab/crr/internal/colstore"
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/experiments"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+	"github.com/crrlab/crr/internal/telemetry"
+)
+
+// oocResult is one row-count's measurements.
+type oocResult struct {
+	Rows                  int     `json:"rows"`
+	ChunkRows             int     `json:"chunk_rows"`
+	StoreBytes            int64   `json:"store_bytes"`
+	BuildSeconds          float64 `json:"build_seconds"`
+	BuildNsPerRow         float64 `json:"build_ns_per_row"`
+	BuildPeakHeapBytes    uint64  `json:"build_peak_heap_bytes"`
+	DiscoverSeconds       float64 `json:"discover_seconds"`
+	DiscoverNsPerRow      float64 `json:"discover_ns_per_row"`
+	DiscoverPeakHeapBytes uint64  `json:"discover_peak_heap_bytes"`
+	BytesMapped           int64   `json:"bytes_mapped"`
+	Rules                 int     `json:"rules"`
+	ModelsTrained         int     `json:"models_trained"`
+}
+
+// heapWatch samples the Go heap in the background and remembers the peak.
+type heapWatch struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func watchHeap() *heapWatch {
+	runtime.GC()
+	w := &heapWatch{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > w.peak {
+					w.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Stop ends sampling and returns the observed peak (including one final
+// sample, so short phases still report).
+func (w *heapWatch) Stop() uint64 {
+	close(w.stop)
+	<-w.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > w.peak {
+		w.peak = ms.HeapAlloc
+	}
+	return w.peak
+}
+
+// parseRowsList parses the -ooc-rows flag ("1000000,3000000,10000000").
+func parseRowsList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -ooc-rows entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runOOC drives the benchmark across the requested row counts.
+func runOOC(ctx context.Context, rowsFlag string, chunkRows int, outPath string) error {
+	sizes, err := parseRowsList(rowsFlag)
+	if err != nil {
+		return err
+	}
+	if chunkRows <= 0 {
+		chunkRows = colstore.DefaultChunkRows
+	}
+	spec := experiments.ElectricitySpec()
+	var results []oocResult
+	fmt.Printf("out-of-core scaling (electricity, chunk %d rows)\n", chunkRows)
+	fmt.Printf("%-10s  %-10s  %-11s  %-11s  %-10s  %-11s  %-11s  %s\n",
+		"rows", "store MB", "build s", "heap MB", "discover s", "heap MB", "ns/row", "rules")
+	for _, n := range sizes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r, err := runOOCSize(ctx, spec, n, chunkRows)
+		if err != nil {
+			return fmt.Errorf("ooc %d rows: %w", n, err)
+		}
+		results = append(results, r)
+		fmt.Printf("%-10d  %-10.1f  %-11.2f  %-11.1f  %-10.2f  %-11.1f  %-11.1f  %d\n",
+			r.Rows, float64(r.StoreBytes)/1e6, r.BuildSeconds,
+			float64(r.BuildPeakHeapBytes)/1e6, r.DiscoverSeconds,
+			float64(r.DiscoverPeakHeapBytes)/1e6, r.DiscoverNsPerRow, r.Rules)
+	}
+	if len(results) > 1 {
+		first, last := results[0], results[len(results)-1]
+		fmt.Printf("scaling %d → %d rows: build %.2fx/row, discover %.2fx/row (1.0 = perfectly linear)\n",
+			first.Rows, last.Rows,
+			last.BuildNsPerRow/first.BuildNsPerRow,
+			last.DiscoverNsPerRow/first.DiscoverNsPerRow)
+	}
+	if outPath == "" {
+		return nil
+	}
+	doc := struct {
+		Description string      `json:"description"`
+		Command     string      `json:"command"`
+		Dataset     string      `json:"dataset"`
+		Results     []oocResult `json:"results"`
+	}{
+		Description: "Out-of-core column store scaling: chunk-streamed store build plus mmap-backed DiscoverColumns per row count. Build peak heap is bounded by the chunk budget (the mapped lanes never enter the Go heap); near-linear ns/row across sizes is the scaling claim.",
+		Command:     fmt.Sprintf("crrbench -ooc -ooc-rows %s -ooc-chunk %d", rowsFlag, chunkRows),
+		Dataset:     spec.Name,
+		Results:     results,
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runOOCSize builds, maps and mines one store size.
+func runOOCSize(ctx context.Context, spec experiments.DatasetSpec, rows, chunkRows int) (oocResult, error) {
+	res := oocResult{Rows: rows, ChunkRows: chunkRows}
+	dir, err := os.MkdirTemp("", "crr-ooc-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	storeDir := filepath.Join(dir, "store")
+
+	// Build: chunk i regenerates with seed+i (the crrgen -store discipline),
+	// so resident state is one chunk of tuples plus the builder's run buffers.
+	watch := watchHeap()
+	start := time.Now()
+	cfg := dataset.DefaultElectricityConfig()
+	cfg.Rows, cfg.Seed = 1, 1
+	b, err := colstore.NewBuilder(storeDir, dataset.GenerateElectricity(cfg).Schema, colstore.BuilderOptions{ChunkRows: chunkRows})
+	if err != nil {
+		return res, err
+	}
+	for i, written := 0, 0; written < rows; i++ {
+		if err := ctx.Err(); err != nil {
+			b.Abort()
+			return res, err
+		}
+		n := rows - written
+		if n > chunkRows {
+			n = chunkRows
+		}
+		ccfg := dataset.DefaultElectricityConfig()
+		ccfg.Rows, ccfg.Seed = n, 1+int64(i)
+		if err := b.AppendRelation(dataset.GenerateElectricity(ccfg)); err != nil {
+			b.Abort()
+			return res, err
+		}
+		written += n
+	}
+	if err := b.Finish(); err != nil {
+		return res, err
+	}
+	res.BuildSeconds = time.Since(start).Seconds()
+	res.BuildNsPerRow = res.BuildSeconds * 1e9 / float64(rows)
+	res.BuildPeakHeapBytes = watch.Stop()
+	filepath.WalkDir(storeDir, func(_ string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			if fi, err := d.Info(); err == nil {
+				res.StoreBytes += fi.Size()
+			}
+		}
+		return nil
+	})
+
+	// Discover: mmap the store and mine it in place.
+	reg := telemetry.New()
+	st, err := colstore.OpenWith(storeDir, colstore.OpenOptions{Telemetry: reg})
+	if err != nil {
+		return res, err
+	}
+	defer st.Close()
+	preds := predicate.GenerateColumns(st.Columns(), spec.CondAttrs, predicate.GeneratorConfig{
+		Kind: predicate.Binary, Size: 16,
+	})
+	watch = watchHeap()
+	start = time.Now()
+	out, err := core.DiscoverColumns(ctx, st.Columns(), core.WithConfig(core.DiscoverConfig{
+		XAttrs:  spec.XAttrs,
+		YAttr:   spec.YAttr,
+		RhoM:    spec.RhoM,
+		Preds:   preds,
+		Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		return res, err
+	}
+	res.DiscoverSeconds = time.Since(start).Seconds()
+	res.DiscoverNsPerRow = res.DiscoverSeconds * 1e9 / float64(rows)
+	res.DiscoverPeakHeapBytes = watch.Stop()
+	res.BytesMapped = reg.Counter(telemetry.MetricColstoreBytesMapped).Value()
+	res.Rules = out.Rules.NumRules()
+	res.ModelsTrained = out.Stats.ModelsTrained
+	return res, nil
+}

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	crrdiscover -input data.csv -y Tax -x Salary -cond State,MaritalStatus -rho 60 -compact
+//	crrdiscover -store -input power.crrcol -y usage -x temperature -rho 12
 //
 // The CSV needs a header row; column kinds are inferred (numeric when every
 // non-empty cell parses as a float). Empty cells are treated as missing.
+//
+// With -store, -input names an out-of-core column store directory (built by
+// crrgen -store or colstore.BuildCSVFile) instead of a CSV: the store is
+// memory-mapped and mined in place, so datasets far past RAM discover
+// without ever materializing tuples. Tuple-only post-passes (-prune, the
+// stability strategy, the coverage/RMSE evaluation) are unavailable there.
 //
 // -strategy selects the induction strategy behind Algorithm 1's seam:
 // "lattice" (the paper's walk, default), "growprune" (per-seed grow/prune)
@@ -31,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/crrlab/crr/internal/colstore"
 	"github.com/crrlab/crr/internal/core"
 	"github.com/crrlab/crr/internal/dataset"
 	"github.com/crrlab/crr/internal/eval"
@@ -42,7 +50,8 @@ import (
 
 func main() {
 	var (
-		input    = flag.String("input", "", "input CSV path (required)")
+		input    = flag.String("input", "", "input CSV path, or a column store directory with -store (required)")
+		store    = flag.Bool("store", false, "treat -input as an out-of-core column store directory (mmap'd, no tuples in memory)")
 		yName    = flag.String("y", "", "target attribute name (required)")
 		xNames   = flag.String("x", "", "comma-separated regression attributes (required)")
 		condCols = flag.String("cond", "", "comma-separated condition attributes (default: x + categorical columns)")
@@ -71,7 +80,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := run(ctx, runConfig{
-		input: *input, yName: *yName, xNames: *xNames, condCols: *condCols,
+		input: *input, store: *store, yName: *yName, xNames: *xNames, condCols: *condCols,
 		rhoM: *rhoM, predSize: *predSize, family: *family,
 		compact: *compact, tol: *tol, prune: *prune, workers: w, save: *save,
 		strategy:     *strategy,
@@ -85,6 +94,7 @@ func main() {
 
 type runConfig struct {
 	input, yName, xNames, condCols string
+	store                          bool
 	rhoM                           float64
 	predSize                       int
 	family                         string
@@ -126,24 +136,43 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 	}
 	reg := telemetry.New()
 
-	stopLoad := reg.Time(telemetry.PhaseLoad)
-	f, err := os.Open(input)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	rel, err := dataset.ReadCSV(f)
-	if err != nil {
-		return err
+	if rc.store && rc.prune {
+		return fmt.Errorf("-prune re-fits over tuples and is unavailable with -store")
 	}
 
-	yattr, err := rel.Schema.Index(yName)
+	stopLoad := reg.Time(telemetry.PhaseLoad)
+	// Load either path into (schema, rel | cols): a parsed CSV relation, or
+	// the adopted ColumnSet of an mmap'd store with no tuples anywhere.
+	var rel *dataset.Relation
+	var cols *dataset.ColumnSet
+	var schema *dataset.Schema
+	if rc.store {
+		st, err := colstore.OpenWith(input, colstore.OpenOptions{Telemetry: reg})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cols, schema = st.Columns(), st.Schema()
+	} else {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err = dataset.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		schema = rel.Schema
+	}
+
+	yattr, err := schema.Index(yName)
 	if err != nil {
 		return err
 	}
 	var xattrs []int
 	for _, name := range strings.Split(xNames, ",") {
-		i, err := rel.Schema.Index(strings.TrimSpace(name))
+		i, err := schema.Index(strings.TrimSpace(name))
 		if err != nil {
 			return err
 		}
@@ -152,7 +181,7 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 	var cond []int
 	if condCols != "" {
 		for _, name := range strings.Split(condCols, ",") {
-			i, err := rel.Schema.Index(strings.TrimSpace(name))
+			i, err := schema.Index(strings.TrimSpace(name))
 			if err != nil {
 				return err
 			}
@@ -166,8 +195,8 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 				cond = append(cond, a)
 			}
 		}
-		for i := 0; i < rel.Schema.Len(); i++ {
-			if i != yattr && !seen[i] && rel.Schema.Attr(i).Kind == dataset.Categorical {
+		for i := 0; i < schema.Len(); i++ {
+			if i != yattr && !seen[i] && schema.Attr(i).Kind == dataset.Categorical {
 				seen[i] = true
 				cond = append(cond, i)
 			}
@@ -188,7 +217,13 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 	stopLoad()
 
 	stopPreds := reg.Time(telemetry.PhasePredicates)
-	preds := predicate.Generate(rel, cond, predicate.GeneratorConfig{Size: predSize, Seed: rc.seed})
+	gcfg := predicate.GeneratorConfig{Size: predSize, Seed: rc.seed}
+	var preds []predicate.Predicate
+	if rc.store {
+		preds = predicate.GenerateColumns(cols, cond, gcfg)
+	} else {
+		preds = predicate.Generate(rel, cond, gcfg)
+	}
 	stopPreds()
 
 	var strat core.Strategy
@@ -199,7 +234,7 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 	}
 
 	stopDiscover := reg.Time(telemetry.PhaseDiscover)
-	res, err := core.Discover(ctx, rel, core.WithConfig(core.DiscoverConfig{
+	dcfg := core.DiscoverConfig{
 		XAttrs:    xattrs,
 		YAttr:     yattr,
 		RhoM:      rhoM,
@@ -209,7 +244,13 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 		Workers:   rc.workers,
 		Strategy:  strat,
 		Telemetry: reg,
-	}))
+	}
+	var res *core.DiscoverResult
+	if rc.store {
+		res, err = core.DiscoverColumns(ctx, cols, core.WithConfig(dcfg))
+	} else {
+		res, err = core.Discover(ctx, rel, core.WithConfig(dcfg))
+	}
 	stopDiscover()
 	if err != nil {
 		return err
@@ -245,9 +286,14 @@ func runTo(ctx context.Context, w io.Writer, rc runConfig) error {
 	stopEval := reg.Time(telemetry.PhaseEvaluate)
 	rules.SetTelemetry(reg)
 	fmt.Fprintln(w, core.Summarize(rules))
-	fmt.Fprintf(w, "coverage %.3f, training RMSE %.6g\n\n", rules.Coverage(rel), rules.RMSE(rel))
+	if rc.store {
+		// Coverage/RMSE evaluation walks tuples; a store-backed run has none.
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintf(w, "coverage %.3f, training RMSE %.6g\n\n", rules.Coverage(rel), rules.RMSE(rel))
+	}
 	for i := range rules.Rules {
-		fmt.Fprintf(w, "φ%d: %s\n", i+1, rules.Rules[i].Format(rel.Schema))
+		fmt.Fprintf(w, "φ%d: %s\n", i+1, rules.Rules[i].Format(schema))
 	}
 	if rc.save != "" {
 		out, err := os.Create(rc.save)

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/crrlab/crr/internal/colstore"
 	"github.com/crrlab/crr/internal/dataset"
 )
 
@@ -125,6 +126,114 @@ func TestRunDiscoverDefaultCondAttrs(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("run without -cond: %v", err)
+	}
+}
+
+// TestRunCorruptCSVDiagnostic: a malformed feed must come back as a typed
+// dataset.ErrMalformedCSV through run's error return — the diagnostic main
+// prints before exit 1 — never a panic or stack trace.
+func TestRunCorruptCSVDiagnostic(t *testing.T) {
+	cases := map[string]string{
+		"ragged":          "Salary,Tax\n100,5\n200\n",
+		"truncated quote": "Salary,Tax\n\"unterminated,5\n",
+		"empty":           "",
+	}
+	for name, body := range cases {
+		path := filepath.Join(t.TempDir(), "bad.csv")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := run(context.Background(), runConfig{
+			input: path, yName: "Tax", xNames: "Salary", rhoM: 60, family: "F1", workers: 1,
+		})
+		if !errors.Is(err, dataset.ErrMalformedCSV) {
+			t.Errorf("%s: err = %v, want ErrMalformedCSV", name, err)
+		}
+	}
+}
+
+// TestRunStoreMode: -store discovery over an on-disk column store must emit
+// exactly the rules the CSV path emits on the same data, and the
+// tuple-requiring -prune must be rejected up front.
+func TestRunStoreMode(t *testing.T) {
+	cfg := dataset.DefaultTaxConfig()
+	cfg.Rows = 600
+	rel := dataset.GenerateTax(cfg)
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "tax.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, rel); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	storeDir := filepath.Join(dir, "tax.crrcol")
+	if err := colstore.Build(storeDir, rel, 97); err != nil {
+		t.Fatal(err)
+	}
+
+	base := runConfig{
+		yName: "Tax", xNames: "Salary", condCols: "State,MaritalStatus",
+		rhoM: 60, family: "F1", workers: 1,
+	}
+	var csvOut, storeOut bytes.Buffer
+	csvRC := base
+	csvRC.input = csvPath
+	if err := runTo(context.Background(), &csvOut, csvRC); err != nil {
+		t.Fatalf("csv run: %v", err)
+	}
+	storeRC := base
+	storeRC.input, storeRC.store = storeDir, true
+	if err := runTo(context.Background(), &storeOut, storeRC); err != nil {
+		t.Fatalf("store run: %v", err)
+	}
+
+	ruleLines := func(out string) []string {
+		var rules []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "φ") || strings.HasPrefix(line, "discovered ") {
+				rules = append(rules, line)
+			}
+		}
+		return rules
+	}
+	cr, sr := ruleLines(csvOut.String()), ruleLines(storeOut.String())
+	if len(cr) == 0 || len(cr) != len(sr) {
+		t.Fatalf("rule line count: csv %d, store %d", len(cr), len(sr))
+	}
+	for i := range cr {
+		if cr[i] != sr[i] {
+			t.Fatalf("rule line %d diverged:\ncsv:   %s\nstore: %s", i, cr[i], sr[i])
+		}
+	}
+
+	pruneRC := storeRC
+	pruneRC.prune = true
+	if err := run(context.Background(), pruneRC); err == nil || !strings.Contains(err.Error(), "-prune") {
+		t.Fatalf("-store -prune: err = %v, want a -prune rejection", err)
+	}
+}
+
+// TestRunStoreModeCorrupt: a damaged store must surface colstore's typed
+// corruption error as a diagnostic, not a panic.
+func TestRunStoreModeCorrupt(t *testing.T) {
+	cfg := dataset.DefaultTaxConfig()
+	cfg.Rows = 50
+	storeDir := filepath.Join(t.TempDir(), "tax.crrcol")
+	if err := colstore.Build(storeDir, dataset.GenerateTax(cfg), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(storeDir, "col0.f64"), 40); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), runConfig{
+		input: storeDir, store: true, yName: "Tax", xNames: "Salary",
+		rhoM: 60, family: "F1", workers: 1,
+	})
+	if !errors.Is(err, colstore.ErrCorrupt) {
+		t.Fatalf("corrupt store: err = %v, want ErrCorrupt", err)
 	}
 }
 

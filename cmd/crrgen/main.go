@@ -2,11 +2,17 @@
 // the crrdiscover → crrserve pipeline (and the CI smoke test) can run without
 // the throwaway generator program from the tutorial.
 //
+// With -store it instead streams the dataset into an out-of-core column
+// store (internal/colstore) one chunk at a time, so datasets far past RAM
+// can be materialized: chunk i is generated independently with seed+i and
+// appended, keeping peak memory at one chunk's worth of tuples.
+//
 // Usage:
 //
 //	crrgen -gen tax -rows 5000 -out tax.csv
 //	crrgen -gen electricity -rows 20000 -out power.csv
 //	crrgen -gen birdmap -rows 8000 -seed 7 -out birds.csv
+//	crrgen -gen electricity -rows 10000000 -store power.crrcol
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/crrlab/crr/internal/colstore"
 	"github.com/crrlab/crr/internal/dataset"
 )
 
@@ -61,16 +68,55 @@ func genNames() string {
 
 func main() {
 	var (
-		gen  = flag.String("gen", "tax", "dataset: "+genNames())
-		rows = flag.Int("rows", 5000, "number of tuples")
-		seed = flag.Int64("seed", 1, "random seed")
-		out  = flag.String("out", "", "output CSV path (default: stdout)")
+		gen   = flag.String("gen", "tax", "dataset: "+genNames())
+		rows  = flag.Int("rows", 5000, "number of tuples")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output CSV path (default: stdout)")
+		store = flag.String("store", "", "write an out-of-core column store at this directory instead of CSV")
+		chunk = flag.Int("chunk", 0, "store build chunk rows (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*gen, *rows, *seed, *out); err != nil {
+	var err error
+	if *store != "" {
+		err = runStore(*gen, *rows, *seed, *store, *chunk)
+	} else {
+		err = run(*gen, *rows, *seed, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "crrgen:", err)
 		os.Exit(1)
 	}
+}
+
+// runStore streams the dataset into a column store chunk by chunk: chunk i
+// regenerates with seed+i, so memory stays bounded by one chunk while the
+// store grows to any -rows.
+func runStore(gen string, rows int, seed int64, dir string, chunkRows int) error {
+	generate, ok := generators[gen]
+	if !ok {
+		return fmt.Errorf("unknown dataset %q (%s)", gen, genNames())
+	}
+	if chunkRows <= 0 {
+		chunkRows = colstore.DefaultChunkRows
+	}
+	probe := generate(1, seed)
+	b, err := colstore.NewBuilder(dir, probe.Schema, colstore.BuilderOptions{ChunkRows: chunkRows})
+	if err != nil {
+		return err
+	}
+	for i, written := 0, 0; written < rows; i++ {
+		n := rows - written
+		if n > chunkRows {
+			n = chunkRows
+		}
+		part := generate(n, seed+int64(i))
+		if err := b.AppendRelation(part); err != nil {
+			b.Abort()
+			return err
+		}
+		written += n
+	}
+	return b.Finish()
 }
 
 func run(gen string, rows int, seed int64, out string) error {

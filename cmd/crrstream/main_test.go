@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/crrlab/crr/internal/core"
+	"github.com/crrlab/crr/internal/dataset"
+	"github.com/crrlab/crr/internal/predicate"
+	"github.com/crrlab/crr/internal/regress"
+)
+
+// writeTaxArtifact discovers a small rule set over a Tax sample and writes
+// it as the JSON artifact crrstream maintains.
+func writeTaxArtifact(t *testing.T, dir string) (string, *dataset.Relation) {
+	t.Helper()
+	cfg := dataset.DefaultTaxConfig()
+	cfg.Rows = 400
+	rel := dataset.GenerateTax(cfg)
+	xattrs := []int{mustIndex(t, rel.Schema, "Salary")}
+	yattr := mustIndex(t, rel.Schema, "Tax")
+	cond := []int{mustIndex(t, rel.Schema, "State"), mustIndex(t, rel.Schema, "MaritalStatus")}
+	preds := predicate.Generate(rel, cond, predicate.GeneratorConfig{Kind: predicate.Binary, Size: 32})
+	res, err := core.Discover(context.Background(), rel, core.WithConfig(core.DiscoverConfig{
+		XAttrs: xattrs, YAttr: yattr, RhoM: 60, Preds: preds, Trainer: regress.LinearTrainer{},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "rules.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := core.WriteRuleSet(f, res.Rules); err != nil {
+		t.Fatal(err)
+	}
+	return path, rel
+}
+
+func mustIndex(t *testing.T, s *dataset.Schema, name string) int {
+	t.Helper()
+	i, err := s.Index(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return i
+}
+
+// TestRunStreamEndToEnd: a well-formed feed replays against the artifact.
+func TestRunStreamEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath, rel := writeTaxArtifact(t, dir)
+	feed := filepath.Join(dir, "feed.csv")
+	f, err := os.Create(feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, rel); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, runConfig{
+		input: feed, rulesPath: rulesPath, window: 128, swapEvery: 0,
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunStreamCorruptCSVDiagnostic: a malformed feed must come back as a
+// typed dataset.ErrMalformedCSV through run's error return — the diagnostic
+// main prints before exit 1 — never a panic or stack trace.
+func TestRunStreamCorruptCSVDiagnostic(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath, _ := writeTaxArtifact(t, dir)
+	cases := map[string]string{
+		"ragged":          "Salary,Tax\n100,5\n200\n",
+		"truncated quote": "Salary,Tax\n\"unterminated,5\n",
+		"empty":           "",
+	}
+	for name, body := range cases {
+		feed := filepath.Join(t.TempDir(), "bad.csv")
+		if err := os.WriteFile(feed, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		err := run(context.Background(), &buf, runConfig{
+			input: feed, rulesPath: rulesPath, window: 128,
+		})
+		if !errors.Is(err, dataset.ErrMalformedCSV) {
+			t.Errorf("%s: err = %v, want ErrMalformedCSV", name, err)
+		}
+	}
+}

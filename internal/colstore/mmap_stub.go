@@ -1,0 +1,26 @@
+//go:build !unix
+
+package colstore
+
+import "os"
+
+// mapping on platforms without syscall.Mmap support degrades to a heap read:
+// the store still opens and every parity guarantee holds, only the
+// past-RAM property is lost.
+type mapping struct {
+	data   []byte
+	mapped bool
+}
+
+func mapFile(path string) (*mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) close() error {
+	m.data = nil
+	return nil
+}

@@ -1,0 +1,63 @@
+//go:build unix
+
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping is one read-only view of a lane file. On unix it is a PROT_READ
+// MAP_SHARED mmap: the kernel pages lanes in on demand and may evict clean
+// pages under pressure, which is what keeps the resident set bounded by the
+// scan's working set instead of the store size.
+type mapping struct {
+	data   []byte
+	mapped bool // false when the file was read onto the heap (empty files)
+}
+
+// mapFile maps path read-only and returns its bytes. Zero-length files (and
+// anything else mmap refuses) fall back to a heap read so callers never
+// special-case them.
+func mapFile(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &mapping{data: nil}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("colstore: %s: %d bytes exceed the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support: degrade to a heap read.
+		heap, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, fmt.Errorf("colstore: mmap %s: %w", path, err)
+		}
+		return &mapping{data: heap}, nil
+	}
+	return &mapping{data: data, mapped: true}, nil
+}
+
+// close releases the mapping. The store's ColumnSet must not be used
+// afterwards: its lanes alias the mapped bytes.
+func (m *mapping) close() error {
+	if !m.mapped || m.data == nil {
+		m.data = nil
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	m.mapped = false
+	return syscall.Munmap(data)
+}

@@ -90,6 +90,14 @@ type DiscoverConfig struct {
 	// children cost queue work; the default single best cut matches the
 	// binary searching of the paper's complexity analysis (§V-A4).
 	Prop8Splits bool
+	// Columns discovers over a columnar substrate directly — typically the
+	// mmap-backed ColumnSet of an out-of-core store (internal/colstore) —
+	// instead of building one from a Relation. When set together with a
+	// Relation the two must describe the same data (the columnar engine reads
+	// Columns; the RowScan reference path reads the Relation); with a nil
+	// Relation (DiscoverColumns, WithColumnStore) the tuple-requiring paths
+	// (RowScan, the stability strategy) fail with ErrTuplesRequired.
+	Columns *dataset.ColumnSet
 	// RowScan switches part materialization and split scoring to the
 	// tuple-at-a-time reference path instead of the columnar engine
 	// (dataset.ColumnSet + vectorized predicate filters). The two paths are
@@ -158,19 +166,61 @@ func Discover(ctx context.Context, rel *dataset.Relation, opts ...DiscoverOption
 	return discoverFor(ctx, rel, cfg)
 }
 
-// applyDefaults fills cfg's open slots against rel the way the options API
-// promises — the paper-default predicate space over the X attributes plus
-// every categorical attribute when ℙ is unset, then Validate's trainer and
-// ρ_M defaulting — and rejects empty relations. Discover and DiscoverTargets
-// share it, so both entrypoints accept the same minimal configurations.
+// DiscoverColumns mines conditional regression rules directly over a
+// columnar substrate — the entrypoint for out-of-core discovery, where the
+// ColumnSet is the adopted view of an mmap'd store (colstore.Store.Columns)
+// and no Relation ever exists in memory. It accepts the same options as
+// Discover and is exactly equivalent to it by the engine's bitwise-parity
+// contract: the columnar hot path reads raw column values in identical order
+// either way. Tuple-requiring paths (WithConfig{RowScan: true}, the
+// stability strategy) fail with ErrTuplesRequired.
+func DiscoverColumns(ctx context.Context, cols *dataset.ColumnSet, opts ...DiscoverOption) (*DiscoverResult, error) {
+	var cfg DiscoverConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.Columns = cols
+	if err := applyDefaults(nil, &cfg); err != nil {
+		return nil, err
+	}
+	return discoverFor(ctx, nil, cfg)
+}
+
+// dataSource resolves the run's schema and row count from the configured
+// data: the relation when present, the column store otherwise. A run with
+// neither is an empty run.
+func dataSource(rel *dataset.Relation, cfg *DiscoverConfig) (rows int, schema *dataset.Schema, err error) {
+	switch {
+	case rel != nil:
+		return rel.Len(), rel.Schema, nil
+	case cfg.Columns != nil:
+		return cfg.Columns.Len(), cfg.Columns.Schema, nil
+	}
+	return 0, nil, ErrEmptyRelation
+}
+
+// applyDefaults fills cfg's open slots against the run's data source the way
+// the options API promises — the paper-default predicate space over the X
+// attributes plus every categorical attribute when ℙ is unset, then
+// Validate's trainer and ρ_M defaulting — and rejects empty inputs. Both the
+// tuple entrypoints (Discover, DiscoverTargets) and the columnar one
+// (DiscoverColumns) share it, so all accept the same minimal configurations.
 func applyDefaults(rel *dataset.Relation, cfg *DiscoverConfig) error {
-	if rel.Len() == 0 {
+	rows, schema, err := dataSource(rel, cfg)
+	if err != nil {
+		return err
+	}
+	if rows == 0 {
 		return ErrEmptyRelation
 	}
 	if cfg.Preds == nil {
-		cfg.Preds = predicate.Generate(rel,
-			defaultPredicateAttrs(rel.Schema, cfg.XAttrs, cfg.YAttr),
-			predicate.GeneratorConfig{Seed: cfg.Seed})
+		attrs := defaultPredicateAttrs(schema, cfg.XAttrs, cfg.YAttr)
+		gcfg := predicate.GeneratorConfig{Seed: cfg.Seed}
+		if rel != nil {
+			cfg.Preds = predicate.Generate(rel, attrs, gcfg)
+		} else {
+			cfg.Preds = predicate.GenerateColumns(cfg.Columns, attrs, gcfg)
+		}
 	}
 	if len(cfg.Preds) == 0 {
 		return ErrNoPredicates
@@ -195,10 +245,17 @@ func DiscoverWithConfig(rel *dataset.Relation, cfg DiscoverConfig) (*DiscoverRes
 // imputation targets, not the training data) and the result skeleton with
 // the mean-of-Y fallback.
 func discoverPrep(rel *dataset.Relation, cfg *DiscoverConfig) (all []int, out *DiscoverResult, err error) {
+	rows, schema, err := dataSource(rel, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	if cfg.Trainer == nil {
 		return nil, nil, ErrNoTrainer
 	}
-	if rel.Schema.Attr(cfg.YAttr).Kind != dataset.Numeric {
+	if cfg.RowScan && rel == nil {
+		return nil, nil, fmt.Errorf("%w: RowScan needs a Relation", ErrTuplesRequired)
+	}
+	if schema.Attr(cfg.YAttr).Kind != dataset.Numeric {
 		return nil, nil, ErrNonNumericTarget
 	}
 	for _, a := range cfg.XAttrs {
@@ -215,34 +272,64 @@ func discoverPrep(rel *dataset.Relation, cfg *DiscoverConfig) (all []int, out *D
 		cfg.MinSupport = len(cfg.XAttrs) + 2
 	}
 	if cfg.MaxNodes <= 0 {
-		cfg.MaxNodes = 64*rel.Len() + 4096
+		cfg.MaxNodes = 64*rows + 4096
 	}
 
-	all = make([]int, 0, rel.Len())
-	for i, t := range rel.Tuples {
-		if t[cfg.YAttr].Null {
-			continue
-		}
-		ok := true
-		for _, a := range cfg.XAttrs {
-			if t[a].Null {
-				ok = false
-				break
+	// Trainable rows and the mean-of-Y fallback, from whichever
+	// representation backs the run. Both branches visit rows in ascending
+	// order over identical raw values (the ColumnSet stores raw Nums under
+	// its null bits), so the fallback is bitwise-identical across them.
+	all = make([]int, 0, rows)
+	if rel != nil {
+		for i, t := range rel.Tuples {
+			if t[cfg.YAttr].Null {
+				continue
+			}
+			ok := true
+			for _, a := range cfg.XAttrs {
+				if t[a].Null {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				all = append(all, i)
 			}
 		}
-		if ok {
-			all = append(all, i)
+	} else {
+		cs := cfg.Columns
+		for i := 0; i < rows; i++ {
+			if cs.IsNull(cfg.YAttr, i) {
+				continue
+			}
+			ok := true
+			for _, a := range cfg.XAttrs {
+				if cs.IsNull(a, i) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				all = append(all, i)
+			}
 		}
 	}
 	out = &DiscoverResult{Rules: &RuleSet{
-		Schema: rel.Schema,
+		Schema: schema,
 		XAttrs: append([]int(nil), cfg.XAttrs...),
 		YAttr:  cfg.YAttr,
 	}}
 	if len(all) > 0 {
 		var ysum float64
-		for _, i := range all {
-			ysum += rel.Tuples[i][cfg.YAttr].Num
+		if rel != nil {
+			for _, i := range all {
+				ysum += rel.Tuples[i][cfg.YAttr].Num
+			}
+		} else {
+			ycol := cfg.Columns.Float(cfg.YAttr)
+			for _, i := range all {
+				ysum += ycol[i]
+			}
 		}
 		out.Rules.Fallback = ysum / float64(len(all))
 	}

@@ -65,9 +65,14 @@ type hotLoop struct {
 }
 
 func newHotLoop(rel *dataset.Relation, cfg *DiscoverConfig, si *splitIndex, all []int, tel discTel, exact bool) *hotLoop {
-	start := time.Now()
-	cols := dataset.NewColumnSet(rel)
-	tel.colsBuild.Add(time.Since(start).Nanoseconds())
+	// An externally supplied columnar substrate (DiscoverColumns over an
+	// mmap'd store) is used as-is — no per-run build, no build-time charge.
+	cols := cfg.Columns
+	if cols == nil {
+		start := time.Now()
+		cols = dataset.NewColumnSet(rel)
+		tel.colsBuild.Add(time.Since(start).Nanoseconds())
+	}
 	hl := &hotLoop{
 		rel: rel,
 		cfg: cfg,

@@ -54,6 +54,15 @@ func WithPredicates(preds []predicate.Predicate) DiscoverOption {
 	return func(c *DiscoverConfig) { c.Preds = preds }
 }
 
+// WithColumnStore discovers directly over a columnar substrate — typically
+// the adopted ColumnSet of an mmap'd out-of-core store
+// (colstore.Store.Columns) — instead of building one from the relation. See
+// DiscoverConfig.Columns for the contract, and DiscoverColumns for the
+// relation-free entrypoint this option backs.
+func WithColumnStore(cols *dataset.ColumnSet) DiscoverOption {
+	return func(c *DiscoverConfig) { c.Columns = cols }
+}
+
 // WithTrainer selects the model family trainer (default: OLS, family F1).
 func WithTrainer(t regress.Trainer) DiscoverOption {
 	return func(c *DiscoverConfig) { c.Trainer = t }

@@ -59,7 +59,9 @@ func Canceled(cause error) error { return canceled(cause) }
 // goroutines (the parallel lattice engine builds per-worker workspaces
 // instead).
 type Substrate struct {
-	rel      *dataset.Relation
+	rel      *dataset.Relation // nil when the run is column-store-backed
+	schema   *dataset.Schema
+	rows     int
 	cfg      *DiscoverConfig // validated; MinSupport/MaxNodes defaulted
 	all      []int           // trainable rows (non-null X and Y), ascending
 	fallback float64         // mean of Y over the trainable rows
@@ -78,8 +80,14 @@ func newSubstrate(rel *dataset.Relation, cfg *DiscoverConfig) (*Substrate, error
 	if err != nil {
 		return nil, err
 	}
+	rows, schema, err := dataSource(rel, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Substrate{
 		rel:      rel,
+		schema:   schema,
+		rows:     rows,
 		cfg:      cfg,
 		all:      all,
 		fallback: out.Rules.Fallback,
@@ -87,8 +95,19 @@ func newSubstrate(rel *dataset.Relation, cfg *DiscoverConfig) (*Substrate, error
 	}, nil
 }
 
-// Relation returns the relation under discovery.
+// Relation returns the relation under discovery, or nil when the run is
+// column-store-backed (DiscoverColumns / WithColumnStore with no Relation).
+// Strategies that need tuples must check and fail with ErrTuplesRequired;
+// row counting belongs on NumRows, which works either way.
 func (s *Substrate) Relation() *dataset.Relation { return s.rel }
+
+// Schema returns the schema of the data under discovery, whichever
+// representation backs it.
+func (s *Substrate) Schema() *dataset.Schema { return s.schema }
+
+// NumRows returns the total row count of the data under discovery (not just
+// the trainable rows), whichever representation backs it.
+func (s *Substrate) NumRows() int { return s.rows }
 
 // Config returns the effective configuration: defaults resolved, MinSupport
 // and MaxNodes at their documented fallbacks. The slices (XAttrs, Preds,
@@ -106,7 +125,7 @@ func (s *Substrate) TrainableRows() []int { return s.all }
 // and serving layers.
 func (s *Substrate) NewResult() *DiscoverResult {
 	return &DiscoverResult{Rules: &RuleSet{
-		Schema:   s.rel.Schema,
+		Schema:   s.schema,
 		XAttrs:   append([]int(nil), s.cfg.XAttrs...),
 		YAttr:    s.cfg.YAttr,
 		Fallback: s.fallback,

@@ -50,11 +50,11 @@ func (a *ColumnAppender) Len() int { return a.cs.rows }
 func (a *ColumnAppender) Cols() *ColumnSet { return a.cs }
 
 // Append adds one row and returns its row index. The arity must match the
-// schema, like Relation.Append.
+// schema, like Relation.Append; a mismatch wraps ErrArityMismatch.
 func (a *ColumnAppender) Append(t Tuple) (int, error) {
 	cs := a.cs
 	if len(t) != cs.Schema.Len() {
-		return 0, fmt.Errorf("dataset: tuple arity %d does not match schema arity %d", len(t), cs.Schema.Len())
+		return 0, fmt.Errorf("%w: tuple arity %d, schema arity %d", ErrArityMismatch, len(t), cs.Schema.Len())
 	}
 	row := cs.rows
 	for attr := range t {
@@ -96,7 +96,9 @@ func growWords(b []uint64, words int) []uint64 {
 	return grown
 }
 
-// MustAppend is Append that panics on arity mismatch.
+// MustAppend is Append that panics on arity mismatch; intended for internal
+// rebuilds over already-validated rows (SlidingWindow.Compact) and tests.
+// Load paths fed by external input must use Append and propagate the error.
 func (a *ColumnAppender) MustAppend(t Tuple) int {
 	row, err := a.Append(t)
 	if err != nil {
@@ -209,6 +211,31 @@ func (w *SlidingWindow) Append(t Tuple) (expired Tuple, err error) {
 	w.tuples = append(w.tuples, t)
 	w.sel = append(w.sel, row)
 	return expired, nil
+}
+
+// ExpireOldest evicts up to n of the oldest live rows and returns how many
+// were actually evicted. n ≤ 0 is a no-op; n ≥ Len empties the window (an
+// expiry batch larger than the resident rows must not underflow the cursor
+// or strand the compaction trigger — the amortized analysis holds with zero
+// survivors because Compact over an empty window is O(1)). Batch expiry is
+// the stream layer's "drop a whole stale chunk" path; per-row expiry stays
+// on Append.
+func (w *SlidingWindow) ExpireOldest(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n > len(w.sel) {
+		n = len(w.sel)
+	}
+	w.tuples = w.tuples[n:]
+	w.sel = w.sel[n:]
+	// Dead rows now outnumbering live ones is the same trigger Append uses;
+	// compacting here (rather than waiting for the next Append) keeps Cols()
+	// bounded even for a caller that only ever expires.
+	if dead := w.app.Len() - len(w.sel); dead > len(w.sel) && dead > 0 {
+		w.Compact()
+	}
+	return n
 }
 
 // Cols returns the columnar mirror holding the live rows (and possibly dead

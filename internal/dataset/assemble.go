@@ -120,6 +120,104 @@ func AssembleColumnSet(schema *Schema, rows int, cols []AssembledColumn) (*Colum
 	return cs, nil
 }
 
+// AdoptColumnSet builds a ColumnSet over schema from already-normalized
+// column payloads WITHOUT writing to them — the entry point for read-only
+// storage such as mmap'd lanes (PROT_READ mappings fault on any store, so
+// AssembleColumnSet's in-place normalization is off the table). Instead of
+// normalizing, it validates that the payloads already satisfy the ColumnSet
+// representation invariants and rejects any that do not:
+//
+//   - numeric lanes are adopted as-is (a null cell may carry any Num — the
+//     bitmap is authoritative, matching NewColumnSet's raw-Value semantics);
+//   - every categorical null cell must hold NullCode AND set its bitmap bit
+//     (both directions);
+//   - every non-null code must index into the dictionary;
+//   - bitmap bits past the last row must be zero;
+//   - all-zero bitmaps are dropped so HasNulls matches NewColumnSet.
+//
+// The categorical checks are one O(rows) pass per code lane, doubling as the
+// lane-integrity scan of the out-of-core open path.
+func AdoptColumnSet(schema *Schema, rows int, cols []AssembledColumn) (*ColumnSet, error) {
+	if len(cols) != schema.Len() {
+		return nil, fmt.Errorf("dataset: %d columns for a %d-attribute schema", len(cols), schema.Len())
+	}
+	if rows < 0 {
+		return nil, fmt.Errorf("dataset: negative row count %d", rows)
+	}
+	cs := &ColumnSet{
+		Schema: schema,
+		rows:   rows,
+		num:    make([][]float64, schema.Len()),
+		codes:  make([][]uint32, schema.Len()),
+		dicts:  make([][]string, schema.Len()),
+		lookup: make([]map[string]uint32, schema.Len()),
+		nulls:  make([][]uint64, schema.Len()),
+	}
+	words := (rows + 63) / 64
+	for a := range cols {
+		col := &cols[a]
+		attr := schema.Attr(a)
+		nulls := col.Nulls
+		if nulls != nil {
+			if len(nulls) < words {
+				return nil, fmt.Errorf("dataset: attribute %q null bitmap has %d words for %d rows", attr.Name, len(nulls), rows)
+			}
+			if tail := rows & 63; tail != 0 && words > 0 && nulls[words-1]&^((1<<uint(tail))-1) != 0 {
+				return nil, fmt.Errorf("dataset: attribute %q null bitmap has bits past row %d", attr.Name, rows)
+			}
+			empty := true
+			for _, w := range nulls[:words] {
+				if w != 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				nulls = nil
+			}
+		}
+		isNull := func(r int) bool {
+			return nulls != nil && nulls[r>>6]&(1<<(uint(r)&63)) != 0
+		}
+		switch attr.Kind {
+		case Numeric:
+			if len(col.Floats) != rows {
+				return nil, fmt.Errorf("dataset: attribute %q has %d lanes for %d rows", attr.Name, len(col.Floats), rows)
+			}
+			cs.num[a] = col.Floats
+		case Categorical:
+			if len(col.Codes) != rows {
+				return nil, fmt.Errorf("dataset: attribute %q has %d codes for %d rows", attr.Name, len(col.Codes), rows)
+			}
+			for r, code := range col.Codes {
+				switch {
+				case code == NullCode:
+					if !isNull(r) {
+						return nil, fmt.Errorf("dataset: attribute %q row %d holds NullCode without a null bit", attr.Name, r)
+					}
+				case isNull(r):
+					return nil, fmt.Errorf("dataset: attribute %q row %d is null but holds code %d", attr.Name, r, code)
+				case int(code) >= len(col.Dict):
+					return nil, fmt.Errorf("dataset: attribute %q code %d outside dictionary of %d", attr.Name, code, len(col.Dict))
+				}
+			}
+			cs.codes[a] = col.Codes
+			cs.dicts[a] = col.Dict
+			if len(col.Dict) > smallDict {
+				m := make(map[string]uint32, 2*len(col.Dict))
+				for j, s := range col.Dict {
+					m[s] = uint32(j)
+				}
+				cs.lookup[a] = m
+			}
+		default:
+			return nil, fmt.Errorf("dataset: attribute %q has unsupported kind %v", attr.Name, attr.Kind)
+		}
+		cs.nulls[a] = nulls
+	}
+	return cs, nil
+}
+
 // AllNullColumn returns an AssembledColumn of n null cells for attribute
 // kind k — what a wire batch that omits a schema attribute decodes to,
 // mirroring the JSON convention that an absent key means missing.

@@ -1,5 +1,7 @@
 package dataset
 
+import "sort"
+
 // Columnar execution substrate. A ColumnSet is the typed, column-major
 // mirror of a Relation, built once and shared by every layer that evaluates
 // predicates over many rows: numeric attributes become one contiguous
@@ -192,6 +194,36 @@ func (cs *ColumnSet) Nulls(attr int) []uint64 { return cs.nulls[attr] }
 func (cs *ColumnSet) IsNull(attr, row int) bool {
 	b := cs.nulls[attr]
 	return b != nil && b[row>>6]&(1<<(uint(row)&63)) != 0
+}
+
+// Domain returns the sorted distinct non-null values of numeric column attr
+// — the columnar equivalent of Relation.Domain, used by predicate generation
+// when no Relation exists (out-of-core stores).
+func (cs *ColumnSet) Domain(attr int) []float64 {
+	col := cs.num[attr]
+	seen := make(map[float64]struct{})
+	for i, v := range col {
+		if cs.IsNull(attr, i) {
+			continue
+		}
+		seen[v] = struct{}{}
+	}
+	out := make([]float64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// CategoricalDomain returns the sorted distinct non-null values of
+// categorical column attr — the columnar equivalent of
+// Relation.CategoricalDomain. The dictionary already holds exactly the
+// distinct non-null values, so no row scan is needed.
+func (cs *ColumnSet) CategoricalDomain(attr int) []string {
+	out := append([]string(nil), cs.dicts[attr]...)
+	sort.Strings(out)
+	return out
 }
 
 // View is a ColumnSet plus a selection vector: the columnar replacement for

@@ -72,14 +72,17 @@ func WriteCSV(w io.Writer, r *Relation) error {
 // ReadCSV parses a relation produced by WriteCSV (or any headered CSV).
 // Column kinds are inferred: a column is Numeric when every non-empty cell
 // parses as a float, Categorical otherwise. Empty cells become Null.
+//
+// Truncated or corrupt input returns an error wrapping ErrMalformedCSV —
+// never a panic — so CLIs can exit with a diagnostic.
 func ReadCSV(r io.Reader) (*Relation, error) {
 	cr := csv.NewReader(r)
 	records, err := cr.ReadAll()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: read csv: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrMalformedCSV, err)
 	}
 	if len(records) == 0 {
-		return nil, fmt.Errorf("dataset: csv has no header row")
+		return nil, fmt.Errorf("%w: no header row", ErrMalformedCSV)
 	}
 	header := records[0]
 	rows := records[1:]
@@ -109,7 +112,7 @@ func ReadCSV(r io.Reader) (*Relation, error) {
 	rel := NewRelation(schema)
 	for i, row := range rows {
 		if len(row) != len(header) {
-			return nil, fmt.Errorf("dataset: row %d has %d cells, want %d", i+1, len(row), len(header))
+			return nil, fmt.Errorf("%w: row %d has %d cells, want %d", ErrMalformedCSV, i+1, len(row), len(header))
 		}
 		t := make(Tuple, len(row))
 		for j, cell := range row {
@@ -121,7 +124,7 @@ func ReadCSV(r io.Reader) (*Relation, error) {
 			if kinds[j] == Numeric {
 				f, err := strconv.ParseFloat(cell, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: row %d col %d: %w", i+1, j, err)
+					return nil, fmt.Errorf("%w: row %d col %d: %v", ErrMalformedCSV, i+1, j, err)
 				}
 				t[j] = Num(f)
 			} else {

@@ -1,0 +1,17 @@
+package dataset
+
+import "errors"
+
+// Typed sentinels for the data-load paths. Callers distinguish "the input is
+// malformed" (a user problem: print a diagnostic, exit non-zero) from
+// programming errors, and tests assert the class with errors.Is instead of
+// string matching.
+
+// ErrArityMismatch is returned when a tuple's length does not match its
+// schema's attribute count.
+var ErrArityMismatch = errors.New("dataset: tuple arity does not match schema")
+
+// ErrMalformedCSV is returned when CSV input cannot be parsed into a
+// relation: unreadable CSV framing, a missing header, ragged rows, or a cell
+// that fails the inferred column kind. It wraps the underlying cause.
+var ErrMalformedCSV = errors.New("dataset: malformed csv")

@@ -21,16 +21,19 @@ func NewRelation(schema *Schema) *Relation {
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.Tuples) }
 
-// Append adds a tuple after checking its arity.
+// Append adds a tuple after checking its arity. An arity mismatch returns an
+// error wrapping ErrArityMismatch.
 func (r *Relation) Append(t Tuple) error {
 	if len(t) != r.Schema.Len() {
-		return fmt.Errorf("dataset: tuple arity %d does not match schema arity %d", len(t), r.Schema.Len())
+		return fmt.Errorf("%w: tuple arity %d, schema arity %d", ErrArityMismatch, len(t), r.Schema.Len())
 	}
 	r.Tuples = append(r.Tuples, t)
 	return nil
 }
 
-// MustAppend is Append that panics on arity mismatch.
+// MustAppend is Append that panics on arity mismatch; intended for
+// generators and tests building tuples from literals. Load paths fed by
+// external input (CSV, wire) must use Append and propagate the error.
 func (r *Relation) MustAppend(t Tuple) {
 	if err := r.Append(t); err != nil {
 		panic(err)

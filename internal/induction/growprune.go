@@ -71,7 +71,7 @@ func (g GrowPrune) Induce(ctx context.Context, sub *core.Substrate) (*core.Disco
 	grown := cfg.Telemetry.Counter(telemetry.MetricInductionCandidatesGrown)
 	prunedC := cfg.Telemetry.Counter(telemetry.MetricInductionRulesPruned)
 
-	covered := make([]bool, sub.Relation().Len())
+	covered := make([]bool, sub.NumRows())
 	for _, seed := range all {
 		if covered[seed] {
 			continue

@@ -51,6 +51,11 @@ func (s Stability) Induce(ctx context.Context, sub *core.Substrate) (*core.Disco
 	if len(all) == 0 {
 		return out, nil
 	}
+	if rel == nil {
+		// Bootstrap replicates resample tuples into fresh relations; a
+		// column-store-backed run has none to resample.
+		return nil, fmt.Errorf("induction: stability: %w", core.ErrTuplesRequired)
+	}
 	b := s.B
 	if b <= 0 {
 		b = 8

@@ -50,6 +50,15 @@ type GeneratorConfig struct {
 	Seed int64
 }
 
+// domainSource abstracts where attribute domains come from: a Relation
+// (tuple scan) or a ColumnSet (lane scan + dictionary) — both return sorted
+// distinct non-null values, so generation over either source yields the same
+// predicate space for the same data.
+type domainSource interface {
+	Domain(attr int) []float64
+	CategoricalDomain(attr int) []string
+}
+
 // Generate builds the predicate space ℙ for the given relation restricted to
 // the attrs columns (the condition attributes; the regression target must be
 // excluded by the caller, per Definition 1 "no predicates on attribute Y").
@@ -57,16 +66,27 @@ type GeneratorConfig struct {
 // categorical attributes every domain value contributes one equality
 // predicate (the paper's natural segregation, e.g. per-bird predicates).
 func Generate(rel *dataset.Relation, attrs []int, cfg GeneratorConfig) []Predicate {
+	return generate(rel.Schema, rel, attrs, cfg)
+}
+
+// GenerateColumns is Generate over a ColumnSet — the entry point when no
+// Relation exists (out-of-core stores, streaming windows). For the same
+// underlying data it produces the same predicates as Generate, cut for cut.
+func GenerateColumns(cs *dataset.ColumnSet, attrs []int, cfg GeneratorConfig) []Predicate {
+	return generate(cs.Schema, cs, attrs, cfg)
+}
+
+func generate(schema *dataset.Schema, src domainSource, attrs []int, cfg GeneratorConfig) []Predicate {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var out []Predicate
 	for _, attr := range attrs {
-		if rel.Schema.Attr(attr).Kind == dataset.Categorical {
-			for _, v := range rel.CategoricalDomain(attr) {
+		if schema.Attr(attr).Kind == dataset.Categorical {
+			for _, v := range src.CategoricalDomain(attr) {
 				out = append(out, StrPred(attr, v))
 			}
 			continue
 		}
-		domain := rel.Domain(attr)
+		domain := src.Domain(attr)
 		if len(domain) < 2 {
 			continue
 		}

@@ -1,0 +1,125 @@
+package predicate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/crrlab/crr/internal/dataset"
+)
+
+// rangeTestRelation builds a relation with nullable numeric and categorical
+// columns, the categorical domain wide enough to spill the dictionary map.
+func rangeTestRelation(n int, seed int64) *dataset.Relation {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Numeric},
+		dataset.Attribute{Name: "c", Kind: dataset.Categorical},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	rel := dataset.NewRelation(schema)
+	for i := 0; i < n; i++ {
+		x := dataset.Num(rng.NormFloat64())
+		if rng.Intn(9) == 0 {
+			x = dataset.Null()
+		}
+		c := dataset.Str(fmt.Sprintf("v%d", rng.Intn(25)))
+		if rng.Intn(11) == 0 {
+			c = dataset.Null()
+		}
+		rel.MustAppend(dataset.Tuple{x, c})
+	}
+	return rel
+}
+
+// TestFilterRangeChunkParity: for any partition of [0, rows) into chunks,
+// concatenating FilterRange results must equal Filter over the identity
+// selection — the contract chunked out-of-core scans rely on.
+func TestFilterRangeChunkParity(t *testing.T) {
+	rel := rangeTestRelation(700, 5)
+	cs := dataset.NewColumnSet(rel)
+	full := cs.View().Sel
+
+	preds := []Predicate{
+		NumPred(0, Gt, 0.2),
+		NumPred(0, Le, -0.1),
+		NumPred(0, Eq, 0),
+		StrPred(1, "v3"),
+		StrPred(1, "absent"),
+	}
+	conjs := []Conjunction{
+		{},
+		{Preds: []Predicate{NumPred(0, Gt, -1), NumPred(0, Le, 1)}},
+		{Preds: []Predicate{StrPred(1, "v3"), NumPred(0, Gt, 0)}},
+	}
+	chunkSizes := []int{1, 63, 64, 65, 100, 700, 1000}
+	for _, p := range preds {
+		want := p.Filter(cs, full, nil)
+		for _, chunk := range chunkSizes {
+			var got []int
+			var buf []int
+			for lo := 0; lo < cs.Len(); lo += chunk {
+				hi := lo + chunk
+				buf = p.FilterRange(cs, lo, hi, buf)
+				got = append(got, buf...)
+			}
+			if !equalInts(got, want) {
+				t.Fatalf("pred %v chunk %d: %d rows vs %d", p, chunk, len(got), len(want))
+			}
+		}
+	}
+	for ci, c := range conjs {
+		want := c.Filter(cs, full, nil)
+		for _, chunk := range chunkSizes {
+			var got []int
+			var buf []int
+			for lo := 0; lo < cs.Len(); lo += chunk {
+				buf = c.FilterRange(cs, lo, lo+chunk, buf)
+				got = append(got, buf...)
+			}
+			if !equalInts(got, want) {
+				t.Fatalf("conj %d chunk %d: %d rows vs %d", ci, chunk, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestFilterRangeClamps: out-of-bounds ranges clamp instead of panicking.
+func TestFilterRangeClamps(t *testing.T) {
+	rel := rangeTestRelation(10, 1)
+	cs := dataset.NewColumnSet(rel)
+	p := NumPred(0, Gt, -1000)
+	if got := p.FilterRange(cs, -5, 1000, nil); len(got) > cs.Len() {
+		t.Fatalf("clamped range returned %d rows for %d", len(got), cs.Len())
+	}
+	if got := p.FilterRange(cs, 8, 3, nil); len(got) != 0 {
+		t.Fatalf("inverted range returned %d rows", len(got))
+	}
+}
+
+// TestGenerateColumnsParity: predicate generation over a ColumnSet must
+// produce exactly the predicates generation over the source relation does,
+// for every generator kind — the out-of-core discovery path depends on the
+// predicate spaces being interchangeable.
+func TestGenerateColumnsParity(t *testing.T) {
+	rel := rangeTestRelation(400, 7)
+	cs := dataset.NewColumnSet(rel)
+	attrs := []int{0, 1}
+	configs := []GeneratorConfig{
+		{Kind: Binary, Size: 16},
+		{Kind: Binary, Size: 0},
+		{Kind: Random, Size: 8, Seed: 42},
+		{Kind: Expert, Size: 8, ExpertCuts: map[int][]float64{0: {0.5, -0.5}}},
+	}
+	for _, cfg := range configs {
+		want := Generate(rel, attrs, cfg)
+		got := GenerateColumns(cs, attrs, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("cfg %+v: %d preds vs %d", cfg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cfg %+v pred %d: %v vs %v", cfg, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -52,6 +52,14 @@ const (
 	MetricInductionStabilityKept    = "induction.stability_kept"    // counter: recurring conjunctions kept after held-out refit
 	MetricInductionStabilityDropped = "induction.stability_dropped" // counter: recurring conjunctions dropped by the held-out refit
 
+	// Out-of-core columnar store metrics (internal/colstore): the mmap'd
+	// on-disk lane layer. bytes_mapped counts payload bytes mapped (or
+	// heap-loaded on platforms without mmap) at store open; chunks_scanned
+	// counts chunk visits through Store.ScanChunks, the unit the chunked
+	// discovery and verification sweeps are budgeted in.
+	MetricColstoreBytesMapped   = "colstore.bytes_mapped"   // counter: lane payload bytes mapped at open
+	MetricColstoreChunksScanned = "colstore.chunks_scanned" // counter: chunk visits through ScanChunks
+
 	// Verification metrics (internal/verify + crrverify): how many oracle
 	// checks the differential harness executed and how many divergences it
 	// found. A healthy run reports oracles_run > 0 and divergences == 0.

@@ -211,6 +211,11 @@ func (rn *runner) runTarget(ctx context.Context, t Target) (*DatasetReport, erro
 	rn.classificationOracles(t, rules, "discovered")
 	rn.codecOracle(t, rules, "discovered")
 
+	rn.logf("[%s] out-of-core store parity", t.Name)
+	if err := rn.colstoreOracle(ctx, t, rules); err != nil {
+		return nil, err
+	}
+
 	rn.logf("[%s] windowed stream maintenance", t.Name)
 	if err := rn.streamOracle(t, rules); err != nil {
 		return nil, err
